@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries: standard experiment
+ * configuration (overridable through environment variables), and the
+ * paper-vs-measured table conventions.
+ *
+ * Environment knobs:
+ *   MPOS_CYCLES  - measured cycles per CPU (default 20,000,000)
+ *   MPOS_WARMUP  - warmup cycles (default 3,000,000)
+ *   MPOS_SEED    - workload seed
+ */
+
+#ifndef MPOS_BENCH_COMMON_HH
+#define MPOS_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "core/experiment.hh"
+#include "core/migration.hh"
+#include "core/report.hh"
+#include "util/table.hh"
+
+namespace mpos::bench
+{
+
+inline uint64_t
+envOr(const char *name, uint64_t def)
+{
+    const char *v = std::getenv(name);
+    return v ? std::strtoull(v, nullptr, 10) : def;
+}
+
+/** Standard experiment configuration for a workload. */
+inline core::ExperimentConfig
+standardConfig(workload::WorkloadKind kind)
+{
+    core::ExperimentConfig cfg;
+    cfg.kind = kind;
+    cfg.measureCycles = envOr("MPOS_CYCLES", 20000000);
+    cfg.warmupCycles = envOr("MPOS_WARMUP", 8000000);
+    cfg.options.seed = envOr("MPOS_SEED", 7);
+    return cfg;
+}
+
+/** Run one workload with the standard configuration. */
+inline std::unique_ptr<core::Experiment>
+runWorkload(workload::WorkloadKind kind)
+{
+    auto cfg = standardConfig(kind);
+    auto exp = std::make_unique<core::Experiment>(cfg);
+    std::fprintf(stderr, "[bench] running %s for %llu cycles...\n",
+                 workload::workloadName(kind),
+                 static_cast<unsigned long long>(cfg.measureCycles));
+    exp->run();
+    return exp;
+}
+
+/** The three paper workloads, in paper order. */
+inline const workload::WorkloadKind allWorkloads[3] = {
+    workload::WorkloadKind::Pmake,
+    workload::WorkloadKind::Multpgm,
+    workload::WorkloadKind::Oracle,
+};
+
+} // namespace mpos::bench
+
+#endif // MPOS_BENCH_COMMON_HH

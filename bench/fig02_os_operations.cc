@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 2: relative frequency of the operations executed by the OS
+ * in Multpgm -- about half sginap, ~20% TLB faults, ~20% I/O system
+ * calls, ~5% clock interrupts.
+ */
+
+#include "bench/common.hh"
+
+using namespace mpos;
+using sim::OsOp;
+
+int
+main()
+{
+    core::banner("Figure 2: OS operation frequency in Multpgm");
+    core::shapeNote();
+
+    auto exp = bench::runWorkload(workload::WorkloadKind::Multpgm);
+
+    const uint64_t sginap = exp->osOpCount(OsOp::Sginap);
+    const uint64_t tlb = exp->osOpCount(OsOp::CheapTlbFault) +
+                         exp->osOpCount(OsOp::ExpensiveTlbFault);
+    const uint64_t io = exp->osOpCount(OsOp::IoSyscall);
+    const uint64_t other = exp->osOpCount(OsOp::OtherSyscall);
+    const uint64_t intr = exp->osOpCount(OsOp::Interrupt);
+    const uint64_t total = sginap + tlb + io + other + intr;
+
+    auto pct = [&](uint64_t v) {
+        return total ? 100.0 * double(v) / double(total) : 0.0;
+    };
+
+    util::TextTable t;
+    t.header({"Operation", "paper %", "measured %"});
+    t.row({"sginap syscalls", "~50", core::fmt1(pct(sginap))});
+    t.row({"TLB faults (non-UTLB)", "~20", core::fmt1(pct(tlb))});
+    t.row({"I/O system calls", "~20", core::fmt1(pct(io))});
+    t.row({"other syscalls + interrupts", "~10",
+           core::fmt1(pct(other + intr))});
+    t.print();
+
+    std::printf("%s", util::barChart(
+        "\nMeasured operation mix (%):",
+        {{"sginap", pct(sginap)},
+         {"tlb-faults", pct(tlb)},
+         {"io-syscalls", pct(io)},
+         {"other-syscalls", pct(other)},
+         {"interrupts", pct(intr)}}).c_str());
+    std::printf("\n(UTLB spikes, shown separately in Figure 1: %llu)\n",
+                static_cast<unsigned long long>(
+                    exp->osOpCount(OsOp::UtlbFault)));
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 4: classification of OS instruction misses (normalized to
+ * all OS misses = 100), plus the Dispossame component of Dispos.
+ * Shape: I-misses are 40-65% of all OS misses; Dispos is sizable;
+ * Dispap dominates in Oracle.
+ */
+
+#include "bench/common.hh"
+
+using namespace mpos;
+using core::MissClass;
+
+int
+main()
+{
+    core::banner("Figure 4: OS instruction-miss classes "
+                 "(% of all OS misses)");
+    core::shapeNote();
+
+    util::TextTable t;
+    t.header({"Workload", "", "Cold", "Dispos", "Dispap", "Inval",
+              "Uncached", "I total", "Dispossame/Dispos"});
+    // Approximate values read from Figure 4 of the paper.
+    const char *paperRows[3][8] = {
+        {"Pmake", "3", "20", "12", "13", "4", "~52", "~35%"},
+        {"Multpgm", "5", "17", "16", "13", "5", "~56", "~20%"},
+        {"Oracle", "4", "8", "28", "2", "3", "~45", "~25%"},
+    };
+
+    for (int i = 0; i < 3; ++i) {
+        auto exp = bench::runWorkload(bench::allWorkloads[i]);
+        const auto &mc = exp->misses();
+        const double all = double(mc.osTotal());
+        auto pc = [&](MissClass c) {
+            return all ? 100.0 * double(mc.osI[unsigned(c)]) / all
+                       : 0.0;
+        };
+        const double dispos = double(
+            mc.osI[unsigned(MissClass::Dispos)]);
+        t.row({paperRows[i][0], "paper", paperRows[i][1],
+               paperRows[i][2], paperRows[i][3], paperRows[i][4],
+               paperRows[i][5], paperRows[i][6], paperRows[i][7]});
+        t.row({"", "measured", core::fmt1(pc(MissClass::Cold)),
+               core::fmt1(pc(MissClass::Dispos)),
+               core::fmt1(pc(MissClass::Dispap)),
+               core::fmt1(pc(MissClass::Inval)),
+               core::fmt1(pc(MissClass::Uncached)),
+               core::fmt1(all ? 100.0 * double(mc.osITotal()) / all
+                              : 0.0),
+               core::fmt1(dispos > 0
+                              ? 100.0 * double(mc.osDispossameI) /
+                                    dispos
+                              : 0.0) + "%"});
+        t.rule();
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 7: classification of OS data misses (normalized to all OS
+ * misses = 100). Shape: Sharing is the dominant data-miss class; the
+ * rest is displacement and cold misses, largely from block
+ * operations.
+ */
+
+#include "bench/common.hh"
+
+using namespace mpos;
+using core::MissClass;
+
+int
+main()
+{
+    core::banner("Figure 7: OS data-miss classes "
+                 "(% of all OS misses)");
+    core::shapeNote();
+
+    util::TextTable t;
+    t.header({"Workload", "", "Cold", "Dispos", "Dispap", "Sharing",
+              "Uncached", "D total"});
+    // Approximate values read from Figure 7 of the paper.
+    const char *paperRows[3][7] = {
+        {"Pmake", "12", "8", "7", "18", "3", "~48"},
+        {"Multpgm", "10", "6", "6", "19", "3", "~44"},
+        {"Oracle", "12", "9", "12", "19", "3", "~55"},
+    };
+
+    for (int i = 0; i < 3; ++i) {
+        auto exp = bench::runWorkload(bench::allWorkloads[i]);
+        const auto &mc = exp->misses();
+        const double all = double(mc.osTotal());
+        auto pc = [&](MissClass c) {
+            return all ? 100.0 * double(mc.osD[unsigned(c)]) / all
+                       : 0.0;
+        };
+        t.row({paperRows[i][0], "paper", paperRows[i][1],
+               paperRows[i][2], paperRows[i][3], paperRows[i][4],
+               paperRows[i][5], paperRows[i][6]});
+        t.row({"", "measured", core::fmt1(pc(MissClass::Cold)),
+               core::fmt1(pc(MissClass::Dispos)),
+               core::fmt1(pc(MissClass::Dispap)),
+               core::fmt1(pc(MissClass::Sharing)),
+               core::fmt1(pc(MissClass::Uncached)),
+               core::fmt1(all ? 100.0 * double(mc.osDTotal()) / all
+                              : 0.0)});
+        t.rule();
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 9: OS misses classified by the high-level operation in
+ * progress (Table 8 classes). Shape: I/O system calls and TLB faults
+ * cause most data misses; I/O system calls dominate instruction
+ * misses; interrupts are relatively I-heavy; sginap matters only in
+ * Multpgm.
+ */
+
+#include "bench/common.hh"
+
+using namespace mpos;
+using sim::OsOp;
+
+int
+main()
+{
+    core::banner("Figure 9: OS misses by high-level operation "
+                 "(% of OS I/D misses)");
+    core::shapeNote();
+
+    for (auto kind : bench::allWorkloads) {
+        auto exp = bench::runWorkload(kind);
+        const auto &f = exp->functional();
+        const double ti = double(f.totalI());
+        const double td = double(f.totalD());
+
+        util::TextTable t(workload::workloadName(kind));
+        t.header({"Operation", "D-miss %", "I-miss %"});
+        auto row = [&](const char *name, uint64_t d, uint64_t i) {
+            t.row({name, core::fmt1(td ? 100.0 * double(d) / td : 0),
+                   core::fmt1(ti ? 100.0 * double(i) / ti : 0)});
+        };
+        row("expensive TLB faults",
+            f.dMisses(OsOp::ExpensiveTlbFault),
+            f.iMisses(OsOp::ExpensiveTlbFault));
+        row("cheap TLB faults (incl. UTLB)", f.cheapTlbD(),
+            f.cheapTlbI());
+        row("I/O system calls", f.dMisses(OsOp::IoSyscall),
+            f.iMisses(OsOp::IoSyscall));
+        row("sginap", f.dMisses(OsOp::Sginap),
+            f.iMisses(OsOp::Sginap));
+        row("other system calls", f.dMisses(OsOp::OtherSyscall),
+            f.iMisses(OsOp::OtherSyscall));
+        row("interrupts", f.dMisses(OsOp::Interrupt),
+            f.iMisses(OsOp::Interrupt));
+        t.print();
+        std::printf("\n");
+    }
+    return 0;
+}

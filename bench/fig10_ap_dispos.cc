@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Figure 10: the fraction of application misses induced by OS
+ * interference in the caches (Ap_dispos). Shape: 22-27% across all
+ * three workloads, split into I and D components.
+ */
+
+#include "bench/common.hh"
+
+using namespace mpos;
+
+int
+main()
+{
+    core::banner("Figure 10: OS-induced application misses "
+                 "(Ap_dispos)");
+    core::shapeNote();
+
+    const double paperTotal[3] = {25.0, 27.0, 22.0}; // approx
+
+    util::TextTable t;
+    t.header({"Workload", "", "Ap_dispos % of app misses", "I share",
+              "D share"});
+    for (int i = 0; i < 3; ++i) {
+        auto exp = bench::runWorkload(bench::allWorkloads[i]);
+        const auto r = exp->apDispos();
+        t.row({workload::workloadName(bench::allWorkloads[i]),
+               "paper", core::fmt1(paperTotal[i]) + " (22-27)", "-",
+               "-"});
+        t.row({"", "measured", core::fmt1(r.fracOfAppPct),
+               core::fmt1(r.iShareOfAppPct),
+               core::fmt1(r.dShareOfAppPct)});
+        t.rule();
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Table 1: Characteristics of the workloads -- execution-time split,
+ * fraction of misses caused by the OS, and the stall-time estimates
+ * that are the headline result of the paper (OS misses stall CPUs for
+ * 17-21% of non-idle time; 25% counting OS-induced application
+ * misses).
+ */
+
+#include "bench/common.hh"
+
+using namespace mpos;
+
+namespace
+{
+
+struct PaperRow
+{
+    const char *name;
+    double user, sys, idle, osFrac, allStall, osStall, osInduced;
+};
+
+const PaperRow paper[3] = {
+    {"Pmake", 49.4, 31.1, 19.5, 52.6, 39.9, 21.0, 25.8},
+    {"Multpgm", 53.2, 46.7, 0.1, 46.3, 46.5, 21.5, 24.9},
+    {"Oracle", 62.4, 29.4, 8.2, 26.6, 62.5, 16.6, 26.8},
+};
+
+} // namespace
+
+int
+main()
+{
+    core::banner("Table 1: Characteristics of the workloads");
+    core::shapeNote();
+
+    util::TextTable t;
+    t.header({"Workload", "", "User%", "Sys%", "Idle%",
+              "OSMiss/Tot%", "All stall%", "OS stall%",
+              "OS+induced%"});
+
+    for (int i = 0; i < 3; ++i) {
+        auto exp = bench::runWorkload(bench::allWorkloads[i]);
+        const auto r = exp->table1();
+        const auto &p = paper[i];
+        t.row({p.name, "paper", core::fmt1(p.user), core::fmt1(p.sys),
+               core::fmt1(p.idle), core::fmt1(p.osFrac),
+               core::fmt1(p.allStall), core::fmt1(p.osStall),
+               core::fmt1(p.osInduced)});
+        t.row({"", "measured", core::fmt1(r.userPct),
+               core::fmt1(r.sysPct), core::fmt1(r.idlePct),
+               core::fmt1(r.osMissFracPct),
+               core::fmt1(r.allMissStallPct),
+               core::fmt1(r.osMissStallPct),
+               core::fmt1(r.osPlusInducedStallPct)});
+        t.rule();
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table 5: the fraction of migration misses incurred in run-queue
+ * management, low-level exception handling, and read/write system
+ * call recognition/setup -- together 25-50% in the paper.
+ */
+
+#include "bench/common.hh"
+
+using namespace mpos;
+
+namespace
+{
+struct PaperRow
+{
+    const char *name;
+    double runq, lowlevel, rdwr, total;
+};
+const PaperRow paper[3] = {
+    {"Pmake", 11.5, 7.3, 6.4, 25.2},
+    {"Multpgm", 20.5, 12.9, 13.2, 46.6},
+    {"Oracle", 14.3, 14.5, 20.7, 49.5},
+};
+} // namespace
+
+int
+main()
+{
+    core::banner("Table 5: migration misses by operation");
+    core::shapeNote();
+
+    util::TextTable t;
+    t.header({"Workload", "", "Run queue", "Low-level exc.",
+              "R/W setup", "Total"});
+    for (int i = 0; i < 3; ++i) {
+        auto exp = bench::runWorkload(bench::allWorkloads[i]);
+        const auto r = core::computeMigrationOps(exp->attribution());
+        const auto &p = paper[i];
+        t.row({p.name, "paper", core::fmt1(p.runq),
+               core::fmt1(p.lowlevel), core::fmt1(p.rdwr),
+               core::fmt1(p.total)});
+        t.row({"", "measured", core::fmt1(r.runQueuePct),
+               core::fmt1(r.lowLevelPct), core::fmt1(r.rdwrSetupPct),
+               core::fmt1(r.totalPct)});
+        t.rule();
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Table 6: data misses and stall caused by the three block
+ * operations (block copy, block clear, pfdat traversal). Shape:
+ * Pmake suffers far more than Oracle; stall up to ~6%.
+ */
+
+#include "bench/common.hh"
+
+using namespace mpos;
+
+namespace
+{
+struct PaperRow
+{
+    const char *name;
+    double copy, clear, traverse, total, stall;
+};
+const PaperRow paper[3] = {
+    {"Pmake", 17.6, 23.7, 19.7, 61.0, 6.2},
+    {"Multpgm", 15.1, 7.2, 15.7, 38.0, 4.7},
+    {"Oracle", 8.6, 1.0, 1.0, 10.6, 0.6},
+};
+} // namespace
+
+int
+main()
+{
+    core::banner("Table 6: data misses and stall from block "
+                 "operations");
+    core::shapeNote();
+
+    util::TextTable t;
+    t.header({"Workload", "", "Copy %D", "Clear %D", "Traverse %D",
+              "Total %D", "Stall %"});
+    for (int i = 0; i < 3; ++i) {
+        auto exp = bench::runWorkload(bench::allWorkloads[i]);
+        const auto r = exp->blockOpReport();
+        const auto &p = paper[i];
+        t.row({p.name, "paper", core::fmt1(p.copy),
+               core::fmt1(p.clear), core::fmt1(p.traverse),
+               core::fmt1(p.total), core::fmt1(p.stall)});
+        t.row({"", "measured", core::fmt1(r.copyPctOfOsD),
+               core::fmt1(r.clearPctOfOsD),
+               core::fmt1(r.traversePctOfOsD),
+               core::fmt1(r.totalPctOfOsD),
+               core::fmt1(r.stallPctNonIdle)});
+        t.rule();
+    }
+    t.print();
+    return 0;
+}

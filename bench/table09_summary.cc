@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Table 9: components of the stall time directly caused by OS misses
+ * -- total, instruction misses, migration data misses, block-op data
+ * misses, rest. Shape: instruction misses ~10% dwarf the other
+ * components; no single dominant fix.
+ */
+
+#include "bench/common.hh"
+
+using namespace mpos;
+
+namespace
+{
+struct PaperRow
+{
+    const char *name;
+    double total, instr, migr, block, rest;
+};
+const PaperRow paper[4] = {
+    {"Pmake", 21.0, 10.9, 1.0, 6.2, 2.9},
+    {"Multpgm", 21.5, 9.2, 4.2, 4.7, 3.4},
+    {"Oracle", 16.6, 10.6, 2.6, 0.6, 2.8},
+    {"AVERAGE", 19.7, 10.2, 2.6, 3.8, 3.0},
+};
+} // namespace
+
+int
+main()
+{
+    core::banner("Table 9: OS miss stall decomposition "
+                 "(% of non-idle time)");
+    core::shapeNote();
+
+    util::TextTable t;
+    t.header({"Workload", "", "Total", "Instr", "Migration",
+              "Block ops", "Rest"});
+    core::Table9Row sum{};
+    for (int i = 0; i < 3; ++i) {
+        auto exp = bench::runWorkload(bench::allWorkloads[i]);
+        const auto r = exp->table9();
+        const auto &p = paper[i];
+        t.row({p.name, "paper", core::fmt1(p.total),
+               core::fmt1(p.instr), core::fmt1(p.migr),
+               core::fmt1(p.block), core::fmt1(p.rest)});
+        t.row({"", "measured", core::fmt1(r.totalPct),
+               core::fmt1(r.instrPct), core::fmt1(r.migrationPct),
+               core::fmt1(r.blockOpPct), core::fmt1(r.restPct)});
+        t.rule();
+        sum.totalPct += r.totalPct / 3;
+        sum.instrPct += r.instrPct / 3;
+        sum.migrationPct += r.migrationPct / 3;
+        sum.blockOpPct += r.blockOpPct / 3;
+        sum.restPct += r.restPct / 3;
+    }
+    t.row({"AVERAGE", "paper", core::fmt1(paper[3].total),
+           core::fmt1(paper[3].instr), core::fmt1(paper[3].migr),
+           core::fmt1(paper[3].block), core::fmt1(paper[3].rest)});
+    t.row({"", "measured", core::fmt1(sum.totalPct),
+           core::fmt1(sum.instrPct), core::fmt1(sum.migrationPct),
+           core::fmt1(sum.blockOpPct), core::fmt1(sum.restPct)});
+    t.print();
+    return 0;
+}

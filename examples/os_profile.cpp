@@ -1,0 +1,191 @@
+/**
+ * @file
+ * os_profile: the library as a profiling tool. Runs one workload and
+ * prints the complete OS cache/sync profile -- miss classes, data
+ * structures, functional breakdown, invocation pattern, and lock
+ * behavior. Usage:
+ *
+ *   os_profile [pmake|multpgm|oracle] [measure_cycles]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/experiment.hh"
+#include "core/migration.hh"
+#include "core/report.hh"
+#include "util/table.hh"
+
+using namespace mpos;
+
+int
+main(int argc, char **argv)
+{
+    core::ExperimentConfig cfg;
+    cfg.kind = workload::WorkloadKind::Pmake;
+    if (argc > 1) {
+        if (!std::strcmp(argv[1], "multpgm"))
+            cfg.kind = workload::WorkloadKind::Multpgm;
+        else if (!std::strcmp(argv[1], "oracle"))
+            cfg.kind = workload::WorkloadKind::Oracle;
+        else if (std::strcmp(argv[1], "pmake") != 0) {
+            std::fprintf(stderr,
+                         "usage: %s [pmake|multpgm|oracle] [cycles]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
+    cfg.measureCycles =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20000000;
+    if (argc > 3)
+        cfg.warmupCycles = std::strtoull(argv[3], nullptr, 10);
+
+    core::Experiment exp(cfg);
+    exp.run();
+
+    const auto acct = exp.account();
+    const auto &mc = exp.misses();
+    const auto t1 = exp.table1();
+
+    std::printf("=== %s: %llu cycles/CPU measured ===\n",
+                exp.load().name().c_str(),
+                static_cast<unsigned long long>(exp.elapsed()));
+    std::printf("time: user %.1f%% sys %.1f%% idle %.1f%% | "
+                "stalls: all %.1f%% os %.1f%% os+ind %.1f%%\n",
+                t1.userPct, t1.sysPct, t1.idlePct, t1.allMissStallPct,
+                t1.osMissStallPct, t1.osPlusInducedStallPct);
+    std::printf("OS miss share: %.1f%%  (os %llu, app %llu, "
+                "writebacks %llu)\n\n",
+                t1.osMissFracPct,
+                static_cast<unsigned long long>(mc.osTotal()),
+                static_cast<unsigned long long>(mc.appTotal()),
+                static_cast<unsigned long long>(
+                    exp.classifier_().writebacks()));
+
+    // Miss classes, normalized to all OS misses = 100 (Figs. 4/7).
+    const double osAll = double(mc.osTotal());
+    std::printf("OS miss classes (%% of all OS misses; I / D):\n");
+    for (uint32_t c = 0; c < core::numMissClasses; ++c) {
+        std::printf("  %-9s %6.2f / %6.2f\n",
+                    core::missClassName(core::MissClass(c)),
+                    osAll ? 100.0 * double(mc.osI[c]) / osAll : 0.0,
+                    osAll ? 100.0 * double(mc.osD[c]) / osAll : 0.0);
+    }
+    std::printf("  I-misses total: %.1f%%  Dispossame(I): %llu\n\n",
+                osAll ? 100.0 * double(mc.osITotal()) / osAll : 0.0,
+                static_cast<unsigned long long>(mc.osDispossameI));
+
+    // Functional classes (Fig. 9 / Fig. 2).
+    std::printf("OS operations (count; I-miss / D-miss):\n");
+    for (uint32_t o = 0; o < sim::numOsOps; ++o) {
+        const auto op = sim::OsOp(o);
+        std::printf("  %-19s %9llu  %8llu / %8llu\n", sim::osOpName(op),
+                    static_cast<unsigned long long>(exp.osOpCount(op)),
+                    static_cast<unsigned long long>(
+                        exp.functional().iMisses(op)),
+                    static_cast<unsigned long long>(
+                        exp.functional().dMisses(op)));
+    }
+
+    // Invocation pattern (Fig. 1).
+    const auto &inv = exp.invocations();
+    std::printf("\nInvocation pattern:\n");
+    std::printf("  OS invocations: %llu  mean %0.f cyc, "
+                "%.1f I-miss, %.1f D-miss\n",
+                static_cast<unsigned long long>(
+                    inv.osInvocations().count),
+                inv.osInvocations().meanCycles(),
+                inv.osInvocations().meanI(), inv.osInvocations().meanD());
+    std::printf("  UTLB faults:    %llu  mean %.0f cyc, %.3f misses\n",
+                static_cast<unsigned long long>(inv.utlbFaults().count),
+                inv.utlbFaults().meanCycles(),
+                inv.utlbFaults().meanI() + inv.utlbFaults().meanD());
+    std::printf("  app invocation: mean %.0f cyc, %.1f utlb faults\n",
+                inv.appInvocations().meanCycles(),
+                inv.utlbPerAppInvocation());
+    std::printf("  OS invoked every %.2f ms per CPU\n",
+                inv.cyclesBetweenOsInvocations(exp.elapsed()) / 33000.0);
+
+    // Sharing misses by structure (Fig. 8).
+    const auto &sh = exp.attribution().sharing();
+    std::printf("\nSharing D-misses by structure (total %llu):\n",
+                static_cast<unsigned long long>(sh.total));
+    for (uint32_t i = 0; i < kernel::numKStructs; ++i) {
+        if (!sh.count[i])
+            continue;
+        std::printf("  %-22s %6.1f%%\n",
+                    kernel::kstructName(kernel::KStruct(i)),
+                    100.0 * double(sh.count[i]) / double(sh.total));
+    }
+
+    // Migration and block ops (Tables 4/5/6).
+    const auto mig = core::computeMigration(exp.attribution(), mc,
+                                            acct);
+    const auto migOps = core::computeMigrationOps(exp.attribution());
+    const auto bo = exp.blockOpReport();
+    std::printf("\nMigration: %.1f%% of OS D-misses, stall %.1f%%; "
+                "ops: runq %.1f%% lowlevel %.1f%% rdwr %.1f%%\n",
+                mig.totalPctOfOsD, mig.stallPctNonIdle,
+                migOps.runQueuePct, migOps.lowLevelPct,
+                migOps.rdwrSetupPct);
+    std::printf("Block ops: copy %.1f%% clear %.1f%% traverse %.1f%% "
+                "of OS D-misses, stall %.1f%%\n",
+                bo.copyPctOfOsD, bo.clearPctOfOsD, bo.traversePctOfOsD,
+                bo.stallPctNonIdle);
+
+    // Per-process CPU accounting.
+    std::printf("\nProcesses (state/dispatches/cycles):\n");
+    for (uint32_t i = 0; i < exp.kern().maxProcs(); ++i) {
+        const auto &pr = exp.kern().process(sim::Pid(i));
+        if (!pr.everRan && pr.state == kernel::ProcState::Free)
+            continue;
+        std::printf("  %-10s st%u  disp %6llu  ran %10llu\n",
+                    pr.name.c_str(), unsigned(pr.state),
+                    static_cast<unsigned long long>(pr.dispatches),
+                    static_cast<unsigned long long>(pr.totalRan));
+    }
+
+    // Lock profiles (Table 12 raw material).
+    std::printf("\nLocks (acquires/failEp/interval/locality/waiters):\n");
+    for (uint32_t l = 0; l < exp.kern().numLocks(); ++l) {
+        const auto &lp = exp.lockStats().profile(l);
+        if (lp.acquires < 50)
+            continue;
+        std::printf("  %-12s %9llu %7llu %9.0f %6.1f%% %5.2f\n",
+                    kernel::lockName(l, exp.kern().numUserLocks())
+                        .c_str(),
+                    static_cast<unsigned long long>(lp.acquires),
+                    static_cast<unsigned long long>(lp.failEpisodes),
+                    lp.acquireInterval(),
+                    100.0 * lp.sameCpuFraction(), lp.waitersIfAny());
+    }
+
+    // Sync (Table 10) and kernel counters.
+    const auto sy = exp.syncStallReport();
+    std::printf("Sync stall: %.2f%% sync-bus, %.2f%% cached-RMW\n",
+                sy.uncachedPct, sy.cachedPct);
+    std::printf("\nKernel: ctxsw %llu migr %llu forks %llu exits %llu "
+                "utlb %llu reclaims %llu recycles %llu disk %llu strands %llu\n",
+                static_cast<unsigned long long>(
+                    exp.kern().contextSwitches()),
+                static_cast<unsigned long long>(exp.kern().migrations()),
+                static_cast<unsigned long long>(exp.kern().forks()),
+                static_cast<unsigned long long>(exp.kern().exits()),
+                static_cast<unsigned long long>(exp.kern().utlbFaults()),
+                static_cast<unsigned long long>(
+                    exp.kern().pageReclaims()),
+                static_cast<unsigned long long>(
+                    exp.kern().codePageRecycles()),
+                static_cast<unsigned long long>(
+                    exp.kern().diskRequests()),
+                static_cast<unsigned long long>(
+                    exp.kern().lockHolderPreemptions()));
+    std::printf("Progress: jobs %llu txns %llu mp3d-steps %llu\n",
+                static_cast<unsigned long long>(
+                    exp.load().pmakeJobsCompleted()),
+                static_cast<unsigned long long>(
+                    exp.load().oracleTransactions()),
+                static_cast<unsigned long long>(exp.load().mp3dSteps()));
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Quickstart: build the 4-CPU SGI 4D/340 model, boot the synthetic
+ * IRIX kernel, run the Pmake workload for a few simulated seconds of
+ * machine time, and print the headline numbers of the paper: where
+ * time goes, how many misses the OS causes, and what they cost.
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+using namespace mpos;
+
+int
+main()
+{
+    core::ExperimentConfig cfg;
+    cfg.kind = workload::WorkloadKind::Pmake;
+    cfg.warmupCycles = 2000000;
+    cfg.measureCycles = 10000000;
+
+    core::Experiment exp(cfg);
+    exp.run();
+
+    const auto acct = exp.account();
+    const auto t1 = exp.table1();
+    const auto &mc = exp.misses();
+
+    std::printf("Pmake on the modeled 4D/340 "
+                "(%llu measured cycles per CPU):\n",
+                static_cast<unsigned long long>(exp.elapsed()));
+    std::printf("  time:   user %.1f%%  system %.1f%%  idle %.1f%%\n",
+                t1.userPct, t1.sysPct, t1.idlePct);
+    std::printf("  misses: OS %llu  app %llu  (OS share %.1f%%)\n",
+                static_cast<unsigned long long>(mc.osTotal()),
+                static_cast<unsigned long long>(mc.appTotal()),
+                t1.osMissFracPct);
+    std::printf("  stall:  all %.1f%%  OS-only %.1f%%  "
+                "OS+induced %.1f%% of non-idle time\n",
+                t1.allMissStallPct, t1.osMissStallPct,
+                t1.osPlusInducedStallPct);
+    std::printf("  kernel: %llu ctx switches, %llu migrations, "
+                "%llu forks, %llu exits, %llu jobs built\n",
+                static_cast<unsigned long long>(
+                    exp.kern().contextSwitches()),
+                static_cast<unsigned long long>(
+                    exp.kern().migrations()),
+                static_cast<unsigned long long>(exp.kern().forks()),
+                static_cast<unsigned long long>(exp.kern().exits()),
+                static_cast<unsigned long long>(
+                    exp.load().pmakeJobsCompleted()));
+    std::printf("  idle account: %llu cycles (disk requests: %llu)\n",
+                static_cast<unsigned long long>(acct.idle()),
+                static_cast<unsigned long long>(
+                    exp.kern().diskRequests()));
+    return 0;
+}

@@ -1,0 +1,26 @@
+#include "core/ap_dispos.hh"
+
+namespace mpos::core
+{
+
+ApDisposReport
+computeApDispos(const MissCounts &mc)
+{
+    ApDisposReport r;
+    r.apDisposI = mc.appI[unsigned(MissClass::Dispos)];
+    r.apDisposD = mc.appD[unsigned(MissClass::Dispos)];
+    for (uint32_t i = 0; i < numMissClasses; ++i) {
+        r.appMissesI += mc.appI[i];
+        r.appMissesD += mc.appD[i];
+    }
+    const uint64_t all = r.appMissesI + r.appMissesD;
+    if (all) {
+        r.fracOfAppPct =
+            100.0 * double(r.apDisposI + r.apDisposD) / double(all);
+        r.iShareOfAppPct = 100.0 * double(r.apDisposI) / double(all);
+        r.dShareOfAppPct = 100.0 * double(r.apDisposD) / double(all);
+    }
+    return r;
+}
+
+} // namespace mpos::core

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * OS-induced application misses (Figure 10): application misses whose
+ * cache block was displaced by an intervening OS reference, split
+ * into instruction and data components.
+ */
+
+#ifndef MPOS_CORE_AP_DISPOS_HH
+#define MPOS_CORE_AP_DISPOS_HH
+
+#include "core/miss_classify.hh"
+
+namespace mpos::core
+{
+
+/** Figure 10 quantities. */
+struct ApDisposReport
+{
+    uint64_t apDisposI = 0;
+    uint64_t apDisposD = 0;
+    uint64_t appMissesI = 0;
+    uint64_t appMissesD = 0;
+    double fracOfAppPct = 0;  ///< Ap_dispos / all application misses.
+    double iShareOfAppPct = 0; ///< I component, normalized to 100.
+    double dShareOfAppPct = 0;
+};
+
+ApDisposReport computeApDispos(const MissCounts &mc);
+
+} // namespace mpos::core
+
+#endif // MPOS_CORE_AP_DISPOS_HH

@@ -1,0 +1,67 @@
+#include "core/blockop_stats.hh"
+
+namespace mpos::core
+{
+
+BlockOpReport
+computeBlockOps(const Attribution &attr, const MissCounts &mc,
+                const sim::CycleAccount &acct, sim::Cycle miss_stall)
+{
+    BlockOpReport r;
+    r.copyMisses = attr.blockOpMissesOf("bcopy");
+    r.clearMisses = attr.blockOpMissesOf("bclear");
+    r.traverseMisses = attr.blockOpMissesOf("pfdat_scan");
+    const uint64_t osd = mc.osDTotal();
+    if (osd) {
+        r.copyPctOfOsD = 100.0 * double(r.copyMisses) / double(osd);
+        r.clearPctOfOsD = 100.0 * double(r.clearMisses) / double(osd);
+        r.traversePctOfOsD =
+            100.0 * double(r.traverseMisses) / double(osd);
+        r.totalPctOfOsD =
+            r.copyPctOfOsD + r.clearPctOfOsD + r.traversePctOfOsD;
+    }
+    r.stallPctNonIdle =
+        stallPct(r.copyMisses + r.clearMisses + r.traverseMisses,
+                 acct.nonIdle(), miss_stall);
+    return r;
+}
+
+BlockSizeRow
+blockSizes(const kernel::BlockOpStats &ops, kernel::BlockKind kind)
+{
+    BlockSizeRow r;
+    const auto k = unsigned(kind);
+    const uint64_t full =
+        ops.invocations[k][unsigned(kernel::BlockClass::FullPage)];
+    const uint64_t reg =
+        ops.invocations[k]
+                       [unsigned(kernel::BlockClass::RegularFragment)];
+    const uint64_t irr =
+        ops.invocations[k]
+                       [unsigned(kernel::BlockClass::IrregularChunk)];
+    r.invocations = full + reg + irr;
+    if (r.invocations) {
+        r.fullPagePct = 100.0 * double(full) / double(r.invocations);
+        r.regularFragmentPct =
+            100.0 * double(reg) / double(r.invocations);
+        r.irregularPct = 100.0 * double(irr) / double(r.invocations);
+    }
+    return r;
+}
+
+kernel::BlockOpStats
+blockOpDelta(const kernel::BlockOpStats &after,
+             const kernel::BlockOpStats &before)
+{
+    kernel::BlockOpStats d;
+    for (unsigned k = 0; k < 3; ++k) {
+        for (unsigned c = 0; c < 3; ++c) {
+            d.invocations[k][c] =
+                after.invocations[k][c] - before.invocations[k][c];
+        }
+        d.bytes[k] = after.bytes[k] - before.bytes[k];
+    }
+    return d;
+}
+
+} // namespace mpos::core

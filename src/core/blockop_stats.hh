@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Block-operation reports: Table 6 (misses and stall caused by block
+ * copy, block clear, and pfdat traversal) and Table 7 (distribution of
+ * block sizes by operation). Miss attribution comes from Attribution
+ * (via the executing routine); invocation counts come straight from
+ * the kernel's block-operation log.
+ */
+
+#ifndef MPOS_CORE_BLOCKOP_STATS_HH
+#define MPOS_CORE_BLOCKOP_STATS_HH
+
+#include "core/attribution.hh"
+#include "core/stall.hh"
+#include "kernel/kernel.hh"
+
+namespace mpos::core
+{
+
+/** Table 6 row. */
+struct BlockOpReport
+{
+    uint64_t copyMisses = 0;
+    uint64_t clearMisses = 0;
+    uint64_t traverseMisses = 0;
+    double copyPctOfOsD = 0;
+    double clearPctOfOsD = 0;
+    double traversePctOfOsD = 0;
+    double totalPctOfOsD = 0;
+    double stallPctNonIdle = 0;
+};
+
+BlockOpReport computeBlockOps(const Attribution &attr,
+                              const MissCounts &mc,
+                              const sim::CycleAccount &acct,
+                              sim::Cycle miss_stall = 35);
+
+/** Table 7: size-class fractions for one operation kind. */
+struct BlockSizeRow
+{
+    double fullPagePct = 0;
+    double regularFragmentPct = 0;
+    double irregularPct = 0;
+    uint64_t invocations = 0;
+};
+
+BlockSizeRow blockSizes(const kernel::BlockOpStats &ops,
+                        kernel::BlockKind kind);
+
+/** Delta of two block-op stats snapshots (measurement - warmup). */
+kernel::BlockOpStats blockOpDelta(const kernel::BlockOpStats &after,
+                                  const kernel::BlockOpStats &before);
+
+} // namespace mpos::core
+
+#endif // MPOS_CORE_BLOCKOP_STATS_HH

@@ -1,0 +1,149 @@
+#include "core/experiment.hh"
+
+#include "util/logging.hh"
+
+namespace mpos::core
+{
+
+Experiment::Experiment(const ExperimentConfig &config)
+    : cfg(config)
+{
+    // The kernel layout must describe the same machine.
+    cfg.kernelCfg.layout.memBytes = cfg.machine.memBytes;
+    cfg.kernelCfg.layout.pageBytes = cfg.machine.pageBytes;
+    cfg.kernelCfg.layout.lineBytes = cfg.machine.lineBytes;
+    if (cfg.useRecommendedPool) {
+        cfg.kernelCfg.userPoolPages =
+            workload::Workload::recommendedPoolPages(cfg.kind);
+    }
+
+    const uint32_t nlocks =
+        kernel::numKernelLocks + cfg.kernelCfg.maxUserLocks;
+    mach = std::make_unique<sim::Machine>(cfg.machine, nlocks);
+    k = std::make_unique<kernel::Kernel>(*mach, cfg.kernelCfg);
+    wl = workload::Workload::create(cfg.kind, *k, cfg.options);
+
+    classifier = std::make_unique<MissClassifier>(
+        cfg.machine.numCpus, cfg.machine.memBytes,
+        cfg.machine.lineBytes);
+    attr = std::make_unique<Attribution>(k->layout());
+    func = std::make_unique<FunctionalClass>();
+    inv = std::make_unique<InvocationStats>(cfg.machine.numCpus);
+    locks = std::make_unique<LockStats>(k->numLocks());
+    resimRec = std::make_unique<ICacheResim>(cfg.machine.numCpus,
+                                             cfg.machine.lineBytes);
+}
+
+Experiment::~Experiment() = default;
+
+void
+Experiment::run()
+{
+    if (ran)
+        util::panic("Experiment::run called twice");
+    ran = true;
+
+    mach->run(cfg.warmupCycles);
+
+    // Snapshot warm state, then attach the measurement apparatus.
+    baseAccount = mach->totalAccount();
+    baseBlockOps = k->blockOps();
+    for (uint32_t i = 0; i < sim::numOsOps; ++i)
+        baseOsOps[i] = k->osOpCounts().count[i];
+    baseKernelSyncOps = mach->sync().sumOps(kernel::numKernelLocks);
+
+    if (cfg.collectMisses) {
+        classifier->addSink(attr.get());
+        classifier->addSink(func.get());
+        if (cfg.collectResim) {
+            classifier->addSink(resimRec.get());
+            mach->monitor().attach(resimRec.get());
+        }
+        mach->monitor().attach(classifier.get());
+        mach->monitor().attach(inv.get());
+    }
+    k->setLockListener(locks.get());
+
+    const sim::Cycle start = mach->now();
+    mach->run(cfg.measureCycles);
+    measuredCycles = mach->now() - start;
+}
+
+sim::CycleAccount
+Experiment::account() const
+{
+    sim::CycleAccount d = mach->totalAccount();
+    for (unsigned m = 0; m < 3; ++m) {
+        d.total[m] -= baseAccount.total[m];
+        d.stall[m] -= baseAccount.stall[m];
+    }
+    return d;
+}
+
+kernel::BlockOpStats
+Experiment::blockOps() const
+{
+    return blockOpDelta(k->blockOps(), baseBlockOps);
+}
+
+uint64_t
+Experiment::osOpCount(sim::OsOp op) const
+{
+    return k->osOpCounts().count[unsigned(op)] -
+           baseOsOps[unsigned(op)];
+}
+
+Table1Row
+Experiment::table1() const
+{
+    return computeTable1(account(), classifier->counts(),
+                         cfg.machine.busMissStall);
+}
+
+Table9Row
+Experiment::table9() const
+{
+    return computeTable9(account(), classifier->counts(),
+                         attr->migrationTotal(),
+                         attr->blockOpMissesOf("bcopy") +
+                             attr->blockOpMissesOf("bclear") +
+                             attr->blockOpMissesOf("pfdat_scan"),
+                         cfg.machine.busMissStall);
+}
+
+BlockOpReport
+Experiment::blockOpReport() const
+{
+    return computeBlockOps(*attr, classifier->counts(), account(),
+                           cfg.machine.busMissStall);
+}
+
+ApDisposReport
+Experiment::apDispos() const
+{
+    return computeApDispos(classifier->counts());
+}
+
+SyncStallReport
+Experiment::syncStallReport() const
+{
+    // The paper's Table 10 covers OS synchronization only, so the
+    // user-library lock traffic is excluded here.
+    const auto now = mach->sync().sumOps(kernel::numKernelLocks);
+    SyncStallReport r;
+    const sim::Cycle non_idle = account().nonIdle();
+    if (!non_idle)
+        return r;
+    const uint64_t unc = now.uncachedOps -
+                         baseKernelSyncOps.uncachedOps;
+    const uint64_t cac = now.cachedOps - baseKernelSyncOps.cachedOps;
+    r.uncachedPct = 100.0 *
+                    double(unc * mach->sync().uncachedCyclesPerOp()) /
+                    double(non_idle);
+    r.cachedPct = 100.0 *
+                  double(cac * mach->sync().cachedCyclesPerOp()) /
+                  double(non_idle);
+    return r;
+}
+
+} // namespace mpos::core

@@ -1,0 +1,36 @@
+#include "core/functional_class.hh"
+
+namespace mpos::core
+{
+
+void
+FunctionalClass::onMiss(const ClassifiedMiss &miss)
+{
+    const auto &rec = miss.rec;
+    if (rec.ctx.mode != ExecMode::Kernel)
+        return;
+    if (rec.cache == CacheKind::Instr)
+        ++imiss[unsigned(rec.ctx.op)];
+    else
+        ++dmiss[unsigned(rec.ctx.op)];
+}
+
+uint64_t
+FunctionalClass::totalI() const
+{
+    uint64_t n = 0;
+    for (auto v : imiss)
+        n += v;
+    return n;
+}
+
+uint64_t
+FunctionalClass::totalD() const
+{
+    uint64_t n = 0;
+    for (auto v : dmiss)
+        n += v;
+    return n;
+}
+
+} // namespace mpos::core

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Functional classification of OS misses by the high-level operation
+ * in progress (Table 8 / Figure 9) and the operation frequency mix
+ * (Figure 2).
+ */
+
+#ifndef MPOS_CORE_FUNCTIONAL_CLASS_HH
+#define MPOS_CORE_FUNCTIONAL_CLASS_HH
+
+#include <cstdint>
+
+#include "core/miss_classify.hh"
+
+namespace mpos::core
+{
+
+using sim::numOsOps;
+using sim::OsOp;
+
+/** Misses per high-level OS operation. */
+class FunctionalClass : public MissSink
+{
+  public:
+    void onMiss(const ClassifiedMiss &miss) override;
+
+    uint64_t iMisses(OsOp op) const { return imiss[unsigned(op)]; }
+    uint64_t dMisses(OsOp op) const { return dmiss[unsigned(op)]; }
+
+    /** Table 8 folds UTLB faults into the cheap TLB fault class. */
+    uint64_t
+    cheapTlbI() const
+    {
+        return imiss[unsigned(OsOp::UtlbFault)] +
+               imiss[unsigned(OsOp::CheapTlbFault)];
+    }
+    uint64_t
+    cheapTlbD() const
+    {
+        return dmiss[unsigned(OsOp::UtlbFault)] +
+               dmiss[unsigned(OsOp::CheapTlbFault)];
+    }
+
+    uint64_t totalI() const;
+    uint64_t totalD() const;
+
+  private:
+    uint64_t imiss[numOsOps] = {};
+    uint64_t dmiss[numOsOps] = {};
+};
+
+} // namespace mpos::core
+
+#endif // MPOS_CORE_FUNCTIONAL_CLASS_HH

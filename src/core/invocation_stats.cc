@@ -1,0 +1,131 @@
+#include "core/invocation_stats.hh"
+
+namespace mpos::core
+{
+
+using sim::BusOp;
+using sim::CacheKind;
+
+InvocationStats::InvocationStats(uint32_t num_cpus)
+    : cpus(num_cpus), nCpus(num_cpus)
+{
+}
+
+void
+InvocationStats::busTransaction(const BusRecord &rec)
+{
+    if (rec.op != BusOp::Read && rec.op != BusOp::ReadEx &&
+        rec.op != BusOp::Upgrade) {
+        return;
+    }
+    CpuTrack &t = cpus[rec.cpu];
+    if (rec.cache == CacheKind::Instr)
+        ++t.segI;
+    else
+        ++t.segD;
+}
+
+void
+InvocationStats::closeAppInvocation(CpuTrack &t, Cycle cycle)
+{
+    (void)cycle;
+    if (t.appCycles == 0 && t.appI == 0 && t.appD == 0 &&
+        t.appUtlb == 0) {
+        return;
+    }
+    ++app.count;
+    app.cycles += t.appCycles;
+    app.imisses += t.appI;
+    app.dmisses += t.appD;
+    utlbTotalInApp += t.appUtlb;
+    t.appCycles = 0;
+    t.appI = 0;
+    t.appD = 0;
+    t.appUtlb = 0;
+}
+
+void
+InvocationStats::osEnter(Cycle cycle, CpuId cpu, OsOp op)
+{
+    CpuTrack &t = cpus[cpu];
+
+    if (t.cur == Seg::App) {
+        // Fold the partial application stretch into the accumulator.
+        t.appCycles += cycle - t.segStart;
+        t.appI += t.segI;
+        t.appD += t.segD;
+    } else if (t.cur == Seg::Idle) {
+        ++idle.count;
+        idle.cycles += cycle - t.segStart;
+        idle.imisses += t.segI;
+        idle.dmisses += t.segD;
+    }
+
+    if (op == OsOp::UtlbFault) {
+        t.cur = Seg::Utlb;
+    } else {
+        // A full OS invocation (or the idle loop) ends the current
+        // application invocation.
+        closeAppInvocation(t, cycle);
+        t.cur = op == OsOp::IdleLoop ? Seg::Idle : Seg::OsInv;
+    }
+    t.segStart = cycle;
+    t.segI = 0;
+    t.segD = 0;
+}
+
+void
+InvocationStats::osExit(Cycle cycle, CpuId cpu, OsOp op)
+{
+    (void)op;
+    CpuTrack &t = cpus[cpu];
+    const Cycle dur = cycle - t.segStart;
+
+    switch (t.cur) {
+      case Seg::Utlb:
+        ++utlb.count;
+        utlb.cycles += dur;
+        utlb.imisses += t.segI;
+        utlb.dmisses += t.segD;
+        ++t.appUtlb;
+        break;
+      case Seg::OsInv:
+        ++osInv.count;
+        osInv.cycles += dur;
+        osInv.imisses += t.segI;
+        osInv.dmisses += t.segD;
+        histI.add(t.segI);
+        histD.add(t.segD);
+        histCycles.add(dur);
+        break;
+      case Seg::Idle:
+        ++idle.count;
+        idle.cycles += dur;
+        idle.imisses += t.segI;
+        idle.dmisses += t.segD;
+        break;
+      case Seg::App:
+        // Unbalanced exit; ignore (can happen at trace start).
+        break;
+    }
+    t.cur = Seg::App;
+    t.segStart = cycle;
+    t.segI = 0;
+    t.segD = 0;
+}
+
+double
+InvocationStats::utlbPerAppInvocation() const
+{
+    return app.count ? double(utlbTotalInApp) / double(app.count) : 0.0;
+}
+
+double
+InvocationStats::cyclesBetweenOsInvocations(Cycle elapsed) const
+{
+    if (!osInv.count)
+        return 0.0;
+    return double(elapsed) * double(nCpus) / double(osInv.count);
+}
+
+} // namespace mpos::core

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Per-invocation statistics: the repeating execution pattern of
+ * Figure 1 (application stretches interrupted by near-free UTLB
+ * spikes and by full OS invocations) and the per-invocation miss and
+ * cycle distributions of Figure 3.
+ */
+
+#ifndef MPOS_CORE_INVOCATION_STATS_HH
+#define MPOS_CORE_INVOCATION_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/monitor.hh"
+#include "util/histogram.hh"
+
+namespace mpos::core
+{
+
+using sim::BusRecord;
+using sim::CpuId;
+using sim::Cycle;
+using sim::OsOp;
+
+/** Mean cycles/misses of one segment kind. */
+struct SegmentStats
+{
+    uint64_t count = 0;
+    uint64_t cycles = 0;
+    uint64_t imisses = 0;
+    uint64_t dmisses = 0;
+
+    double meanCycles() const
+    {
+        return count ? double(cycles) / double(count) : 0.0;
+    }
+    double meanI() const
+    {
+        return count ? double(imisses) / double(count) : 0.0;
+    }
+    double meanD() const
+    {
+        return count ? double(dmisses) / double(count) : 0.0;
+    }
+};
+
+/** Observer producing Figures 1 and 3. */
+class InvocationStats : public sim::MonitorObserver
+{
+  public:
+    explicit InvocationStats(uint32_t num_cpus);
+
+    /// @name MonitorObserver
+    /// @{
+    void busTransaction(const BusRecord &rec) override;
+    void osEnter(Cycle cycle, CpuId cpu, OsOp op) override;
+    void osExit(Cycle cycle, CpuId cpu, OsOp op) override;
+    /// @}
+
+    /** Full OS invocations (system calls, interrupts, non-UTLB TLB
+     *  faults). */
+    const SegmentStats &osInvocations() const { return osInv; }
+    /** UTLB refill spikes. */
+    const SegmentStats &utlbFaults() const { return utlb; }
+    /** Application stretches between OS invocations. */
+    const SegmentStats &appInvocations() const { return app; }
+    /** Idle-loop stretches. */
+    const SegmentStats &idleSegments() const { return idle; }
+
+    /** Mean UTLB faults within one application invocation. */
+    double utlbPerAppInvocation() const;
+
+    /** Mean cycles between consecutive OS invocations on one CPU. */
+    double cyclesBetweenOsInvocations(Cycle elapsed) const;
+
+    const util::Log2Histogram &osInvIMissHist() const { return histI; }
+    const util::Log2Histogram &osInvDMissHist() const { return histD; }
+    const util::Log2Histogram &osInvCycleHist() const
+    {
+        return histCycles;
+    }
+
+  private:
+    enum class Seg : uint8_t { App, Utlb, OsInv, Idle };
+
+    struct CpuTrack
+    {
+        Seg cur = Seg::App;
+        Cycle segStart = 0;
+        uint64_t segI = 0;
+        uint64_t segD = 0;
+        // Accumulated application invocation (spans UTLB spikes).
+        Cycle appCycles = 0;
+        uint64_t appI = 0;
+        uint64_t appD = 0;
+        uint32_t appUtlb = 0;
+    };
+
+    void closeAppInvocation(CpuTrack &t, Cycle cycle);
+
+    std::vector<CpuTrack> cpus;
+    uint32_t nCpus;
+
+    SegmentStats osInv, utlb, app, idle;
+    uint64_t utlbTotalInApp = 0;
+
+    util::Log2Histogram histI{24};
+    util::Log2Histogram histD{24};
+    util::Log2Histogram histCycles{30};
+};
+
+} // namespace mpos::core
+
+#endif // MPOS_CORE_INVOCATION_STATS_HH

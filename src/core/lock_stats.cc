@@ -1,0 +1,77 @@
+#include "core/lock_stats.hh"
+
+namespace mpos::core
+{
+
+void
+LockStats::lockEvent(Cycle cycle, sim::CpuId cpu, uint32_t lock_id,
+                     LockEvent ev, uint32_t waiters)
+{
+    if (lock_id >= profiles.size())
+        return;
+    LockProfile &p = profiles[lock_id];
+
+    switch (ev) {
+      case LockEvent::AcquireSuccess:
+        if (p.acquires == 0)
+            p.firstAcquire = cycle;
+        else if (p.lastAcquirer == int32_t(cpu) && !p.disturbed)
+            ++p.sameCpuRuns;
+        ++p.acquires;
+        p.lastAcquire = cycle;
+        p.lastAcquirer = int32_t(cpu);
+        p.disturbed = false;
+        p.inFailEpisode[cpu & 31] = false;
+        break;
+
+      case LockEvent::AcquireFail:
+        // Count one episode per spinning CPU, not every poll.
+        if (!p.inFailEpisode[cpu & 31]) {
+            p.inFailEpisode[cpu & 31] = true;
+            ++p.failEpisodes;
+        }
+        if (p.lastAcquirer != int32_t(cpu))
+            p.disturbed = true;
+        break;
+
+      case LockEvent::Release:
+        ++p.releases;
+        if (waiters > 0) {
+            ++p.releasesWithWaiters;
+            p.waitersSum += waiters;
+        }
+        break;
+    }
+}
+
+double
+LockStats::failsPerMs(uint32_t lock_id, Cycle elapsed) const
+{
+    if (lock_id >= profiles.size() || elapsed == 0)
+        return 0.0;
+    const double ms = double(elapsed) / 33000.0;
+    return double(profiles[lock_id].failEpisodes) / ms;
+}
+
+void
+LockStats::clear()
+{
+    const auto n = profiles.size();
+    profiles.assign(n, LockProfile{});
+}
+
+SyncStallReport
+syncStall(const sim::SyncTransport &st, Cycle uncached_base,
+          Cycle cached_base, Cycle non_idle)
+{
+    SyncStallReport r;
+    if (!non_idle)
+        return r;
+    const Cycle unc = st.uncachedStallTotal() - uncached_base;
+    const Cycle cac = st.cachedStallTotal() - cached_base;
+    r.uncachedPct = 100.0 * double(unc) / double(non_idle);
+    r.cachedPct = 100.0 * double(cac) / double(non_idle);
+    return r;
+}
+
+} // namespace mpos::core

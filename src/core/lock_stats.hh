@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Lock statistics: the paper's Section 5 measurements. Produces the
+ * per-lock profile of Table 12 (acquire interval, failed-acquire
+ * fraction, waiters at release, same-CPU locality, cached/uncached
+ * bus operations), the contention scaling of Figure 11, and the sync
+ * stall comparison of Table 10 (together with sim::SyncTransport).
+ */
+
+#ifndef MPOS_CORE_LOCK_STATS_HH
+#define MPOS_CORE_LOCK_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "kernel/locks.hh"
+#include "sim/syncbus.hh"
+
+namespace mpos::core
+{
+
+using sim::Cycle;
+using sim::LockEvent;
+
+/** Accumulated statistics of one lock. */
+struct LockProfile
+{
+    uint64_t acquires = 0;
+    uint64_t fails = 0;
+    uint64_t releases = 0;
+    Cycle firstAcquire = 0;
+    Cycle lastAcquire = 0;
+    /** Consecutive acquires by the same CPU with no intervening
+     *  access by anyone else. */
+    uint64_t sameCpuRuns = 0;
+    uint64_t releasesWithWaiters = 0;
+    uint64_t waitersSum = 0;
+
+    int32_t lastAcquirer = -1;
+    bool disturbed = false;
+
+    /** Mean cycles between consecutive successful acquires. */
+    double
+    acquireInterval() const
+    {
+        return acquires > 1 ? double(lastAcquire - firstAcquire) /
+                                  double(acquires - 1)
+                            : 0.0;
+    }
+
+    /** Fraction of acquire attempts that found the lock taken. The
+     *  paper counts attempts, not individual spin polls, so a spin
+     *  episode counts once. */
+    double
+    failedFraction() const
+    {
+        return acquires + failEpisodes
+                   ? double(failEpisodes) /
+                         double(acquires + failEpisodes)
+                   : 0.0;
+    }
+
+    /** Mean number of waiters when released with >= 1 waiter. */
+    double
+    waitersIfAny() const
+    {
+        return releasesWithWaiters
+                   ? double(waitersSum) / double(releasesWithWaiters)
+                   : 0.0;
+    }
+
+    double
+    sameCpuFraction() const
+    {
+        return acquires > 1 ? double(sameCpuRuns) / double(acquires - 1)
+                            : 0.0;
+    }
+
+    uint64_t failEpisodes = 0; ///< Spin episodes (not single polls).
+    bool inFailEpisode[32] = {};
+};
+
+/** Listener aggregating kernel lock events. */
+class LockStats : public kernel::LockListener
+{
+  public:
+    explicit LockStats(uint32_t num_locks) : profiles(num_locks) {}
+
+    void lockEvent(Cycle cycle, sim::CpuId cpu, uint32_t lock_id,
+                   LockEvent ev, uint32_t waiters) override;
+
+    const LockProfile &profile(uint32_t lock_id) const
+    {
+        return profiles[lock_id];
+    }
+    uint32_t numLocks() const { return uint32_t(profiles.size()); }
+
+    /** Failed acquire episodes per millisecond of wall time
+     *  (Figure 11; 1 ms = 33,000 cycles at 33 MHz). */
+    double failsPerMs(uint32_t lock_id, Cycle elapsed) const;
+
+    /** Reset (e.g. after warmup). */
+    void clear();
+
+  private:
+    std::vector<LockProfile> profiles;
+};
+
+/** Table 10: sync stall under both protocols, from the transport. */
+struct SyncStallReport
+{
+    double uncachedPct = 0.0; ///< "Current machine" column.
+    double cachedPct = 0.0;   ///< "Atomic RMW + caches" column.
+};
+
+SyncStallReport syncStall(const sim::SyncTransport &st,
+                          Cycle uncached_base, Cycle cached_base,
+                          Cycle non_idle);
+
+} // namespace mpos::core
+
+#endif // MPOS_CORE_LOCK_STATS_HH

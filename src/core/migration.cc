@@ -1,0 +1,51 @@
+#include "core/migration.hh"
+
+namespace mpos::core
+{
+
+MigrationReport
+computeMigration(const Attribution &attr, const MissCounts &mc,
+                 const sim::CycleAccount &acct, sim::Cycle miss_stall)
+{
+    MigrationReport r;
+    const uint64_t osd = mc.osDTotal();
+    r.totalMisses = attr.migrationTotal();
+    if (osd) {
+        r.kernelStackPctOfOsD =
+            100.0 * double(attr.migrationKernelStack()) / double(osd);
+        r.userStructPctOfOsD =
+            100.0 * double(attr.migrationUserStruct()) / double(osd);
+        r.procTablePctOfOsD =
+            100.0 * double(attr.migrationProcTable()) / double(osd);
+        r.totalPctOfOsD = r.kernelStackPctOfOsD +
+                          r.userStructPctOfOsD + r.procTablePctOfOsD;
+    }
+    r.stallPctNonIdle =
+        stallPct(r.totalMisses, acct.nonIdle(), miss_stall);
+    return r;
+}
+
+MigrationOpsReport
+computeMigrationOps(const Attribution &attr)
+{
+    MigrationOpsReport r;
+    const uint64_t total = attr.migrationTotal();
+    if (!total)
+        return r;
+    r.runQueuePct =
+        100.0 *
+        double(attr.migrationByGroup(RoutineGroup::RunQueueMgmt)) /
+        double(total);
+    r.lowLevelPct =
+        100.0 *
+        double(attr.migrationByGroup(RoutineGroup::LowLevelExc)) /
+        double(total);
+    r.rdwrSetupPct =
+        100.0 *
+        double(attr.migrationByGroup(RoutineGroup::RdWrSetup)) /
+        double(total);
+    r.totalPct = r.runQueuePct + r.lowLevelPct + r.rdwrSetupPct;
+    return r;
+}
+
+} // namespace mpos::core

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Process-migration miss reports: Table 4 (migration misses as a
+ * fraction of OS data misses, and their stall cost) and Table 5 (the
+ * share of migration misses incurred in run-queue management,
+ * low-level exception handling, and read/write syscall setup).
+ */
+
+#ifndef MPOS_CORE_MIGRATION_HH
+#define MPOS_CORE_MIGRATION_HH
+
+#include "core/attribution.hh"
+#include "core/stall.hh"
+
+namespace mpos::core
+{
+
+/** Table 4 row. */
+struct MigrationReport
+{
+    double kernelStackPctOfOsD = 0;
+    double userStructPctOfOsD = 0;
+    double procTablePctOfOsD = 0;
+    double totalPctOfOsD = 0;
+    double stallPctNonIdle = 0;
+    uint64_t totalMisses = 0;
+};
+
+MigrationReport computeMigration(const Attribution &attr,
+                                 const MissCounts &mc,
+                                 const sim::CycleAccount &acct,
+                                 sim::Cycle miss_stall = 35);
+
+/** Table 5 row. */
+struct MigrationOpsReport
+{
+    double runQueuePct = 0;   ///< Management of the run queue.
+    double lowLevelPct = 0;   ///< Low-level exception handling.
+    double rdwrSetupPct = 0;  ///< Read/write syscall recognition.
+    double totalPct = 0;
+};
+
+MigrationOpsReport computeMigrationOps(const Attribution &attr);
+
+} // namespace mpos::core
+
+#endif // MPOS_CORE_MIGRATION_HH

@@ -1,0 +1,56 @@
+#include "core/report.hh"
+
+#include <cstdio>
+
+namespace mpos::core
+{
+
+std::string
+fmt1(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+    return buf;
+}
+
+std::string
+fmt2(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+    return buf;
+}
+
+std::string
+fmtCount(uint64_t v)
+{
+    std::string raw = std::to_string(v);
+    std::string out;
+    const size_t n = raw.size();
+    for (size_t i = 0; i < n; ++i) {
+        if (i && (n - i) % 3 == 0)
+            out += ',';
+        out += raw[i];
+    }
+    return out;
+}
+
+void
+banner(const std::string &title)
+{
+    std::printf("\n================================================="
+                "=============\n%s\n"
+                "=================================================="
+                "============\n",
+                title.c_str());
+}
+
+void
+shapeNote()
+{
+    std::printf("(Absolute numbers depend on the synthetic substrate; "
+                "the paper's\n *shape* -- who wins, rough magnitudes, "
+                "orderings -- is the target.)\n\n");
+}
+
+} // namespace mpos::core

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Formatting helpers shared by the bench binaries: number formatting
+ * and the standard "paper vs measured" presentation.
+ */
+
+#ifndef MPOS_CORE_REPORT_HH
+#define MPOS_CORE_REPORT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mpos::core
+{
+
+/** Fixed-point with one decimal ("12.3"). */
+std::string fmt1(double v);
+
+/** Fixed-point with two decimals. */
+std::string fmt2(double v);
+
+/** Thousands-grouped integer ("1,234,567"). */
+std::string fmtCount(uint64_t v);
+
+/** Section banner for bench output. */
+void banner(const std::string &title);
+
+/** Note line explaining the paper-vs-measured convention. */
+void shapeNote();
+
+} // namespace mpos::core
+
+#endif // MPOS_CORE_REPORT_HH

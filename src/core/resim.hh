@@ -1,0 +1,80 @@
+/**
+ * @file
+ * I-cache re-simulation (Figure 6): the paper feeds the references
+ * that missed in the real machine's caches through larger and
+ * set-associative caches to bound the benefit of cache changes, and
+ * separately shows the floor imposed by invalidation (Inval) misses.
+ *
+ * We record every bus-level instruction miss (application and OS, as
+ * the paper does) plus every I-cache invalidation event, then replay
+ * the stream through arbitrary cache geometries.
+ */
+
+#ifndef MPOS_CORE_RESIM_HH
+#define MPOS_CORE_RESIM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/miss_classify.hh"
+#include "sim/monitor.hh"
+
+namespace mpos::core
+{
+
+/** Result of one re-simulation. */
+struct ResimResult
+{
+    uint64_t osMisses = 0;
+    uint64_t appMisses = 0;
+    uint64_t invalMisses = 0; ///< OS misses attributable to flushes.
+    /** OS misses relative to the measured machine (1.0 = measured). */
+    double relativeOsMissRate = 0.0;
+};
+
+/** Recorder + replayer. */
+class ICacheResim : public MissSink, public sim::MonitorObserver
+{
+  public:
+    explicit ICacheResim(uint32_t num_cpus, uint32_t line_bytes = 16);
+
+    /// @name Recording
+    /// @{
+    void onMiss(const ClassifiedMiss &miss) override; // I-misses only
+    void flushPage(CpuId cpu, Addr page_addr,
+                   uint32_t page_bytes) override;
+    /// @}
+
+    /** OS I-misses recorded from the measured machine. */
+    uint64_t baselineOsMisses() const { return baseOs; }
+    uint64_t recordedEvents() const { return uint64_t(events.size()); }
+
+    /**
+     * Replay the recorded stream through caches of the given
+     * geometry.
+     * @param apply_invals If false, code-page-reallocation flushes
+     *        are ignored (the dashed "no Inval" curve of Figure 6).
+     */
+    ResimResult simulate(uint64_t cache_bytes, uint32_t assoc,
+                         bool apply_invals = true) const;
+
+    void clear();
+
+  private:
+    struct Ev
+    {
+        uint32_t lineIdx;
+        uint8_t cpu;
+        uint8_t flags; // bit0 = page flush, bit1 = OS context
+        uint16_t lines; // flush extent in lines (page flushes)
+    };
+
+    uint32_t nCpus;
+    uint32_t lineBytes;
+    std::vector<Ev> events;
+    uint64_t baseOs = 0;
+};
+
+} // namespace mpos::core
+
+#endif // MPOS_CORE_RESIM_HH

@@ -1,0 +1,59 @@
+#include "core/stall.hh"
+
+namespace mpos::core
+{
+
+double
+stallPct(uint64_t misses, sim::Cycle non_idle, sim::Cycle miss_stall)
+{
+    if (!non_idle)
+        return 0.0;
+    return 100.0 * double(misses) * double(miss_stall) /
+           double(non_idle);
+}
+
+Table1Row
+computeTable1(const sim::CycleAccount &acct, const MissCounts &mc,
+              sim::Cycle miss_stall)
+{
+    Table1Row r;
+    const double total = double(acct.all());
+    const sim::Cycle non_idle = acct.nonIdle();
+    if (total > 0) {
+        r.userPct = 100.0 * double(acct.user()) / total;
+        r.sysPct = 100.0 * double(acct.kernel()) / total;
+        r.idlePct = 100.0 * double(acct.idle()) / total;
+    }
+    const uint64_t os = mc.osTotal();
+    const uint64_t ap = mc.appTotal();
+    if (os + ap)
+        r.osMissFracPct = 100.0 * double(os) / double(os + ap);
+    r.allMissStallPct = stallPct(os + ap, non_idle, miss_stall);
+    r.osMissStallPct = stallPct(os, non_idle, miss_stall);
+    const uint64_t induced =
+        mc.appI[unsigned(MissClass::Dispos)] +
+        mc.appD[unsigned(MissClass::Dispos)];
+    r.osPlusInducedStallPct =
+        stallPct(os + induced, non_idle, miss_stall);
+    return r;
+}
+
+Table9Row
+computeTable9(const sim::CycleAccount &acct, const MissCounts &mc,
+              uint64_t migration_misses, uint64_t blockop_misses,
+              sim::Cycle miss_stall)
+{
+    Table9Row r;
+    const sim::Cycle non_idle = acct.nonIdle();
+    const uint64_t os = mc.osTotal();
+    const uint64_t instr = mc.osITotal();
+    r.totalPct = stallPct(os, non_idle, miss_stall);
+    r.instrPct = stallPct(instr, non_idle, miss_stall);
+    r.migrationPct = stallPct(migration_misses, non_idle, miss_stall);
+    r.blockOpPct = stallPct(blockop_misses, non_idle, miss_stall);
+    r.restPct =
+        r.totalPct - r.instrPct - r.migrationPct - r.blockOpPct;
+    return r;
+}
+
+} // namespace mpos::core

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The paper's stall-time model: every bus access stalls the issuing
+ * CPU for 35 cycles (a little over the zero-contention memory
+ * latency), normalized to non-idle execution time. Produces the
+ * percentage columns of Tables 1 and 9.
+ */
+
+#ifndef MPOS_CORE_STALL_HH
+#define MPOS_CORE_STALL_HH
+
+#include <cstdint>
+
+#include "core/miss_classify.hh"
+#include "sim/cpu.hh"
+
+namespace mpos::core
+{
+
+/** Percentage of non-idle time spent stalled on the given misses. */
+double stallPct(uint64_t misses, sim::Cycle non_idle,
+                sim::Cycle miss_stall = 35);
+
+/** Table 1 row. */
+struct Table1Row
+{
+    double userPct = 0;
+    double sysPct = 0;
+    double idlePct = 0;
+    double osMissFracPct = 0;       ///< OS misses / total misses.
+    double allMissStallPct = 0;     ///< App + OS stall / non-idle.
+    double osMissStallPct = 0;      ///< OS stall / non-idle.
+    double osPlusInducedStallPct = 0; ///< + OS-induced app misses.
+};
+
+Table1Row computeTable1(const sim::CycleAccount &acct,
+                        const MissCounts &mc,
+                        sim::Cycle miss_stall = 35);
+
+/** Table 9 row: decomposition of the OS miss stall. */
+struct Table9Row
+{
+    double totalPct = 0;
+    double instrPct = 0;
+    double migrationPct = 0;
+    double blockOpPct = 0;
+    double restPct = 0;
+};
+
+Table9Row computeTable9(const sim::CycleAccount &acct,
+                        const MissCounts &mc, uint64_t migration_misses,
+                        uint64_t blockop_misses,
+                        sim::Cycle miss_stall = 35);
+
+} // namespace mpos::core
+
+#endif // MPOS_CORE_STALL_HH

@@ -1,0 +1,737 @@
+#include "kernel/kernel.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace mpos::kernel
+{
+
+using sim::ExecMode;
+using sim::LockEvent;
+using sim::MarkerOp;
+using sim::OsOp;
+
+Kernel::Kernel(sim::Machine &machine, const KernelConfig &config)
+    : m(machine), cfg(config), map(cfg.layout), rng(cfg.rngSeed),
+      bufcache(cfg.layout.numBuffers),
+      disk(cfg.diskLatency, cfg.diskPerBlock)
+{
+    const uint32_t ncpu = m.numCpus();
+    if (m.sync().numLocks() < numKernelLocks + cfg.maxUserLocks)
+        util::fatal("machine sync transport has too few lock slots "
+                    "(%u needed)", numKernelLocks + cfg.maxUserLocks);
+
+    procs.reserve(cfg.layout.maxProcs);
+    for (uint32_t i = 0; i < cfg.layout.maxProcs; ++i) {
+        auto p = std::make_unique<Process>();
+        p->slot = i;
+        p->pid = Pid(i);
+        procs.push_back(std::move(p));
+    }
+
+    curProc.assign(ncpu, sim::invalidPid);
+    locks.assign(numKernelLocks + cfg.maxUserLocks, LockState{});
+
+    // Application page pool (optionally capped to create pressure).
+    uint64_t pool = map.userPoolPages();
+    if (cfg.userPoolPages && cfg.userPoolPages < pool)
+        pool = cfg.userPoolPages;
+    const uint64_t first = map.firstUserPage();
+    for (uint64_t i = 0; i < pool; ++i)
+        freePages.push_back(first + pool - 1 - i);
+    pageHeldCode.assign(cfg.layout.memBytes / cfg.layout.pageBytes, 0);
+    pageRefs.assign(cfg.layout.memBytes / cfg.layout.pageBytes, 0);
+
+    nextClockAt.assign(ncpu, 0);
+    for (uint32_t c = 0; c < ncpu; ++c)
+        nextClockAt[c] = m.config().clockTickCycles + c * 997;
+
+    m.setExecutor(this);
+    for (uint32_t c = 0; c < ncpu; ++c)
+        enterIdle(c);
+}
+
+uint32_t
+Kernel::registerImage(const std::string &name, uint64_t text_bytes)
+{
+    Image img;
+    img.id = uint32_t(images.size());
+    img.name = name;
+    img.textPages = uint32_t((text_bytes + cfg.layout.pageBytes - 1) /
+                             cfg.layout.pageBytes);
+    images.push_back(img);
+    return img.id;
+}
+
+Pid
+Kernel::spawn(std::unique_ptr<AppBehavior> behavior, uint32_t image_id,
+              const std::string &name)
+{
+    for (auto &pp : procs) {
+        if (pp->state != ProcState::Free)
+            continue;
+        Process &p = *pp;
+        p.resetForReuse();
+        p.name = name;
+        p.imageId = image_id;
+        p.behavior = std::move(behavior);
+        p.state = ProcState::Ready;
+        p.ticksLeft = cfg.quantumTicks;
+        p.ioBufVaddr = VaMap::dataBase;
+        runQueue.push_back(p.pid);
+        rqSkips.push_back(0);
+        return p.pid;
+    }
+    util::fatal("no free process slots");
+}
+
+Addr
+Kernel::shmAlloc(uint64_t bytes)
+{
+    const Addr base = sharedBrk;
+    const uint64_t pages =
+        (bytes + cfg.layout.pageBytes - 1) / cfg.layout.pageBytes;
+    for (uint64_t i = 0; i < pages; ++i) {
+        if (freePages.empty())
+            util::fatal("out of physical memory in shmAlloc");
+        const Addr vpage = sharedBrk / cfg.layout.pageBytes;
+        sharedMap[vpage] = freePages.back();
+        freePages.pop_back();
+        sharedBrk += cfg.layout.pageBytes;
+    }
+    return base;
+}
+
+uint32_t
+Kernel::allocUserLock()
+{
+    if (nUserLocks >= cfg.maxUserLocks)
+        util::fatal("out of user lock slots");
+    return numKernelLocks + nUserLocks++;
+}
+
+uint32_t
+Kernel::registerTty(Cycle mean_gap_cycles)
+{
+    TtySession s;
+    s.id = uint32_t(ttys.size());
+    s.meanGap = mean_gap_cycles;
+    ttys.push_back(s);
+    events.push({m.now() + mean_gap_cycles + rng.below(mean_gap_cycles),
+                 Event::Kind::TtyInput, s.id});
+    return s.id;
+}
+
+// ---------------------------------------------------------------------
+// Executor interface
+// ---------------------------------------------------------------------
+
+void
+Kernel::refill(CpuId cpu)
+{
+    sim::Cpu &c = m.cpu(cpu);
+    const Pid pid = curProc[cpu];
+
+    if (pid != sim::invalidPid) {
+        Process &p = *procs[uint32_t(pid)];
+        if (!p.savedScript.empty()) {
+            // Resume exactly where the process was preempted/blocked.
+            c.script = std::move(p.savedScript);
+            p.savedScript.clear();
+            return;
+        }
+        Script buf;
+        UserScript us(buf);
+        p.behavior->chunk(p, us);
+        ++p.userChunks;
+        if (buf.empty())
+            util::panic("behavior of %s produced an empty chunk",
+                        p.name.c_str());
+        c.pushSeq(buf);
+        return;
+    }
+
+    // Nothing to run: idle loop.
+    if (c.ctx.mode != ExecMode::Idle)
+        enterIdle(cpu);
+    if (!runQueue.empty()) {
+        // Dispatch from the idle loop.
+        Script s;
+        emitLock(s, Runqlk);
+        emitTextByName(s, "pickproc");
+        emitTouch(s, map.runQueueAddr(), 24, false);
+        emitTouch(s, map.hiNdprocAddr(), 8, false);
+        emitUnlock(s, Runqlk);
+        s.push_back(ScriptItem::mark(MarkerOp::Resched));
+        c.pushSeq(s);
+        return;
+    }
+    Script s;
+    const RoutineId idle = map.routine("idleloop");
+    const Routine &r = map.routineInfo(idle);
+    s.push_back(ScriptItem::mark(MarkerOp::RoutineEnter, idle));
+    const uint32_t lines = r.textBytes / cfg.layout.lineBytes;
+    for (uint32_t rep = 0; rep < 4; ++rep) {
+        for (uint32_t l = 0; l < lines; ++l)
+            s.push_back(ScriptItem::ifetch(r.textBase +
+                                           l * cfg.layout.lineBytes));
+        // The idle loop polls the run queue header without the lock.
+        s.push_back(ScriptItem::load(map.runQueueAddr()));
+    }
+    s.push_back(ScriptItem::mark(MarkerOp::IdlePoll));
+    c.pushSeq(s);
+}
+
+void
+Kernel::marker(CpuId cpu, const ScriptItem &item)
+{
+    switch (item.marker) {
+      case MarkerOp::OsEnter:
+        onOsEnter(cpu, OsOp(item.addr));
+        return;
+      case MarkerOp::OsExit:
+        onOsExit(cpu);
+        return;
+      case MarkerOp::RoutineEnter:
+        m.cpu(cpu).ctx.routine = uint16_t(item.addr);
+        return;
+      case MarkerOp::RoutineExit:
+        m.cpu(cpu).ctx.routine = invalidRoutine;
+        return;
+      case MarkerOp::LockAcquire:
+        onLockAcquire(cpu, uint32_t(item.addr));
+        return;
+      case MarkerOp::LockRelease:
+        onLockRelease(cpu, uint32_t(item.addr));
+        return;
+      case MarkerOp::UserLockAcquire:
+        onUserLockAcquire(cpu, uint32_t(item.addr),
+                          uint32_t(item.arg2));
+        return;
+      case MarkerOp::UserLockRelease:
+        onUserLockRelease(cpu, uint32_t(item.addr));
+        return;
+      case MarkerOp::Syscall:
+        onSyscall(cpu, Sys(item.addr), item.arg2);
+        return;
+      case MarkerOp::SleepDisk:
+        onSleepDisk(cpu, item.addr);
+        return;
+      case MarkerOp::Resched:
+        onResched(cpu);
+        return;
+      case MarkerOp::IdlePoll:
+        onIdlePoll(cpu);
+        return;
+      case MarkerOp::InvalICache:
+        m.memory().flushICachesForPage(item.addr);
+        return;
+      case MarkerOp::PathDone:
+        return;
+      case MarkerOp::Custom:
+        if (item.addr == customBlockWait)
+            onBlockWait(cpu);
+        else if (item.addr == customBlockTty)
+            onBlockTty(cpu, uint32_t(item.arg2));
+        else
+            util::panic("unknown custom marker %llu",
+                        static_cast<unsigned long long>(item.addr));
+        return;
+    }
+    util::panic("unhandled marker");
+}
+
+void
+Kernel::fault(CpuId cpu, Addr vaddr, bool is_store, bool is_prot)
+{
+    const Pid pid = curProc[cpu];
+    if (pid == sim::invalidPid)
+        util::panic("virtual fault with no current process on cpu %u",
+                    cpu);
+    Process &p = *procs[uint32_t(pid)];
+    const Addr vpage = vaddr / cfg.layout.pageBytes;
+    Pte *pte = p.findPte(vpage);
+
+    const bool needs_vm =
+        !pte || !pte->present || (is_store && (pte->cow ||
+                                               !pte->writable));
+    if (!needs_vm) {
+        // Pure TLB refill: the UTLB fast path.
+        ++nUtlbFaults;
+        m.cpu(cpu).tlb.insert(pid, vpage, pte->ppage,
+                              pte->writable && !pte->cow);
+        Script s = pathUtlbFault(p, vpage, *pte);
+        m.cpu(cpu).pushFrontSeq(s);
+        return;
+    }
+    Script s = pathVmFault(cpu, p, vaddr, is_store, is_prot);
+    m.cpu(cpu).pushFrontSeq(s);
+}
+
+bool
+Kernel::deliverGlobalEvent(CpuId cpu, Cycle now)
+{
+    if (events.empty() || events.top().when > now)
+        return false;
+    const Event ev = events.top();
+    events.pop();
+    switch (ev.kind) {
+      case Event::Kind::DiskDone: {
+        Script s = pathDiskInterrupt(cpu, Pid(ev.payload));
+        m.cpu(cpu).pushFrontSeq(s);
+        return true;
+      }
+      case Event::Kind::TtyInput: {
+        const uint32_t sid = uint32_t(ev.payload);
+        TtySession &t = ttys[sid];
+        // The typist sends a burst of 1-15 characters (paper Sec. 3).
+        t.pendingChars += uint32_t(rng.range(1, 15));
+        events.push({now + t.meanGap / 2 + rng.below(t.meanGap),
+                     Event::Kind::TtyInput, sid});
+        Script s = pathTtyInterrupt(cpu, sid);
+        m.cpu(cpu).pushFrontSeq(s);
+        return true;
+      }
+    }
+    return false;
+}
+
+void
+Kernel::pollEvents(CpuId cpu, Cycle now)
+{
+    if (now >= nextClockAt[cpu]) {
+        nextClockAt[cpu] += m.config().clockTickCycles;
+        Script s = pathClockInterrupt(cpu);
+        m.cpu(cpu).pushFrontSeq(s);
+        return;
+    }
+    deliverGlobalEvent(cpu, now);
+}
+
+// ---------------------------------------------------------------------
+// Marker handlers
+// ---------------------------------------------------------------------
+
+void
+Kernel::onOsEnter(CpuId cpu, OsOp op)
+{
+    sim::Cpu &c = m.cpu(cpu);
+    ++opCounts.count[unsigned(op)];
+    if (c.ctx.mode == ExecMode::Idle)
+        m.monitor().osExit(m.now(), cpu, OsOp::IdleLoop);
+    c.ctx.mode = ExecMode::Kernel;
+    c.ctx.op = op;
+    m.monitor().osEnter(m.now(), cpu, op);
+}
+
+void
+Kernel::onOsExit(CpuId cpu)
+{
+    sim::Cpu &c = m.cpu(cpu);
+    m.monitor().osExit(m.now(), cpu, c.ctx.op);
+    if (curProc[cpu] != sim::invalidPid) {
+        c.ctx.mode = ExecMode::User;
+        c.ctx.op = OsOp::None;
+        c.ctx.routine = invalidRoutine;
+        c.ctx.pid = curProc[cpu];
+    } else {
+        enterIdle(cpu);
+    }
+}
+
+void
+Kernel::onLockAcquire(CpuId cpu, uint32_t lock_id)
+{
+    LockState &l = locks[lock_id];
+    const Cycle now = m.now();
+    const uint32_t waiters =
+        uint32_t(std::popcount(l.spinMask)) + l.napWaiters;
+
+    if (l.heldByCpu < 0) {
+        l.heldByCpu = int32_t(cpu);
+        l.spinMask &= ~(1u << cpu);
+        // Holding a spinlock raises the interrupt level (spl): defer
+        // external interrupts until release, as IRIX does.
+        ++m.cpu(cpu).intrDisable;
+        const Cycle cost =
+            m.sync().access(cpu, lock_id, LockEvent::AcquireSuccess);
+        m.charge(cpu, cost, true);
+        if (lockListener)
+            lockListener->lockEvent(now, cpu, lock_id,
+                                    LockEvent::AcquireSuccess, waiters);
+        return;
+    }
+    if (l.heldByCpu == int32_t(cpu))
+        util::panic("cpu %u re-acquiring kernel lock %u", cpu, lock_id);
+
+    l.spinMask |= 1u << cpu;
+    const Cycle cost =
+        m.sync().access(cpu, lock_id, LockEvent::AcquireFail);
+    m.charge(cpu, cost, true);
+    if (lockListener)
+        lockListener->lockEvent(now, cpu, lock_id,
+                                LockEvent::AcquireFail, waiters);
+    // Spin: burn the gap and retry.
+    sim::Cpu &c = m.cpu(cpu);
+    c.pushFront(ScriptItem::mark(MarkerOp::LockAcquire, lock_id));
+    c.pushFront(ScriptItem::think(cfg.spinGap));
+}
+
+void
+Kernel::onLockRelease(CpuId cpu, uint32_t lock_id)
+{
+    LockState &l = locks[lock_id];
+    if (l.heldByCpu != int32_t(cpu))
+        util::panic("cpu %u releasing kernel lock %u it does not hold",
+                    cpu, lock_id);
+    l.heldByCpu = -1;
+    if (m.cpu(cpu).intrDisable == 0)
+        util::panic("interrupt level underflow on lock release");
+    --m.cpu(cpu).intrDisable;
+    const uint32_t waiters =
+        uint32_t(std::popcount(l.spinMask)) + l.napWaiters;
+    const Cycle cost = m.sync().access(cpu, lock_id, LockEvent::Release);
+    m.charge(cpu, cost, true);
+    if (lockListener)
+        lockListener->lockEvent(m.now(), cpu, lock_id,
+                                LockEvent::Release, waiters);
+}
+
+void
+Kernel::onUserLockAcquire(CpuId cpu, uint32_t lock_id, uint32_t spins)
+{
+    LockState &l = locks[lock_id];
+    const Pid pid = curProc[cpu];
+    const Cycle now = m.now();
+    const uint32_t waiters =
+        uint32_t(std::popcount(l.spinMask)) + l.napWaiters;
+
+    if (l.heldByCpu < 0) {
+        l.heldByCpu = int32_t(pid); // user locks are held by processes
+        l.spinMask &= ~(1u << cpu);
+        if (l.napWaiters > 0 && spins == 0)
+            --l.napWaiters;
+        const Cycle cost =
+            m.sync().access(cpu, lock_id, LockEvent::AcquireSuccess);
+        m.charge(cpu, cost, true);
+        if (lockListener)
+            lockListener->lockEvent(now, cpu, lock_id,
+                                    LockEvent::AcquireSuccess, waiters);
+        return;
+    }
+
+    const Cycle cost =
+        m.sync().access(cpu, lock_id, LockEvent::AcquireFail);
+    m.charge(cpu, cost, true);
+    if (lockListener)
+        lockListener->lockEvent(now, cpu, lock_id,
+                                LockEvent::AcquireFail, waiters);
+
+    sim::Cpu &c = m.cpu(cpu);
+    if (spins + 1 < cfg.userLockSpins) {
+        l.spinMask |= 1u << cpu;
+        c.pushFront(ScriptItem::mark(MarkerOp::UserLockAcquire, lock_id,
+                                     spins + 1));
+        c.pushFront(ScriptItem::think(cfg.spinGap));
+        return;
+    }
+
+    // After 20 unsuccessful spins the library calls sginap (paper
+    // Sec. 4.1): reschedule, then retry from zero.
+    l.spinMask &= ~(1u << cpu);
+    ++l.napWaiters;
+    c.pushFront(ScriptItem::mark(MarkerOp::UserLockAcquire, lock_id, 0));
+    Process &p = *procs[uint32_t(pid)];
+    Script s = pathSyscall(cpu, p, Sys::Sginap, 0);
+    c.pushFrontSeq(s);
+}
+
+void
+Kernel::onUserLockRelease(CpuId cpu, uint32_t lock_id)
+{
+    LockState &l = locks[lock_id];
+    const Pid pid = curProc[cpu];
+    if (l.heldByCpu != int32_t(pid))
+        util::panic("pid %d releasing user lock %u it does not hold",
+                    int(pid), lock_id);
+    l.heldByCpu = -1;
+    const uint32_t waiters =
+        uint32_t(std::popcount(l.spinMask)) + l.napWaiters;
+    const Cycle cost = m.sync().access(cpu, lock_id, LockEvent::Release);
+    m.charge(cpu, cost, true);
+    if (lockListener)
+        lockListener->lockEvent(m.now(), cpu, lock_id,
+                                LockEvent::Release, waiters);
+}
+
+void
+Kernel::onSyscall(CpuId cpu, Sys n, uint64_t payload)
+{
+    const Pid pid = curProc[cpu];
+    if (pid == sim::invalidPid)
+        util::panic("syscall with no current process");
+    Process &p = *procs[uint32_t(pid)];
+    Script s = pathSyscall(cpu, p, n, payload);
+    m.cpu(cpu).pushFrontSeq(s);
+}
+
+void
+Kernel::onSleepDisk(CpuId cpu, Cycle wake_at)
+{
+    (void)wake_at; // completion event was scheduled at build time
+    const Pid pid = curProc[cpu];
+    Process &p = *procs[uint32_t(pid)];
+    p.cpuShare = p.cpuShare / 2 + (m.now() - p.runStart);
+    p.totalRan += m.now() - p.runStart;
+    p.runStart = m.now();
+    if (p.wakePending > 0) {
+        --p.wakePending;
+        return; // I/O already finished; fall through to the post-work
+    }
+    p.state = ProcState::Blocked;
+    sim::Cpu &c = m.cpu(cpu);
+    p.savedScript = c.drainScript();
+    Script s;
+    emitReschedSeq(s);
+    c.pushFrontSeq(s);
+}
+
+void
+Kernel::onBlockWait(CpuId cpu)
+{
+    const Pid pid = curProc[cpu];
+    Process &p = *procs[uint32_t(pid)];
+    if (p.pendingChildExits > 0) {
+        --p.pendingChildExits;
+        return;
+    }
+    p.waitingForChild = true;
+    p.state = ProcState::Blocked;
+    sim::Cpu &c = m.cpu(cpu);
+    p.savedScript = c.drainScript();
+    Script s;
+    emitReschedSeq(s);
+    c.pushFrontSeq(s);
+}
+
+void
+Kernel::onBlockTty(CpuId cpu, uint32_t session)
+{
+    const Pid pid = curProc[cpu];
+    Process &p = *procs[uint32_t(pid)];
+    TtySession &t = ttys[session];
+    if (t.pendingChars > 0) {
+        t.pendingChars = 0; // consume the whole burst
+        return;
+    }
+    t.reader = pid;
+    p.blockedOnTty = int32_t(session);
+    p.state = ProcState::Blocked;
+    sim::Cpu &c = m.cpu(cpu);
+    p.savedScript = c.drainScript();
+    Script s;
+    emitReschedSeq(s);
+    c.pushFrontSeq(s);
+}
+
+void
+Kernel::onIdlePoll(CpuId cpu)
+{
+    if (runQueue.empty())
+        return; // refill() will push another idle chunk
+    sim::Cpu &c = m.cpu(cpu);
+    Script s;
+    emitLock(s, Runqlk);
+    emitTextByName(s, "pickproc");
+    emitTouch(s, map.runQueueAddr(), 24, false);
+    emitUnlock(s, Runqlk);
+    s.push_back(ScriptItem::mark(MarkerOp::Resched));
+    c.pushSeq(s);
+}
+
+// ---------------------------------------------------------------------
+// Scheduling
+// ---------------------------------------------------------------------
+
+void
+Kernel::enterIdle(CpuId cpu)
+{
+    sim::Cpu &c = m.cpu(cpu);
+    c.ctx.mode = ExecMode::Idle;
+    c.ctx.op = OsOp::IdleLoop;
+    c.ctx.routine = invalidRoutine;
+    c.ctx.pid = sim::invalidPid;
+    m.monitor().osEnter(m.now(), cpu, OsOp::IdleLoop);
+}
+
+void
+Kernel::enqueueReady(Pid pid)
+{
+    // SysV-style priority placement: interactive (low recent CPU)
+    // processes queue ahead of CPU hogs; FIFO within each class.
+    Process &p = *procs[uint32_t(pid)];
+    if (p.cpuShare < cfg.interactiveShare) {
+        for (uint32_t i = 0; i < runQueue.size(); ++i) {
+            if (procs[uint32_t(runQueue[i])]->cpuShare >=
+                cfg.interactiveShare) {
+                runQueue.insert(runQueue.begin() + i, pid);
+                rqSkips.insert(rqSkips.begin() + i, 0);
+                return;
+            }
+        }
+    }
+    runQueue.push_back(pid);
+    rqSkips.push_back(0);
+}
+
+void
+Kernel::makeReady(Pid pid)
+{
+    Process &p = *procs[uint32_t(pid)];
+    if (p.state == ProcState::Ready || p.state == ProcState::Running)
+        return;
+    p.state = ProcState::Ready;
+    enqueueReady(pid);
+}
+
+Pid
+Kernel::pickNext(CpuId cpu)
+{
+    if (runQueue.empty())
+        return sim::invalidPid;
+
+    if (!cfg.affinitySched) {
+        // The queue is priority-ordered (enqueueReady): interactive
+        // processes dispatch first. CPU hogs are not starved because
+        // interactive processes, by construction, yield or block
+        // almost immediately and cannot hold every CPU for long.
+        ++pickCount;
+        const Pid pid = runQueue.front();
+        runQueue.pop_front();
+        rqSkips.erase(rqSkips.begin());
+        return pid;
+    }
+
+    // Cache-affinity scheduling (Squillante/Lazowska style): prefer a
+    // process that last ran here, but age skipped processes so nothing
+    // starves.
+    if (rqSkips.front() >= 3) {
+        const Pid pid = runQueue.front();
+        runQueue.pop_front();
+        rqSkips.erase(rqSkips.begin());
+        return pid;
+    }
+    const uint32_t depth =
+        std::min<uint32_t>(cfg.affinityScanDepth,
+                           uint32_t(runQueue.size()));
+    for (uint32_t i = 0; i < depth; ++i) {
+        Process &p = *procs[uint32_t(runQueue[i])];
+        if (!p.everRan || p.lastCpu == cpu) {
+            const Pid pid = runQueue[i];
+            runQueue.erase(runQueue.begin() + i);
+            rqSkips.erase(rqSkips.begin() + i);
+            for (uint32_t j = 0; j < i && j < rqSkips.size(); ++j)
+                ++rqSkips[j];
+            return pid;
+        }
+    }
+    for (uint32_t j = 0; j < depth; ++j)
+        ++rqSkips[j];
+    const Pid pid = runQueue.front();
+    runQueue.pop_front();
+    rqSkips.erase(rqSkips.begin());
+    return pid;
+}
+
+void
+Kernel::onResched(CpuId cpu)
+{
+    sim::Cpu &c = m.cpu(cpu);
+    const Pid oldPid = curProc[cpu];
+
+    if (oldPid != sim::invalidPid) {
+        Process &old = *procs[uint32_t(oldPid)];
+        auto rest = c.drainScript();
+        if (old.state == ProcState::Running) {
+            for (uint32_t l = numKernelLocks; l < locks.size(); ++l)
+                if (locks[l].heldByCpu == int32_t(oldPid))
+                    ++nStrands;
+            old.state = ProcState::Ready;
+            old.savedScript = std::move(rest);
+            old.lastCpu = cpu;
+            old.cpuShare = old.cpuShare / 2 +
+                           (m.now() - old.runStart);
+            old.totalRan += m.now() - old.runStart;
+            enqueueReady(oldPid);
+        } else if (old.state == ProcState::Zombie) {
+            // The zombie is leaving its CPU for good: recycle the
+            // slot (the parent already collected the exit status).
+            for (uint32_t c = 0; c < m.numCpus(); ++c)
+                m.cpu(c).tlb.invalidatePid(oldPid);
+            old.resetForReuse();
+        }
+        // Blocked processes saved their continuation at the sleep
+        // marker.
+    } else {
+        c.drainScript();
+    }
+
+    const Pid next = pickNext(cpu);
+    Script s;
+    if (next == sim::invalidPid) {
+        curProc[cpu] = sim::invalidPid;
+        s.push_back(ScriptItem::mark(MarkerOp::OsExit));
+        c.pushFrontSeq(s);
+        return;
+    }
+
+    Process &np = *procs[uint32_t(next)];
+    if (np.everRan && np.lastCpu != cpu)
+        ++nMigrations;
+
+    if (next != oldPid) {
+        ++nCtxSwitches;
+        emitTextByName(s, "swtch");
+        if (oldPid != sim::invalidPid) {
+            // Save the outgoing registers into the old PCB.
+            emitTouch(s, map.pcbAddr(procs[uint32_t(oldPid)]->slot),
+                      240, true);
+        }
+        // Restore the incoming context.
+        emitTouch(s, map.pcbAddr(np.slot), 240, false);
+        emitTouch(s, map.kernelStackAddr(np.slot) + 4096 - 128, 128,
+                  false);
+        emitTouch(s, map.procTableAddr(np.slot), 48, true);
+        m.monitor().contextSwitch(m.now(), cpu, oldPid, next);
+    }
+
+    np.state = ProcState::Running;
+    np.everRan = true;
+    np.lastCpu = cpu;
+    np.ticksLeft = cfg.quantumTicks;
+    np.runStart = m.now();
+    ++np.dispatches;
+    curProc[cpu] = next;
+    c.ctx.pid = next;
+
+    emitEpilogue(s, np);
+    s.push_back(ScriptItem::mark(MarkerOp::OsExit));
+    c.pushFrontSeq(s);
+}
+
+void
+Kernel::switchTo(CpuId cpu, Pid next)
+{
+    // Test hook: force a process onto a CPU outside the normal flow.
+    curProc[cpu] = next;
+    Process &np = *procs[uint32_t(next)];
+    np.state = ProcState::Running;
+    np.everRan = true;
+    np.lastCpu = cpu;
+    m.cpu(cpu).ctx.pid = next;
+    m.cpu(cpu).ctx.mode = ExecMode::User;
+    m.cpu(cpu).ctx.op = OsOp::None;
+}
+
+} // namespace mpos::kernel

@@ -1,0 +1,30 @@
+#include "kernel/locks.hh"
+
+namespace mpos::kernel
+{
+
+std::string
+lockName(uint32_t lock_id, uint32_t num_user_locks)
+{
+    switch (lock_id) {
+      case Memlock: return "Memlock";
+      case Runqlk: return "Runqlk";
+      case Ifree: return "Ifree";
+      case Dfbmaplk: return "Dfbmaplk";
+      case Bfreelock: return "Bfreelock";
+      case Calock: return "Calock";
+      case Semlock: return "Semlock";
+      default: break;
+    }
+    if (lock_id >= ShrBase && lock_id < StreamsBase)
+        return "Shr_" + std::to_string(lock_id - ShrBase);
+    if (lock_id >= StreamsBase && lock_id < InoBase)
+        return "Streams_" + std::to_string(lock_id - StreamsBase);
+    if (lock_id >= InoBase && lock_id < numKernelLocks)
+        return "Ino_" + std::to_string(lock_id - InoBase);
+    if (lock_id < numKernelLocks + num_user_locks)
+        return "UserLock_" + std::to_string(lock_id - numKernelLocks);
+    return "Lock_" + std::to_string(lock_id);
+}
+
+} // namespace mpos::kernel

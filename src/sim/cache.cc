@@ -1,0 +1,169 @@
+#include "sim/cache.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace mpos::sim
+{
+
+Cache::Cache(std::string name, uint64_t bytes, uint32_t assoc,
+             uint32_t line_bytes)
+    : label(std::move(name)), assoc_(assoc), lineBytes_(line_bytes)
+{
+    if (assoc == 0 || line_bytes == 0 ||
+        bytes % (uint64_t(assoc) * line_bytes) != 0) {
+        util::fatal("cache %s: capacity %llu not divisible by assoc %u "
+                    "x line %u", label.c_str(),
+                    static_cast<unsigned long long>(bytes), assoc,
+                    line_bytes);
+    }
+    numSets = bytes / (uint64_t(assoc) * line_bytes);
+    if (!std::has_single_bit(numSets))
+        util::fatal("cache %s: number of sets %llu not a power of two",
+                    label.c_str(),
+                    static_cast<unsigned long long>(numSets));
+    ways.resize(numSets * assoc_);
+}
+
+Cache::Way *
+Cache::findWay(Addr line)
+{
+    const uint64_t set = setIndex(line);
+    Way *base = &ways[set * assoc_];
+    for (uint32_t i = 0; i < assoc_; ++i)
+        if (base[i].valid && base[i].tag == line)
+            return &base[i];
+    return nullptr;
+}
+
+const Cache::Way *
+Cache::findWay(Addr line) const
+{
+    return const_cast<Cache *>(this)->findWay(line);
+}
+
+void
+Cache::promote(uint64_t set, Way &way)
+{
+    Way *base = &ways[set * assoc_];
+    const uint32_t old = way.lru;
+    for (uint32_t i = 0; i < assoc_; ++i)
+        if (base[i].valid && base[i].lru < old)
+            ++base[i].lru;
+    way.lru = 0;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    return findWay(lineAddr(addr)) != nullptr;
+}
+
+bool
+Cache::touch(Addr addr)
+{
+    const Addr line = lineAddr(addr);
+    Way *w = findWay(line);
+    if (!w)
+        return false;
+    promote(setIndex(line), *w);
+    return true;
+}
+
+Victim
+Cache::fill(Addr addr, bool dirty)
+{
+    const Addr line = lineAddr(addr);
+    const uint64_t set = setIndex(line);
+    Way *base = &ways[set * assoc_];
+
+    if (Way *w = findWay(line)) {
+        promote(set, *w);
+        w->dirty = w->dirty || dirty;
+        return {};
+    }
+
+    // Prefer an invalid way; otherwise evict the LRU one.
+    Way *slot = nullptr;
+    for (uint32_t i = 0; i < assoc_; ++i) {
+        if (!base[i].valid) {
+            slot = &base[i];
+            break;
+        }
+    }
+    Victim victim;
+    if (!slot) {
+        uint32_t worst = 0;
+        for (uint32_t i = 1; i < assoc_; ++i)
+            if (base[i].lru > base[worst].lru)
+                worst = i;
+        slot = &base[worst];
+        victim = {slot->tag, true, slot->dirty};
+    }
+    slot->tag = line;
+    slot->valid = true;
+    slot->dirty = dirty;
+    slot->lru = assoc_; // promote() pulls it to 0
+    promote(set, *slot);
+    return victim;
+}
+
+bool
+Cache::markDirty(Addr addr)
+{
+    Way *w = findWay(lineAddr(addr));
+    if (!w)
+        return false;
+    w->dirty = true;
+    return true;
+}
+
+bool
+Cache::isDirty(Addr addr) const
+{
+    const Way *w = findWay(lineAddr(addr));
+    return w && w->dirty;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    Way *w = findWay(lineAddr(addr));
+    if (!w)
+        return false;
+    w->valid = false;
+    w->dirty = false;
+    return true;
+}
+
+void
+Cache::invalidateRange(Addr lo, Addr hi,
+                       const std::function<void(Addr)> &cb)
+{
+    for (auto &w : ways) {
+        if (w.valid && w.tag >= lo && w.tag < hi) {
+            w.valid = false;
+            w.dirty = false;
+            cb(w.tag);
+        }
+    }
+}
+
+void
+Cache::reset()
+{
+    for (auto &w : ways)
+        w = Way{};
+}
+
+uint64_t
+Cache::residentLines() const
+{
+    uint64_t n = 0;
+    for (const auto &w : ways)
+        n += w.valid;
+    return n;
+}
+
+} // namespace mpos::sim

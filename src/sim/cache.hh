@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Generic physically-addressed set-associative cache tag model.
+ *
+ * Only tags and line state are modeled (no data): every quantity the
+ * paper measures is a function of which physical line is present in
+ * which cache. Direct-mapped caches are assoc = 1, matching all three
+ * caches of the 4D/340; higher associativity is used by the Figure 6
+ * re-simulation and the ablation benches.
+ */
+
+#ifndef MPOS_SIM_CACHE_HH
+#define MPOS_SIM_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mpos::sim
+{
+
+/** Result of a fill: the displaced line, if any. */
+struct Victim
+{
+    Addr lineAddr = 0;
+    bool valid = false;
+    bool dirty = false;
+};
+
+/** Set-associative cache of 16-byte lines with true-LRU replacement. */
+class Cache
+{
+  public:
+    /**
+     * @param name       For diagnostics.
+     * @param bytes      Total capacity; must be a multiple of
+     *                   line_bytes * assoc.
+     * @param assoc      Associativity (1 = direct-mapped).
+     * @param line_bytes Line size (16 on the 4D/340).
+     */
+    Cache(std::string name, uint64_t bytes, uint32_t assoc,
+          uint32_t line_bytes);
+
+    /** True if the line holding addr is present (no LRU update). */
+    bool contains(Addr addr) const;
+
+    /** Access for read/fetch: returns hit and updates LRU. */
+    bool touch(Addr addr);
+
+    /**
+     * Install the line holding addr, evicting the LRU way if the set is
+     * full. Returns the victim (valid = false if an empty way was used
+     * or the line was already present).
+     */
+    Victim fill(Addr addr, bool dirty = false);
+
+    /** Mark the line dirty; returns false if not present. */
+    bool markDirty(Addr addr);
+
+    /** True if present and dirty. */
+    bool isDirty(Addr addr) const;
+
+    /** Remove the line; returns true if it was present. */
+    bool invalidate(Addr addr);
+
+    /**
+     * Invalidate every resident line with address in [lo, hi) and call
+     * cb for each one removed.
+     */
+    void invalidateRange(Addr lo, Addr hi,
+                         const std::function<void(Addr)> &cb);
+
+    /** Drop everything (power-on state). */
+    void reset();
+
+    uint64_t capacityBytes() const { return uint64_t(numSets) * assoc_ *
+                                            lineBytes_; }
+    uint32_t assoc() const { return assoc_; }
+    uint32_t lineBytes() const { return lineBytes_; }
+    uint64_t sets() const { return numSets; }
+
+    /** Number of currently valid lines. */
+    uint64_t residentLines() const;
+
+    const std::string &name() const { return label; }
+
+  private:
+    struct Way
+    {
+        Addr tag = 0;       // full line address
+        bool valid = false;
+        bool dirty = false;
+        uint32_t lru = 0;   // lower = more recently used
+    };
+
+    Addr lineAddr(Addr addr) const { return addr & ~Addr(lineBytes_ - 1); }
+    uint64_t setIndex(Addr addr) const
+    {
+        return (addr / lineBytes_) & (numSets - 1);
+    }
+
+    Way *findWay(Addr line);
+    const Way *findWay(Addr line) const;
+    void promote(uint64_t set, Way &way);
+
+    std::string label;
+    uint32_t assoc_;
+    uint32_t lineBytes_;
+    uint64_t numSets;
+    std::vector<Way> ways; // numSets * assoc_, set-major
+};
+
+} // namespace mpos::sim
+
+#endif // MPOS_SIM_CACHE_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * One simulated CPU: a script-driven reference engine.
+ *
+ * A CPU executes a queue of ScriptItems (instruction-line fetches, data
+ * references, markers). The kernel -- through the Executor interface --
+ * refills the queue, handles markers and TLB faults, and manipulates
+ * the monitor context. All time accounting (per-mode execution and
+ * stall cycles) lives here.
+ */
+
+#ifndef MPOS_SIM_CPU_HH
+#define MPOS_SIM_CPU_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/tlb.hh"
+#include "sim/types.hh"
+
+namespace mpos::sim
+{
+
+/** Per-mode cycle accounting (indexed by ExecMode). */
+struct CycleAccount
+{
+    Cycle total[3] = {0, 0, 0};
+    Cycle stall[3] = {0, 0, 0};
+
+    Cycle user() const { return total[unsigned(ExecMode::User)]; }
+    Cycle kernel() const { return total[unsigned(ExecMode::Kernel)]; }
+    Cycle idle() const { return total[unsigned(ExecMode::Idle)]; }
+    Cycle nonIdle() const { return user() + kernel(); }
+    Cycle
+    all() const
+    {
+        return total[0] + total[1] + total[2];
+    }
+};
+
+/** A simulated processor. */
+class Cpu
+{
+  public:
+    Cpu(CpuId cpu_id, const MachineConfig &cfg)
+        : id(cpu_id), tlb(cfg.tlbEntries)
+    {
+    }
+
+    CpuId id;
+    Tlb tlb;
+    MonitorContext ctx;
+
+    /** Cycle up to which this CPU is occupied. */
+    Cycle busyUntil = 0;
+    /** Next cycle at which external events are polled. */
+    Cycle nextPollAt = 0;
+    /** When > 0, external interrupts are deferred. */
+    uint32_t intrDisable = 0;
+
+    CycleAccount account;
+
+    /** Pending work, front = next to execute. */
+    std::deque<ScriptItem> script;
+
+    void push(const ScriptItem &item) { script.push_back(item); }
+
+    void
+    pushSeq(const std::vector<ScriptItem> &items)
+    {
+        script.insert(script.end(), items.begin(), items.end());
+    }
+
+    /** Insert items so they run before everything currently queued. */
+    void
+    pushFrontSeq(const std::vector<ScriptItem> &items)
+    {
+        script.insert(script.begin(), items.begin(), items.end());
+    }
+
+    void pushFront(const ScriptItem &item) { script.push_front(item); }
+
+    /** Move the entire remaining script out (context switch / block). */
+    std::deque<ScriptItem>
+    drainScript()
+    {
+        std::deque<ScriptItem> out;
+        out.swap(script);
+        return out;
+    }
+
+    /** Charge cycles to the current mode. */
+    void
+    charge(Cycle exec, Cycle stall)
+    {
+        const auto m = unsigned(ctx.mode);
+        account.total[m] += exec + stall;
+        account.stall[m] += stall;
+        busyUntil += exec + stall;
+    }
+};
+
+/**
+ * The interface through which the machine asks the OS model for work.
+ * Implemented by kernel::Kernel; the sim layer has no other knowledge
+ * of the kernel.
+ */
+class Executor
+{
+  public:
+    virtual ~Executor() = default;
+
+    /** The CPU's script ran dry: push at least one item. */
+    virtual void refill(CpuId cpu) = 0;
+
+    /** Handle a marker item (zero-cost control operation). */
+    virtual void marker(CpuId cpu, const ScriptItem &item) = 0;
+
+    /**
+     * A virtual reference could not be translated. The faulting item
+     * has already been re-pushed; the executor must push a handling
+     * path in front of it.
+     * @param is_prot True for a write to a read-only mapping (COW).
+     */
+    virtual void fault(CpuId cpu, Addr vaddr, bool is_store,
+                       bool is_prot) = 0;
+
+    /** Deliver any pending external events (interrupts) to cpu. */
+    virtual void pollEvents(CpuId cpu, Cycle now) = 0;
+};
+
+} // namespace mpos::sim
+
+#endif // MPOS_SIM_CPU_HH

@@ -1,0 +1,172 @@
+#include "sim/machine.hh"
+
+#include "util/logging.hh"
+
+namespace mpos::sim
+{
+
+Machine::Machine(const MachineConfig &config, uint32_t num_locks)
+    : cfg(config), mem(cfg, mon), syncTransport(cfg, num_locks)
+{
+    for (CpuId c = 0; c < cfg.numCpus; ++c)
+        cpus.push_back(std::make_unique<Cpu>(c, cfg));
+}
+
+CycleAccount
+Machine::totalAccount() const
+{
+    CycleAccount sum;
+    for (const auto &c : cpus) {
+        for (unsigned m = 0; m < 3; ++m) {
+            sum.total[m] += c->account.total[m];
+            sum.stall[m] += c->account.stall[m];
+        }
+    }
+    return sum;
+}
+
+bool
+Machine::translate(Cpu &c, ScriptItem &item, bool is_store, Addr &pa)
+{
+    const Addr vpage = item.addr / cfg.pageBytes;
+    const TlbEntry *e = c.tlb.translate(c.ctx.pid, vpage);
+    if (!e) {
+        c.pushFront(item);
+        exec->fault(c.id, item.addr, is_store, false);
+        return false;
+    }
+    if (is_store && !e->writable) {
+        c.pushFront(item);
+        exec->fault(c.id, item.addr, is_store, true);
+        return false;
+    }
+    pa = e->ppage * cfg.pageBytes + item.addr % cfg.pageBytes;
+    return true;
+}
+
+bool
+Machine::step(Cpu &c, Cycle now)
+{
+    ScriptItem item = c.script.front();
+    c.script.pop_front();
+
+    switch (item.kind) {
+      case ItemKind::Marker:
+        exec->marker(c.id, item);
+        return false;
+
+      case ItemKind::Think:
+        c.charge(item.addr, 0);
+        return true;
+
+      case ItemKind::IFetchLine: {
+        Addr pa = item.addr;
+        if (item.space == AddrSpace::Virtual &&
+            !translate(c, item, false, pa)) {
+            return false;
+        }
+        const AccessResult r = mem.ifetchAccess(c.id, pa, now, c.ctx);
+        const Cycle execution =
+            Cycle(cfg.instrPerLine) * cfg.cyclesPerInstr;
+        c.charge(execution, r.cycles - execution);
+        return true;
+      }
+
+      case ItemKind::Load:
+      case ItemKind::Store: {
+        const bool is_store = item.kind == ItemKind::Store;
+        Addr pa = item.addr;
+        if (item.space == AddrSpace::Virtual &&
+            !translate(c, item, is_store, pa)) {
+            return false;
+        }
+        const AccessResult r =
+            mem.dataAccess(c.id, pa, is_store, now, c.ctx);
+        c.charge(1, r.cycles - 1);
+        return true;
+      }
+
+      case ItemKind::BypassLoad:
+      case ItemKind::BypassStore: {
+        const bool is_store = item.kind == ItemKind::BypassStore;
+        Addr pa = item.addr;
+        if (item.space == AddrSpace::Virtual &&
+            !translate(c, item, is_store, pa)) {
+            return false;
+        }
+        const AccessResult r =
+            mem.bypassAccess(c.id, pa, is_store, now, c.ctx);
+        c.charge(1, r.cycles - 1);
+        return true;
+      }
+
+      case ItemKind::PrefetchLoad:
+      case ItemKind::PrefetchStore: {
+        // The reference behaves normally in the caches and on the bus,
+        // but a prefetch engine issued it early, so the CPU does not
+        // stall on it.
+        const bool is_store = item.kind == ItemKind::PrefetchStore;
+        Addr pa = item.addr;
+        if (item.space == AddrSpace::Virtual &&
+            !translate(c, item, is_store, pa)) {
+            return false;
+        }
+        mem.dataAccess(c.id, pa, is_store, now, c.ctx);
+        c.charge(1, 0);
+        return true;
+      }
+
+      case ItemKind::UncachedLoad:
+      case ItemKind::UncachedStore: {
+        const bool is_store = item.kind == ItemKind::UncachedStore;
+        const AccessResult r =
+            mem.uncachedAccess(c.id, item.addr, is_store, now, c.ctx);
+        c.charge(1, r.cycles - 1);
+        return true;
+      }
+    }
+    util::panic("unhandled script item kind");
+}
+
+void
+Machine::run(Cycle cycles)
+{
+    if (!exec)
+        util::fatal("Machine::run called with no executor installed");
+
+    const Cycle target = currentCycle + cycles;
+    while (currentCycle < target) {
+        for (auto &cp : cpus) {
+            Cpu &c = *cp;
+            if (c.busyUntil > currentCycle)
+                continue;
+
+            if (currentCycle >= c.nextPollAt) {
+                c.nextPollAt = currentCycle + pollPeriod;
+                if (c.intrDisable == 0 && c.ctx.mode != ExecMode::Kernel)
+                    exec->pollEvents(c.id, currentCycle);
+            }
+
+            uint32_t markers = 0;
+            // Execute until the CPU has consumed this cycle.
+            while (c.busyUntil <= currentCycle) {
+                if (c.script.empty()) {
+                    exec->refill(c.id);
+                    if (c.script.empty())
+                        util::panic("executor refill pushed no work "
+                                    "for cpu %u", c.id);
+                }
+                if (!step(c, currentCycle)) {
+                    if (++markers > markerBudget) {
+                        // Runaway marker chain; let time advance.
+                        c.charge(1, 0);
+                        break;
+                    }
+                }
+            }
+        }
+        ++currentCycle;
+    }
+}
+
+} // namespace mpos::sim

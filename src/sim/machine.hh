@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The complete modeled machine: CPUs, coherent memory system, sync
+ * transport and monitor, plus the cycle-driven execution loop.
+ *
+ * Machine::run() advances global time; at each cycle every non-busy
+ * CPU pops and executes script items. Virtual references translate
+ * through the CPU's TLB and fault into the executor (the kernel) on a
+ * miss; physical references go straight to the memory system.
+ */
+
+#ifndef MPOS_SIM_MACHINE_HH
+#define MPOS_SIM_MACHINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/cpu.hh"
+#include "sim/memsys.hh"
+#include "sim/monitor.hh"
+#include "sim/syncbus.hh"
+#include "sim/types.hh"
+
+namespace mpos::sim
+{
+
+/** The simulated multiprocessor. */
+class Machine
+{
+  public:
+    /**
+     * @param cfg        Machine parameters.
+     * @param num_locks  Number of kernel/user lock ids for the sync
+     *                   transport.
+     */
+    explicit Machine(const MachineConfig &cfg, uint32_t num_locks = 64);
+
+    /** Install the OS model; must happen before run(). */
+    void setExecutor(Executor *executor) { exec = executor; }
+
+    /** Advance the machine by cycles. */
+    void run(Cycle cycles);
+
+    Cycle now() const { return currentCycle; }
+
+    Cpu &cpu(CpuId c) { return *cpus[c]; }
+    const Cpu &cpu(CpuId c) const { return *cpus[c]; }
+    uint32_t numCpus() const { return uint32_t(cpus.size()); }
+
+    Monitor &monitor() { return mon; }
+    MemorySystem &memory() { return mem; }
+    SyncTransport &sync() { return syncTransport; }
+    const MachineConfig &config() const { return cfg; }
+
+    /**
+     * Charge extra cycles to a CPU's current mode (used by the kernel
+     * for synchronization costs).
+     */
+    void
+    charge(CpuId c, Cycle cycles, bool stall)
+    {
+        cpus[c]->charge(stall ? 0 : cycles, stall ? cycles : 0);
+    }
+
+    /** Aggregate cycle accounting over all CPUs. */
+    CycleAccount totalAccount() const;
+
+  private:
+    /**
+     * Execute one script item on a CPU at time now. Returns true if
+     * the item consumed time (markers do not).
+     */
+    bool step(Cpu &c, Cycle now);
+
+    /** Translate a virtual item address; false => fault pushed. */
+    bool translate(Cpu &c, ScriptItem &item, bool is_store, Addr &pa);
+
+    MachineConfig cfg;
+    Monitor mon;
+    MemorySystem mem;
+    SyncTransport syncTransport;
+    std::vector<std::unique_ptr<Cpu>> cpus;
+    Executor *exec = nullptr;
+    Cycle currentCycle = 0;
+
+    /** External-event poll period in cycles. */
+    static constexpr Cycle pollPeriod = 256;
+    /** Safety cap on zero-cost markers executed per step. */
+    static constexpr uint32_t markerBudget = 256;
+};
+
+} // namespace mpos::sim
+
+#endif // MPOS_SIM_MACHINE_HH

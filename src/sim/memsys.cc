@@ -1,0 +1,246 @@
+#include "sim/memsys.hh"
+
+#include "util/logging.hh"
+
+namespace mpos::sim
+{
+
+CpuCaches::CpuCaches(CpuId id, const MachineConfig &cfg)
+    : cpu(id),
+      icache("icache" + std::to_string(id), cfg.icacheBytes,
+             cfg.icacheAssoc, cfg.lineBytes),
+      l1d("l1d" + std::to_string(id), cfg.l1dBytes, cfg.l1dAssoc,
+          cfg.lineBytes),
+      l2d("l2d" + std::to_string(id), cfg.l2dBytes, cfg.l2dAssoc,
+          cfg.lineBytes),
+      l2state(cfg.numLines(), Coh::Invalid)
+{
+}
+
+Coh
+CpuCaches::getState(Addr line) const
+{
+    const uint64_t idx = line / icache.lineBytes();
+    if (idx >= l2state.size())
+        util::panic("coherence state index out of range: %llx",
+                    static_cast<unsigned long long>(line));
+    return l2state[idx];
+}
+
+void
+CpuCaches::setState(Addr line, Coh s)
+{
+    const uint64_t idx = line / icache.lineBytes();
+    if (idx >= l2state.size())
+        util::panic("coherence state index out of range: %llx",
+                    static_cast<unsigned long long>(line));
+    l2state[idx] = s;
+}
+
+MemorySystem::MemorySystem(const MachineConfig &config, Monitor &monitor)
+    : cfg(config), mon(monitor)
+{
+    hier.reserve(cfg.numCpus);
+    for (CpuId c = 0; c < cfg.numCpus; ++c)
+        hier.push_back(std::make_unique<CpuCaches>(c, cfg));
+}
+
+Cycle
+MemorySystem::acquireBus(Cycle now)
+{
+    const Cycle delay = busBusyUntil > now ? busBusyUntil - now : 0;
+    busBusyUntil = now + delay + cfg.busOccupancy;
+    return delay;
+}
+
+void
+MemorySystem::record(Cycle now, CpuId cpu, Addr line, BusOp op,
+                     CacheKind kind, const MonitorContext &ctx)
+{
+    ++txTotal;
+    mon.busTransaction({now, cpu, line, op, kind, ctx});
+}
+
+bool
+MemorySystem::snoopRead(CpuId requester, Addr line)
+{
+    bool shared = false;
+    for (auto &hp : hier) {
+        if (hp->cpu == requester)
+            continue;
+        const Coh st = hp->getState(line);
+        if (st == Coh::Invalid)
+            continue;
+        shared = true;
+        if (st == Coh::Modified || st == Coh::Exclusive) {
+            // Dirty copy flushes; both downgrade to Shared.
+            hp->setState(line, Coh::Shared);
+        }
+    }
+    return shared;
+}
+
+void
+MemorySystem::snoopInvalidate(CpuId requester, Addr line)
+{
+    for (auto &hp : hier) {
+        if (hp->cpu == requester)
+            continue;
+        if (hp->getState(line) == Coh::Invalid)
+            continue;
+        hp->setState(line, Coh::Invalid);
+        hp->l2d.invalidate(line);
+        hp->l1d.invalidate(line);
+        mon.invalSharing(hp->cpu, CacheKind::Data, line);
+    }
+}
+
+void
+MemorySystem::l2Fill(CpuId cpu, Addr line, Coh st, Cycle now,
+                     const MonitorContext &ctx)
+{
+    CpuCaches &h = *hier[cpu];
+    const Victim v = h.l2d.fill(line);
+    if (v.valid) {
+        const Coh vst = h.getState(v.lineAddr);
+        if (vst == Coh::Modified) {
+            // Dirty writeback; buffered, so the CPU is not charged.
+            record(now, cpu, v.lineAddr, BusOp::Writeback,
+                   CacheKind::Data, ctx);
+        }
+        h.setState(v.lineAddr, Coh::Invalid);
+        // Inclusion: the L1 may not keep a line the L2 dropped.
+        h.l1d.invalidate(v.lineAddr);
+        mon.evict(cpu, CacheKind::Data, v.lineAddr, ctx);
+    }
+    h.setState(line, st);
+}
+
+AccessResult
+MemorySystem::dataAccess(CpuId cpu, Addr addr, bool is_write, Cycle now,
+                         const MonitorContext &ctx)
+{
+    CpuCaches &h = *hier[cpu];
+    const Addr line = addr & ~Addr(cfg.lineBytes - 1);
+    AccessResult res;
+    res.cycles = 1; // base execution cost of the reference
+
+    const bool l1hit = h.l1d.touch(line);
+    const bool l2hit = l1hit || h.l2d.touch(line);
+
+    if (l2hit) {
+        if (!l1hit) {
+            res.cycles += cfg.l2HitStall;
+            h.l1d.fill(line); // L1 victim still resides in L2: silent
+        }
+        if (is_write) {
+            const Coh st = h.getState(line);
+            if (st == Coh::Shared) {
+                // Upgrade: invalidate the other copies.
+                const Cycle delay = acquireBus(now);
+                snoopInvalidate(cpu, line);
+                record(now + delay, cpu, line, BusOp::Upgrade,
+                       CacheKind::Data, ctx);
+                res.cycles += cfg.busMissStall + delay;
+                res.busAccess = true;
+            }
+            h.setState(line, Coh::Modified);
+        }
+        return res;
+    }
+
+    // L2 miss: full bus transaction.
+    const Cycle delay = acquireBus(now);
+    Coh newState;
+    if (is_write) {
+        snoopInvalidate(cpu, line);
+        newState = Coh::Modified;
+        record(now + delay, cpu, line, BusOp::ReadEx, CacheKind::Data,
+               ctx);
+    } else {
+        const bool shared = snoopRead(cpu, line);
+        newState = shared ? Coh::Shared : Coh::Exclusive;
+        record(now + delay, cpu, line, BusOp::Read, CacheKind::Data,
+               ctx);
+    }
+    l2Fill(cpu, line, newState, now, ctx);
+    h.l1d.fill(line);
+    res.cycles += cfg.busMissStall + delay;
+    res.busAccess = true;
+    return res;
+}
+
+AccessResult
+MemorySystem::ifetchAccess(CpuId cpu, Addr addr, Cycle now,
+                           const MonitorContext &ctx)
+{
+    CpuCaches &h = *hier[cpu];
+    const Addr line = addr & ~Addr(cfg.lineBytes - 1);
+    AccessResult res;
+    // Executing the instructions in the line.
+    res.cycles = Cycle(cfg.instrPerLine) * cfg.cyclesPerInstr;
+
+    if (h.icache.touch(line))
+        return res;
+
+    const Cycle delay = acquireBus(now);
+    // A dirty data copy in any D-cache must be flushed before the
+    // fetch; downgrading through snoopRead models that.
+    snoopRead(cpu, line);
+    record(now + delay, cpu, line, BusOp::Read, CacheKind::Instr, ctx);
+    const Victim v = h.icache.fill(line);
+    if (v.valid)
+        mon.evict(cpu, CacheKind::Instr, v.lineAddr, ctx);
+    res.cycles += cfg.busMissStall + delay;
+    res.busAccess = true;
+    return res;
+}
+
+AccessResult
+MemorySystem::uncachedAccess(CpuId cpu, Addr addr, bool is_write,
+                             Cycle now, const MonitorContext &ctx)
+{
+    const Addr line = addr & ~Addr(cfg.lineBytes - 1);
+    const Cycle delay = acquireBus(now);
+    record(now + delay, cpu, line,
+           is_write ? BusOp::UncachedWrite : BusOp::UncachedRead,
+           CacheKind::Data, ctx);
+    return {cfg.uncachedAccessCycles + delay, true};
+}
+
+AccessResult
+MemorySystem::bypassAccess(CpuId cpu, Addr addr, bool is_write,
+                           Cycle now, const MonitorContext &ctx)
+{
+    // Block-operation cache bypass: the line is transferred over the
+    // bus (and other caches are kept coherent) but is NOT installed in
+    // the requester's cache, so no displacement occurs.
+    const Addr line = addr & ~Addr(cfg.lineBytes - 1);
+    const Cycle delay = acquireBus(now);
+    if (is_write)
+        snoopInvalidate(cpu, line);
+    else
+        snoopRead(cpu, line);
+    record(now + delay, cpu, line,
+           is_write ? BusOp::ReadEx : BusOp::Read, CacheKind::Data, ctx);
+    return {1 + cfg.busMissStall + delay, true};
+}
+
+void
+MemorySystem::flushICachesForPage(Addr ppage)
+{
+    // As on the measured machine, reallocating a physical page that
+    // held code flushes the WHOLE instruction cache of every CPU (the
+    // R3000 kernel had no cheap selective flush); the paper's Figure 6
+    // notes that this algorithm does not scale down with larger
+    // caches, which is what creates the Inval saturation floor.
+    (void)ppage;
+    for (auto &hp : hier) {
+        mon.flushPage(hp->cpu, 0, 0); // 0 bytes = full-cache flush
+        hp->icache.invalidateRange(0, ~Addr(0), [&](Addr line) {
+            mon.invalPageRealloc(hp->cpu, line);
+        });
+    }
+}
+
+} // namespace mpos::sim

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The coherent memory system: per-CPU cache hierarchies snooping a
+ * shared bus, with the monitor observing every transaction.
+ *
+ * Data caches are kept coherent with a MESI write-invalidate protocol
+ * at the L2 (the 4D/340 used the Illinois protocol); the L1 D-cache is
+ * maintained strictly inclusive in the L2 so a single snoop level
+ * suffices. Instruction caches are not snooped on writes -- as on the
+ * R3000 -- and are flushed explicitly by the kernel when a physical
+ * page that held code is reallocated (the source of the paper's Inval
+ * misses).
+ */
+
+#ifndef MPOS_SIM_MEMSYS_HH
+#define MPOS_SIM_MEMSYS_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/cache.hh"
+#include "sim/monitor.hh"
+#include "sim/types.hh"
+
+namespace mpos::sim
+{
+
+/** MESI line states, tracked at the L2. */
+enum class Coh : uint8_t { Invalid, Shared, Exclusive, Modified };
+
+/** Outcome of one reference through the hierarchy. */
+struct AccessResult
+{
+    Cycle cycles = 0;   ///< Total stall + execution charge for the ref.
+    bool busAccess = false; ///< True if a bus transaction was needed.
+};
+
+/** The caches of one CPU: I-cache, L1 D and L2 D (inclusive). */
+struct CpuCaches
+{
+    CpuCaches(CpuId id, const MachineConfig &cfg);
+
+    CpuId cpu;
+    Cache icache;
+    Cache l1d;
+    Cache l2d;
+    /** MESI state per resident L2 line, parallel array by set/way. */
+    std::vector<Coh> l2state;
+
+    Coh getState(Addr line) const;
+    void setState(Addr line, Coh s);
+
+  private:
+    friend class MemorySystem;
+};
+
+/**
+ * Snooping bus + all CPU hierarchies. All addresses are physical; the
+ * caller is responsible for translation.
+ */
+class MemorySystem
+{
+  public:
+    MemorySystem(const MachineConfig &cfg, Monitor &mon);
+
+    /**
+     * Perform a data reference.
+     * @param now Machine cycle at which the reference issues.
+     * @param ctx Monitor context snapshot of the issuing CPU.
+     */
+    AccessResult dataAccess(CpuId cpu, Addr addr, bool is_write,
+                            Cycle now, const MonitorContext &ctx);
+
+    /** Perform an instruction-line fetch. */
+    AccessResult ifetchAccess(CpuId cpu, Addr addr, Cycle now,
+                              const MonitorContext &ctx);
+
+    /** Cache-bypassing device access. */
+    AccessResult uncachedAccess(CpuId cpu, Addr addr, bool is_write,
+                                Cycle now, const MonitorContext &ctx);
+
+    /**
+     * Flush all I-caches of every line in physical page ppage: the
+     * kernel reallocated a code page. Generates Inval classification
+     * events.
+     */
+    void flushICachesForPage(Addr ppage);
+
+    /**
+     * Data access that bypasses the caches but is still a bus
+     * transaction (the block-operation bypass optimization of
+     * Section 4.2.2).
+     */
+    AccessResult bypassAccess(CpuId cpu, Addr addr, bool is_write,
+                              Cycle now, const MonitorContext &ctx);
+
+    CpuCaches &caches(CpuId cpu) { return *hier[cpu]; }
+    const CpuCaches &caches(CpuId cpu) const { return *hier[cpu]; }
+
+    uint64_t busTransactions() const { return txTotal; }
+
+    const MachineConfig &config() const { return cfg; }
+
+  private:
+    /** Charge bus arbitration and occupancy; returns queueing delay. */
+    Cycle acquireBus(Cycle now);
+
+    /** Snoop others on a read; true if any other cache held the line. */
+    bool snoopRead(CpuId requester, Addr line);
+
+    /** Snoop others on ReadEx/Upgrade: invalidate all other copies. */
+    void snoopInvalidate(CpuId requester, Addr line);
+
+    void record(Cycle now, CpuId cpu, Addr line, BusOp op,
+                CacheKind kind, const MonitorContext &ctx);
+
+    /** L2 fill with inclusion bookkeeping and eviction events. */
+    void l2Fill(CpuId cpu, Addr line, Coh st, Cycle now,
+                const MonitorContext &ctx);
+
+    MachineConfig cfg;
+    Monitor &mon;
+    std::vector<std::unique_ptr<CpuCaches>> hier;
+    Cycle busBusyUntil = 0;
+    uint64_t txTotal = 0;
+};
+
+} // namespace mpos::sim
+
+#endif // MPOS_SIM_MEMSYS_HH

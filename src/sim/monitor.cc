@@ -1,0 +1,32 @@
+#include "sim/monitor.hh"
+
+#include <algorithm>
+
+namespace mpos::sim
+{
+
+void
+Monitor::detach(MonitorObserver *obs)
+{
+    observers.erase(std::remove(observers.begin(), observers.end(), obs),
+                    observers.end());
+}
+
+const char *
+osOpName(OsOp op)
+{
+    switch (op) {
+      case OsOp::None: return "none";
+      case OsOp::UtlbFault: return "utlb-fault";
+      case OsOp::CheapTlbFault: return "cheap-tlb-fault";
+      case OsOp::ExpensiveTlbFault: return "expensive-tlb-fault";
+      case OsOp::IoSyscall: return "io-syscall";
+      case OsOp::Sginap: return "sginap";
+      case OsOp::OtherSyscall: return "other-syscall";
+      case OsOp::Interrupt: return "interrupt";
+      case OsOp::IdleLoop: return "idle-loop";
+    }
+    return "?";
+}
+
+} // namespace mpos::sim

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * The "hardware monitor": a perturbation-free observer of all bus and
+ * cache events plus the in-band OS event channel.
+ *
+ * The paper's monitor snooped the backplane and stored two million
+ * {address, CPU} records, with OS events smuggled in as uncached
+ * escape references. In the simulator, the monitor is an event hub:
+ * the machine reports every bus transaction, eviction and invalidation
+ * together with a context snapshot (mode, OS operation, kernel routine,
+ * pid), and the kernel reports OS entry/exit and context-switch events.
+ * Analysis components subscribe as MonitorObserver.
+ */
+
+#ifndef MPOS_SIM_MONITOR_HH
+#define MPOS_SIM_MONITOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mpos::sim
+{
+
+/** One bus transaction as seen by the monitor. */
+struct BusRecord
+{
+    Cycle cycle = 0;
+    CpuId cpu = 0;
+    Addr lineAddr = 0;
+    BusOp op = BusOp::Read;
+    CacheKind cache = CacheKind::Data;
+    MonitorContext ctx;
+};
+
+/** Interface for analysis components that consume monitor events. */
+class MonitorObserver
+{
+  public:
+    virtual ~MonitorObserver() = default;
+
+    /** A bus transaction (miss fill, upgrade, writeback, uncached). */
+    virtual void busTransaction(const BusRecord &rec) { (void)rec; }
+
+    /**
+     * A line was displaced from cpu's cache by a conflicting fill.
+     * @param by Context of the reference that caused the displacement.
+     */
+    virtual void
+    evict(CpuId cpu, CacheKind kind, Addr line, const MonitorContext &by)
+    {
+        (void)cpu; (void)kind; (void)line; (void)by;
+    }
+
+    /** A line was invalidated by another CPU's write (coherence). */
+    virtual void
+    invalSharing(CpuId cpu, CacheKind kind, Addr line)
+    {
+        (void)cpu; (void)kind; (void)line;
+    }
+
+    /** I-cache lines flushed because a code page was reallocated.
+     *  Fired once per line that was actually resident. */
+    virtual void
+    invalPageRealloc(CpuId cpu, Addr line)
+    {
+        (void)cpu; (void)line;
+    }
+
+    /** Code-page reallocation flushed cpu's I-cache. page_bytes == 0
+     *  denotes a full-cache flush (the measured machine's algorithm);
+     *  otherwise the given range was flushed. Used by re-simulation. */
+    virtual void
+    flushPage(CpuId cpu, Addr page_addr, uint32_t page_bytes)
+    {
+        (void)cpu; (void)page_addr; (void)page_bytes;
+    }
+
+    /** CPU entered the OS (op != IdleLoop) or the idle loop. */
+    virtual void
+    osEnter(Cycle cycle, CpuId cpu, OsOp op)
+    {
+        (void)cycle; (void)cpu; (void)op;
+    }
+
+    /** CPU left the OS and resumed (or will resume) the application. */
+    virtual void
+    osExit(Cycle cycle, CpuId cpu, OsOp op)
+    {
+        (void)cycle; (void)cpu; (void)op;
+    }
+
+    /** A different process was switched onto the CPU. */
+    virtual void
+    contextSwitch(Cycle cycle, CpuId cpu, Pid from, Pid to)
+    {
+        (void)cycle; (void)cpu; (void)from; (void)to;
+    }
+};
+
+/** Event hub plus always-on transaction counters. */
+class Monitor
+{
+  public:
+    void attach(MonitorObserver *obs) { observers.push_back(obs); }
+    void detach(MonitorObserver *obs);
+
+    void
+    busTransaction(const BusRecord &rec)
+    {
+        ++txCount;
+        if (rec.ctx.mode != ExecMode::User)
+            ++txOs;
+        for (auto *o : observers)
+            o->busTransaction(rec);
+    }
+
+    void
+    evict(CpuId cpu, CacheKind kind, Addr line, const MonitorContext &by)
+    {
+        for (auto *o : observers)
+            o->evict(cpu, kind, line, by);
+    }
+
+    void
+    invalSharing(CpuId cpu, CacheKind kind, Addr line)
+    {
+        for (auto *o : observers)
+            o->invalSharing(cpu, kind, line);
+    }
+
+    void
+    invalPageRealloc(CpuId cpu, Addr line)
+    {
+        for (auto *o : observers)
+            o->invalPageRealloc(cpu, line);
+    }
+
+    void
+    flushPage(CpuId cpu, Addr page_addr, uint32_t page_bytes)
+    {
+        for (auto *o : observers)
+            o->flushPage(cpu, page_addr, page_bytes);
+    }
+
+    void
+    osEnter(Cycle cycle, CpuId cpu, OsOp op)
+    {
+        for (auto *o : observers)
+            o->osEnter(cycle, cpu, op);
+    }
+
+    void
+    osExit(Cycle cycle, CpuId cpu, OsOp op)
+    {
+        for (auto *o : observers)
+            o->osExit(cycle, cpu, op);
+    }
+
+    void
+    contextSwitch(Cycle cycle, CpuId cpu, Pid from, Pid to)
+    {
+        for (auto *o : observers)
+            o->contextSwitch(cycle, cpu, from, to);
+    }
+
+    uint64_t transactions() const { return txCount; }
+    uint64_t osTransactions() const { return txOs; }
+
+  private:
+    std::vector<MonitorObserver *> observers;
+    uint64_t txCount = 0;
+    uint64_t txOs = 0;
+};
+
+} // namespace mpos::sim
+
+#endif // MPOS_SIM_MONITOR_HH

@@ -1,0 +1,111 @@
+#include "sim/syncbus.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace mpos::sim
+{
+
+SyncTransport::SyncTransport(const MachineConfig &config,
+                             uint32_t num_locks)
+    : cfg(config), perLock(num_locks), cachedAt(num_locks, 0),
+      stall(cfg.numCpus, 0)
+{
+    if (cfg.numCpus > 32)
+        util::fatal("SyncTransport supports at most 32 CPUs");
+}
+
+uint32_t
+SyncTransport::uncachedOpsFor(LockEvent ev) const
+{
+    switch (ev) {
+      case LockEvent::AcquireSuccess:
+        // No atomic RMW on the sync bus: read, set, verify.
+        return cfg.syncOpsPerAcquire;
+      case LockEvent::AcquireFail:
+        return 1; // every poll of a held lock crosses the sync bus
+      case LockEvent::Release:
+        return 1;
+    }
+    return 0;
+}
+
+uint32_t
+SyncTransport::cachedOpsFor(CpuId cpu, uint32_t lock_id, LockEvent ev)
+{
+    const uint32_t me = 1u << cpu;
+    uint32_t &mask = cachedAt[lock_id];
+    switch (ev) {
+      case LockEvent::AcquireSuccess:
+      case LockEvent::Release:
+        // LL/SC write: needs the line exclusive. Free when this CPU
+        // already holds the only copy.
+        if (mask == me)
+            return 0;
+        mask = me;
+        return 1;
+      case LockEvent::AcquireFail:
+        // Spin read: first poll fetches the line, later polls hit.
+        if (mask & me)
+            return 0;
+        mask |= me;
+        return 1;
+    }
+    return 0;
+}
+
+Cycle
+SyncTransport::access(CpuId cpu, uint32_t lock_id, LockEvent ev)
+{
+    if (lock_id >= perLock.size())
+        util::panic("lock id %u out of range", lock_id);
+
+    const uint32_t uops = uncachedOpsFor(ev);
+    const uint32_t cops = cachedOpsFor(cpu, lock_id, ev);
+    perLock[lock_id].uncachedOps += uops;
+    perLock[lock_id].cachedOps += cops;
+    uncachedOpsTotal += uops;
+    cachedOpsTotal += cops;
+
+    const Cycle cost = cfg.cachedLockRmw
+        ? Cycle(cops) * cfg.busMissStall
+        : Cycle(uops) * cfg.syncBusOpCycles;
+    stall[cpu] += cost;
+    return cost;
+}
+
+const SyncOpCounts &
+SyncTransport::counts(uint32_t lock_id) const
+{
+    if (lock_id >= perLock.size())
+        util::panic("lock id %u out of range", lock_id);
+    return perLock[lock_id];
+}
+
+SyncOpCounts
+SyncTransport::sumOps(uint32_t id_limit) const
+{
+    SyncOpCounts total;
+    const uint32_t n = std::min<uint32_t>(id_limit,
+                                          uint32_t(perLock.size()));
+    for (uint32_t i = 0; i < n; ++i) {
+        total.uncachedOps += perLock[i].uncachedOps;
+        total.cachedOps += perLock[i].cachedOps;
+    }
+    return total;
+}
+
+Cycle
+SyncTransport::uncachedStallTotal() const
+{
+    return uncachedOpsTotal * cfg.syncBusOpCycles;
+}
+
+Cycle
+SyncTransport::cachedStallTotal() const
+{
+    return cachedOpsTotal * cfg.busMissStall;
+}
+
+} // namespace mpos::sim

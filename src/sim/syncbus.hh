@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Lock-access transport modeling the 4D/340's dedicated synchronization
+ * bus and the paper's simulated alternative.
+ *
+ * The real machine diverts all lock accesses to a separate
+ * synchronization bus whose protocol, lacking an atomic
+ * read-modify-write, needs several uncached transactions per acquire
+ * (Table 10 "Current Machine"). Section 5.1 simulates the alternative:
+ * locks held in the coherent caches with LL/SC-style atomic RMW, where
+ * re-acquiring an undisturbed lock costs no bus access at all
+ * (Table 10 "Atomic RMW + Caches", Table 12 last column).
+ *
+ * SyncTransport charges timing under the *active* protocol and counts
+ * bus operations under *both*, so one run produces both columns.
+ */
+
+#ifndef MPOS_SIM_SYNCBUS_HH
+#define MPOS_SIM_SYNCBUS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mpos::sim
+{
+
+/** What happened at a lock, as reported by the kernel lock layer. */
+enum class LockEvent : uint8_t
+{
+    AcquireSuccess, ///< Test-and-set won the lock.
+    AcquireFail,    ///< Poll found the lock held (one spin iteration).
+    Release,
+};
+
+/** Per-lock operation counters under both protocols. */
+struct SyncOpCounts
+{
+    uint64_t uncachedOps = 0; ///< Sync-bus transactions.
+    uint64_t cachedOps = 0;   ///< Main-bus accesses under cached RMW.
+};
+
+/** Dual-protocol lock transport. */
+class SyncTransport
+{
+  public:
+    SyncTransport(const MachineConfig &cfg, uint32_t num_locks);
+
+    /**
+     * Account one lock event; returns the CPU stall cycles under the
+     * active protocol (cfg.cachedLockRmw selects it).
+     */
+    Cycle access(CpuId cpu, uint32_t lock_id, LockEvent ev);
+
+    /** Per-lock op counts under both protocols. */
+    const SyncOpCounts &counts(uint32_t lock_id) const;
+
+    /** Sum of op counts over lock ids [0, id_limit). */
+    SyncOpCounts sumOps(uint32_t id_limit) const;
+
+    Cycle uncachedCyclesPerOp() const { return cfg.syncBusOpCycles; }
+    Cycle cachedCyclesPerOp() const { return cfg.busMissStall; }
+
+    /** Stall cycles charged so far to cpu by the active protocol. */
+    Cycle stallCycles(CpuId cpu) const { return stall[cpu]; }
+
+    /** Hypothetical total stall if the *other* protocol had been on. */
+    Cycle uncachedStallTotal() const;
+    Cycle cachedStallTotal() const;
+
+    uint32_t numLocks() const { return uint32_t(perLock.size()); }
+
+  private:
+    /** Bus ops this event needs under the uncached sync-bus protocol. */
+    uint32_t uncachedOpsFor(LockEvent ev) const;
+
+    /** Bus ops under cached LL/SC, tracking the line's location. */
+    uint32_t cachedOpsFor(CpuId cpu, uint32_t lock_id, LockEvent ev);
+
+    MachineConfig cfg;
+    std::vector<SyncOpCounts> perLock;
+    /** Bitmask of CPUs whose cache currently holds each lock's line. */
+    std::vector<uint32_t> cachedAt;
+    std::vector<Cycle> stall;
+    uint64_t uncachedOpsTotal = 0;
+    uint64_t cachedOpsTotal = 0;
+};
+
+} // namespace mpos::sim
+
+#endif // MPOS_SIM_SYNCBUS_HH

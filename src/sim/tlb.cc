@@ -1,0 +1,78 @@
+#include "sim/tlb.hh"
+
+namespace mpos::sim
+{
+
+Tlb::Tlb(uint32_t num_entries)
+    : entries(num_entries)
+{
+}
+
+const TlbEntry *
+Tlb::lookup(Pid pid, Addr vpage) const
+{
+    for (const auto &e : entries)
+        if (e.valid && e.pid == pid && e.vpage == vpage)
+            return &e;
+    return nullptr;
+}
+
+uint32_t
+Tlb::insert(Pid pid, Addr vpage, Addr ppage, bool writable)
+{
+    // Refresh in place if already mapped.
+    for (uint32_t i = 0; i < entries.size(); ++i) {
+        auto &e = entries[i];
+        if (e.valid && e.pid == pid && e.vpage == vpage) {
+            e.ppage = ppage;
+            e.writable = writable;
+            return i;
+        }
+    }
+    const uint32_t slot = fifoNext;
+    fifoNext = (fifoNext + 1) % uint32_t(entries.size());
+    entries[slot] = {pid, vpage, ppage, writable, true};
+    return slot;
+}
+
+void
+Tlb::invalidate(Pid pid, Addr vpage)
+{
+    for (auto &e : entries)
+        if (e.valid && e.pid == pid && e.vpage == vpage)
+            e.valid = false;
+}
+
+void
+Tlb::invalidatePid(Pid pid)
+{
+    for (auto &e : entries)
+        if (e.valid && e.pid == pid)
+            e.valid = false;
+}
+
+void
+Tlb::invalidatePhys(Addr ppage)
+{
+    for (auto &e : entries)
+        if (e.valid && e.ppage == ppage)
+            e.valid = false;
+}
+
+void
+Tlb::flush()
+{
+    for (auto &e : entries)
+        e.valid = false;
+}
+
+uint32_t
+Tlb::residentEntries() const
+{
+    uint32_t n = 0;
+    for (const auto &e : entries)
+        n += e.valid;
+    return n;
+}
+
+} // namespace mpos::sim

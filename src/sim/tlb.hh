@@ -1,0 +1,86 @@
+/**
+ * @file
+ * 64-entry fully-associative TLB, one per CPU, as on the R3000.
+ *
+ * Entries are tagged with the owning process id (the R3000 PID field),
+ * so context switches do not flush the TLB; UTLB refill faults emerge
+ * from capacity and footprint exactly as in the measured machine.
+ * Replacement is FIFO, a deterministic stand-in for the R3000's
+ * random-register replacement.
+ */
+
+#ifndef MPOS_SIM_TLB_HH
+#define MPOS_SIM_TLB_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mpos::sim
+{
+
+/** Result of a successful TLB translation. */
+struct TlbEntry
+{
+    Pid pid = invalidPid;
+    Addr vpage = 0;   ///< Virtual page number.
+    Addr ppage = 0;   ///< Physical page number.
+    bool writable = false;
+    bool valid = false;
+};
+
+/** Fully-associative, PID-tagged TLB with FIFO replacement. */
+class Tlb
+{
+  public:
+    explicit Tlb(uint32_t num_entries = 64);
+
+    /** Look up (pid, vpage); updates no state. */
+    const TlbEntry *lookup(Pid pid, Addr vpage) const;
+
+    /**
+     * Install a mapping, replacing any existing entry for (pid, vpage)
+     * first, otherwise the FIFO victim. Returns the entry index used.
+     */
+    uint32_t insert(Pid pid, Addr vpage, Addr ppage, bool writable);
+
+    /** Drop one mapping if present (e.g. on COW break or unmap). */
+    void invalidate(Pid pid, Addr vpage);
+
+    /** Drop every mapping belonging to pid (process exit / exec). */
+    void invalidatePid(Pid pid);
+
+    /** Drop every mapping of a physical page (page stolen). */
+    void invalidatePhys(Addr ppage);
+
+    /** Drop everything. */
+    void flush();
+
+    uint32_t size() const { return uint32_t(entries.size()); }
+    uint32_t residentEntries() const;
+
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+
+    /** Record-keeping wrappers used by the CPU. */
+    const TlbEntry *
+    translate(Pid pid, Addr vpage)
+    {
+        const TlbEntry *e = lookup(pid, vpage);
+        if (e)
+            ++hits;
+        else
+            ++misses;
+        return e;
+    }
+
+  private:
+    std::vector<TlbEntry> entries;
+    uint32_t fifoNext = 0;
+};
+
+} // namespace mpos::sim
+
+#endif // MPOS_SIM_TLB_HH

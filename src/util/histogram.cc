@@ -1,0 +1,151 @@
+#include "util/histogram.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace mpos::util
+{
+
+LinearHistogram::LinearHistogram(uint64_t bucket_width, uint32_t num_buckets)
+    : width(bucket_width), counts(num_buckets + 1, 0)
+{
+    if (bucket_width == 0 || num_buckets == 0)
+        panic("LinearHistogram: degenerate geometry");
+}
+
+void
+LinearHistogram::add(uint64_t value)
+{
+    uint64_t i = value / width;
+    if (i >= counts.size() - 1)
+        i = counts.size() - 1;
+    ++counts[i];
+    ++total;
+    sum += double(value);
+}
+
+double
+LinearHistogram::mean() const
+{
+    return total ? sum / double(total) : 0.0;
+}
+
+uint64_t
+LinearHistogram::percentile(double frac) const
+{
+    if (!total)
+        return 0;
+    const auto target = uint64_t(frac * double(total));
+    uint64_t running = 0;
+    for (uint32_t i = 0; i < counts.size(); ++i) {
+        running += counts[i];
+        if (running >= target)
+            return bucketLo(i);
+    }
+    return bucketLo(uint32_t(counts.size() - 1));
+}
+
+double
+LinearHistogram::fraction(uint32_t i) const
+{
+    if (!total || i >= counts.size())
+        return 0.0;
+    return double(counts[i]) / double(total);
+}
+
+void
+LinearHistogram::merge(const LinearHistogram &other)
+{
+    if (other.width != width || other.counts.size() != counts.size())
+        panic("LinearHistogram::merge: geometry mismatch");
+    for (size_t i = 0; i < counts.size(); ++i)
+        counts[i] += other.counts[i];
+    total += other.total;
+    sum += other.sum;
+}
+
+Log2Histogram::Log2Histogram(uint32_t num_buckets)
+    : counts(num_buckets, 0)
+{
+    if (num_buckets < 2)
+        panic("Log2Histogram: need at least two buckets");
+}
+
+void
+Log2Histogram::add(uint64_t value)
+{
+    uint32_t i = value < 2 ? 0 : uint32_t(std::bit_width(value) - 1);
+    if (i >= counts.size())
+        i = uint32_t(counts.size() - 1);
+    ++counts[i];
+    ++total;
+    sum += double(value);
+}
+
+double
+Log2Histogram::mean() const
+{
+    return total ? sum / double(total) : 0.0;
+}
+
+uint64_t
+Log2Histogram::percentile(double frac) const
+{
+    if (!total)
+        return 0;
+    const auto target = uint64_t(frac * double(total));
+    uint64_t running = 0;
+    for (uint32_t i = 0; i < counts.size(); ++i) {
+        running += counts[i];
+        if (running >= target)
+            return bucketLo(i);
+    }
+    return bucketLo(uint32_t(counts.size() - 1));
+}
+
+double
+Log2Histogram::fraction(uint32_t i) const
+{
+    if (!total || i >= counts.size())
+        return 0.0;
+    return double(counts[i]) / double(total);
+}
+
+void
+Log2Histogram::merge(const Log2Histogram &other)
+{
+    if (other.counts.size() != counts.size())
+        panic("Log2Histogram::merge: geometry mismatch");
+    for (size_t i = 0; i < counts.size(); ++i)
+        counts[i] += other.counts[i];
+    total += other.total;
+    sum += other.sum;
+}
+
+std::string
+Log2Histogram::render(const std::string &label, uint32_t bar_width) const
+{
+    std::string out = label + " (n=" + std::to_string(total) +
+                      ", mean=" + std::to_string(mean()) + ")\n";
+    // Trim trailing empty buckets for readability.
+    uint32_t last = 0;
+    for (uint32_t i = 0; i < counts.size(); ++i)
+        if (counts[i])
+            last = i;
+    for (uint32_t i = 0; i <= last; ++i) {
+        const double f = fraction(i);
+        char head[64];
+        std::snprintf(head, sizeof(head), "  >=%10llu %6.2f%% |",
+                      static_cast<unsigned long long>(bucketLo(i)),
+                      100.0 * f);
+        out += head;
+        out.append(uint32_t(f * bar_width + 0.5), '#');
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace mpos::util

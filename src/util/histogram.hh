@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Histogram utilities for per-invocation distributions (Figures 1 and 3).
+ *
+ * Two shapes are provided: a linear histogram with fixed-width buckets and
+ * a base-2 logarithmic histogram for long-tailed quantities (misses or
+ * cycles per OS invocation). Both support mean, percentile and rendering
+ * queries used by the bench harnesses.
+ */
+
+#ifndef MPOS_UTIL_HISTOGRAM_HH
+#define MPOS_UTIL_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpos::util
+{
+
+/** Fixed-width-bucket histogram over [0, bucketWidth * numBuckets). */
+class LinearHistogram
+{
+  public:
+    /**
+     * @param bucket_width Width of each bucket (> 0).
+     * @param num_buckets  Number of regular buckets; larger samples go to
+     *                     an overflow bucket.
+     */
+    LinearHistogram(uint64_t bucket_width, uint32_t num_buckets);
+
+    /** Record one sample. */
+    void add(uint64_t value);
+
+    /** Number of samples recorded. */
+    uint64_t count() const { return total; }
+
+    /** Arithmetic mean of samples (0 if empty). */
+    double mean() const;
+
+    /** Smallest value v such that at least frac of samples are <= v. */
+    uint64_t percentile(double frac) const;
+
+    /** Fraction of samples falling in bucket i (overflow = last). */
+    double fraction(uint32_t i) const;
+
+    /** Lower bound of bucket i. */
+    uint64_t bucketLo(uint32_t i) const { return i * width; }
+
+    uint32_t numBuckets() const { return uint32_t(counts.size()); }
+
+    /** Merge another histogram with identical geometry. */
+    void merge(const LinearHistogram &other);
+
+  private:
+    uint64_t width;
+    std::vector<uint64_t> counts; // last slot is overflow
+    uint64_t total = 0;
+    double sum = 0.0;
+};
+
+/** Base-2 logarithmic histogram: bucket i covers [2^i, 2^(i+1)). */
+class Log2Histogram
+{
+  public:
+    explicit Log2Histogram(uint32_t num_buckets = 32);
+
+    void add(uint64_t value);
+
+    uint64_t count() const { return total; }
+    double mean() const;
+    uint64_t percentile(double frac) const;
+    double fraction(uint32_t i) const;
+
+    /** Lower bound of bucket i (bucket 0 holds value 0 and 1). */
+    uint64_t bucketLo(uint32_t i) const { return i == 0 ? 0 : (1ULL << i); }
+
+    uint32_t numBuckets() const { return uint32_t(counts.size()); }
+
+    void merge(const Log2Histogram &other);
+
+    /** Render as an ASCII bar chart, one bucket per line. */
+    std::string render(const std::string &label, uint32_t bar_width = 40)
+        const;
+
+  private:
+    std::vector<uint64_t> counts;
+    uint64_t total = 0;
+    double sum = 0.0;
+};
+
+} // namespace mpos::util
+
+#endif // MPOS_UTIL_HISTOGRAM_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Status and error reporting helpers in the gem5 idiom.
+ *
+ * panic()  -- an internal invariant of the simulator is broken; aborts.
+ * fatal()  -- the user asked for something impossible; exits cleanly.
+ * warn()   -- something is modeled approximately; simulation continues.
+ * inform() -- plain status output.
+ */
+
+#ifndef MPOS_UTIL_LOGGING_HH
+#define MPOS_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace mpos::util
+{
+
+/** Print a formatted message with a severity prefix. */
+template <typename... Args>
+void
+message(const char *prefix, const char *fmt, Args... args)
+{
+    std::fprintf(stderr, "%s: ", prefix);
+    if constexpr (sizeof...(Args) == 0)
+        std::fputs(fmt, stderr);
+    else
+        std::fprintf(stderr, fmt, args...);
+    std::fputc('\n', stderr);
+}
+
+/** Abort: a simulator bug (broken invariant), never a user error. */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args... args)
+{
+    message("panic", fmt, args...);
+    std::abort();
+}
+
+/** Exit: the user's configuration cannot be simulated. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args... args)
+{
+    message("fatal", fmt, args...);
+    std::exit(1);
+}
+
+/** Non-fatal warning about approximate modeling. */
+template <typename... Args>
+void
+warn(const char *fmt, Args... args)
+{
+    message("warn", fmt, args...);
+}
+
+/** Informational status message. */
+template <typename... Args>
+void
+inform(const char *fmt, Args... args)
+{
+    message("info", fmt, args...);
+}
+
+} // namespace mpos::util
+
+#endif // MPOS_UTIL_LOGGING_HH

@@ -1,0 +1,73 @@
+#include "util/stats.hh"
+
+#include <cstdio>
+
+namespace mpos::util
+{
+
+int
+CounterSet::find(const std::string &name) const
+{
+    for (size_t i = 0; i < items.size(); ++i)
+        if (items[i].first == name)
+            return int(i);
+    return -1;
+}
+
+void
+CounterSet::add(const std::string &name, uint64_t delta)
+{
+    const int i = find(name);
+    if (i >= 0)
+        items[size_t(i)].second += delta;
+    else
+        items.emplace_back(name, delta);
+}
+
+uint64_t
+CounterSet::get(const std::string &name) const
+{
+    const int i = find(name);
+    return i >= 0 ? items[size_t(i)].second : 0;
+}
+
+uint64_t
+CounterSet::total() const
+{
+    uint64_t sum = 0;
+    for (const auto &kv : items)
+        sum += kv.second;
+    return sum;
+}
+
+double
+CounterSet::fractionOfTotal(const std::string &name) const
+{
+    const uint64_t t = total();
+    return t ? double(get(name)) / double(t) : 0.0;
+}
+
+void
+CounterSet::clear()
+{
+    for (auto &kv : items)
+        kv.second = 0;
+}
+
+std::string
+pct(double fraction)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", 100.0 * fraction);
+    return buf;
+}
+
+std::string
+pctOf(uint64_t a, uint64_t b)
+{
+    if (!b)
+        return "-";
+    return pct(double(a) / double(b));
+}
+
+} // namespace mpos::util

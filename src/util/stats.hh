@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Small named-counter registry used by the analysis layer.
+ *
+ * CounterSet keeps insertion order so reports print in a stable,
+ * author-chosen sequence.
+ */
+
+#ifndef MPOS_UTIL_STATS_HH
+#define MPOS_UTIL_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpos::util
+{
+
+/** An ordered set of named uint64 counters. */
+class CounterSet
+{
+  public:
+    /** Add delta to counter name, creating it at zero if absent. */
+    void add(const std::string &name, uint64_t delta = 1);
+
+    /** Current value (0 if the counter was never touched). */
+    uint64_t get(const std::string &name) const;
+
+    /** Sum over all counters. */
+    uint64_t total() const;
+
+    /** value(name) / total(), or 0 when empty. */
+    double fractionOfTotal(const std::string &name) const;
+
+    /** All (name, value) pairs in insertion order. */
+    const std::vector<std::pair<std::string, uint64_t>> &
+    entries() const
+    {
+        return items;
+    }
+
+    /** Reset every counter to zero (names retained). */
+    void clear();
+
+  private:
+    std::vector<std::pair<std::string, uint64_t>> items;
+    int find(const std::string &name) const;
+};
+
+/** Format helper: percentage with one decimal. */
+std::string pct(double fraction);
+
+/** Format helper: ratio a/b as a percentage string, "-" when b == 0. */
+std::string pctOf(uint64_t a, uint64_t b);
+
+} // namespace mpos::util
+
+#endif // MPOS_UTIL_STATS_HH

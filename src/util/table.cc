@@ -1,0 +1,108 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mpos::util
+{
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    head = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows.push_back({std::move(cells), false});
+}
+
+void
+TextTable::rule()
+{
+    rows.push_back({{}, true});
+}
+
+std::string
+TextTable::render() const
+{
+    // Compute column widths over header and all rows.
+    std::vector<size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(head);
+    for (const auto &r : rows)
+        grow(r.cells);
+
+    size_t line_len = 2;
+    for (size_t w : widths)
+        line_len += w + 3;
+
+    auto fmt_row = [&](const std::vector<std::string> &cells) {
+        std::string line = "| ";
+        for (size_t i = 0; i < widths.size(); ++i) {
+            std::string c = i < cells.size() ? cells[i] : "";
+            c.resize(widths[i], ' ');
+            line += c + " | ";
+        }
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    std::string sep(line_len, '-');
+    sep += "\n";
+
+    std::string out;
+    if (!heading.empty())
+        out += heading + "\n";
+    out += sep;
+    if (!head.empty()) {
+        out += fmt_row(head);
+        out += sep;
+    }
+    for (const auto &r : rows)
+        out += r.separator ? sep : fmt_row(r.cells);
+    out += sep;
+    return out;
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+std::string
+barChart(const std::string &title,
+         const std::vector<std::pair<std::string, double>> &data,
+         uint32_t width, const std::string &unit)
+{
+    double max_v = 0.0;
+    size_t max_label = 0;
+    for (const auto &kv : data) {
+        max_v = std::max(max_v, kv.second);
+        max_label = std::max(max_label, kv.first.size());
+    }
+    std::string out = title + "\n";
+    for (const auto &kv : data) {
+        std::string label = kv.first;
+        label.resize(max_label, ' ');
+        char val[64];
+        std::snprintf(val, sizeof(val), "%10.2f%s", kv.second,
+                      unit.c_str());
+        out += "  " + label + " " + val + " |";
+        const uint32_t bar = max_v > 0.0
+            ? uint32_t(kv.second / max_v * width + 0.5) : 0;
+        out.append(bar, '#');
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace mpos::util

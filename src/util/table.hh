@@ -1,0 +1,63 @@
+/**
+ * @file
+ * ASCII table and bar-chart rendering for bench output.
+ *
+ * Every bench binary prints "paper vs measured" rows through TextTable so
+ * that all experiments share one visual format.
+ */
+
+#ifndef MPOS_UTIL_TABLE_HH
+#define MPOS_UTIL_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpos::util
+{
+
+/** Column-aligned ASCII table with an optional title and header rule. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "") : heading(std::move(title)) {}
+
+    /** Set the header row (printed above a rule). */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a horizontal separator between data rows. */
+    void rule();
+
+    /** Render the whole table. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool separator = false;
+    };
+
+    std::string heading;
+    std::vector<std::string> head;
+    std::vector<Row> rows;
+};
+
+/**
+ * Render a horizontal bar chart: one line per (label, value) pair, bars
+ * scaled so the maximum value spans width characters.
+ */
+std::string barChart(const std::string &title,
+                     const std::vector<std::pair<std::string, double>>
+                         &data,
+                     uint32_t width = 50, const std::string &unit = "");
+
+} // namespace mpos::util
+
+#endif // MPOS_UTIL_TABLE_HH

@@ -1,0 +1,121 @@
+#include "workload/app_model.hh"
+
+namespace mpos::workload
+{
+
+namespace
+{
+constexpr Addr lineBytes = 16;
+constexpr uint32_t instrPerLine = 4;
+} // namespace
+
+SyntheticApp::SyntheticApp(const AppParams &params)
+    : prm(params), rng(params.seed)
+{
+}
+
+void
+SyntheticApp::resetCursors()
+{
+    codePos = 0;
+    loopActive = false;
+    sweepPos = 0;
+}
+
+Addr
+SyntheticApp::pickDataAddr()
+{
+    if (prm.sharedBytes && rng.chance(prm.sharedRefProb)) {
+        if (rng.chance(prm.sharedSweepProb)) {
+            const Addr a = prm.sharedBase + sweepPos;
+            sweepPos = (sweepPos + lineBytes) % prm.sharedBytes;
+            return a;
+        }
+        uint64_t span = prm.sharedBytes;
+        if (prm.sharedHotProb > 0.0 && rng.chance(prm.sharedHotProb))
+            span = uint64_t(prm.sharedHotFrac *
+                            double(prm.sharedBytes));
+        if (!span)
+            span = lineBytes;
+        return prm.sharedBase + (rng.below(span) & ~(lineBytes - 1));
+    }
+    const uint64_t hot =
+        uint64_t(prm.hotDataFrac * double(prm.dataBytes));
+    uint64_t off;
+    if (hot && rng.chance(prm.hotDataProb))
+        off = rng.below(hot);
+    else
+        off = rng.below(prm.dataBytes);
+    return VaMap::dataBase + (off & ~(lineBytes - 1));
+}
+
+void
+SyntheticApp::maybeJump()
+{
+    if (!rng.chance(prm.jumpProb * instrPerLine))
+        return;
+    const uint64_t hot =
+        uint64_t(prm.hotCodeFrac * double(prm.codeBytes));
+    uint64_t target;
+    if (hot && rng.chance(prm.hotCodeProb))
+        target = rng.below(hot);
+    else
+        target = rng.below(prm.codeBytes);
+    codePos = target & ~(lineBytes - 1);
+    loopActive = false;
+}
+
+void
+SyntheticApp::emitWork(UserScript &s, uint32_t instrs)
+{
+    uint32_t emitted = 0;
+    const bool shared_write_ok = prm.sharedBytes > 0;
+    while (emitted < instrs) {
+        if (!loopActive && rng.chance(prm.loopStartProb)) {
+            loopActive = true;
+            loopStart = codePos;
+            loopLines = 2 + uint32_t(rng.below(prm.maxLoopLines));
+            loopRepsLeft = 2 + uint32_t(rng.below(prm.maxLoopReps));
+        }
+
+        s.ifetch(VaMap::textBase + codePos);
+        for (uint32_t i = 0; i < instrPerLine; ++i) {
+            if (!rng.chance(prm.dataRefProb))
+                continue;
+            const Addr a = pickDataAddr();
+            const bool is_shared =
+                shared_write_ok && a >= prm.sharedBase &&
+                a < prm.sharedBase + prm.sharedBytes;
+            const double sf =
+                is_shared ? prm.sharedStoreFrac : prm.storeFrac;
+            if (rng.chance(sf))
+                s.store(a);
+            else
+                s.load(a);
+        }
+        emitted += instrPerLine;
+
+        codePos += lineBytes;
+        if (loopActive) {
+            if (codePos >= loopStart + Addr(loopLines) * lineBytes) {
+                if (--loopRepsLeft == 0)
+                    loopActive = false;
+                else
+                    codePos = loopStart;
+            }
+        } else {
+            maybeJump();
+        }
+        if (codePos >= prm.codeBytes)
+            codePos = 0;
+    }
+}
+
+void
+SyntheticApp::chunk(Process &p, UserScript &s)
+{
+    (void)p;
+    emitWork(s, prm.chunkInstrs);
+}
+
+} // namespace mpos::workload

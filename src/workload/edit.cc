@@ -1,0 +1,44 @@
+#include "workload/edit.hh"
+
+#include "kernel/kernel.hh"
+
+namespace mpos::workload
+{
+
+AppParams
+edParams(uint64_t seed)
+{
+    AppParams a;
+    a.codeBytes = 96 * 1024;
+    a.dataBytes = 128 * 1024; // the text being edited
+    a.hotDataFrac = 0.5;      // searches sweep widely
+    a.hotDataProb = 0.5;
+    a.loopStartProb = 0.1;    // search loops
+    a.chunkInstrs = 512;
+    a.seed = seed;
+    return a;
+}
+
+EdSession::EdSession(uint32_t tty_session, uint32_t save_file,
+                     uint64_t seed)
+    : SyntheticApp(edParams(seed)), tty(tty_session),
+      saveFile(save_file)
+{
+}
+
+void
+EdSession::chunk(Process &p, UserScript &s)
+{
+    (void)p;
+    // Block for the next typed burst.
+    s.syscall(Sys::Read,
+              kernel::ioPayload(kernel::Kernel::ttyFileId(tty), 64, 1));
+    // Process the command: character searches and editing.
+    emitWork(s, 2600);
+    if (++inputs % 24 == 0) {
+        // Periodic write of the edited file.
+        s.syscall(Sys::Write, kernel::ioPayload(saveFile, 4096, 0));
+    }
+}
+
+} // namespace mpos::workload

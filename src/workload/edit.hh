@@ -1,0 +1,36 @@
+/**
+ * @file
+ * One ed screen-edit session driven by the kernel's simulated typist
+ * (bursts of 1-15 characters, as in the paper). The session blocks
+ * reading its terminal, then performs character searches over its
+ * text buffer and occasionally writes the file back.
+ */
+
+#ifndef MPOS_WORKLOAD_EDIT_HH
+#define MPOS_WORKLOAD_EDIT_HH
+
+#include "workload/app_model.hh"
+#include "workload/workload.hh"
+
+namespace mpos::workload
+{
+
+/** An interactive ed process. */
+class EdSession : public SyntheticApp
+{
+  public:
+    EdSession(uint32_t tty_session, uint32_t save_file, uint64_t seed);
+
+    void chunk(Process &p, UserScript &s) override;
+
+  private:
+    uint32_t tty;
+    uint32_t saveFile;
+    uint32_t inputs = 0;
+};
+
+AppParams edParams(uint64_t seed);
+
+} // namespace mpos::workload
+
+#endif // MPOS_WORKLOAD_EDIT_HH

@@ -1,0 +1,76 @@
+#include "workload/mp3d.hh"
+
+namespace mpos::workload
+{
+
+AppParams
+mp3dParams(Mp3dShared *state, uint64_t seed)
+{
+    AppParams a;
+    a.codeBytes = 64 * 1024; // tight numeric loops
+    a.dataBytes = 64 * 1024;
+    a.hotCodeFrac = 0.15;
+    a.hotCodeProb = 0.95;
+    a.loopStartProb = 0.12;
+    a.sharedBytes = state->particleBytes;
+    a.sharedBase = state->particleBase;
+    a.sharedRefProb = 0.5;   // the particle arrays are the data
+    a.sharedSweepProb = 0.7; // swept mostly sequentially
+    a.sharedStoreFrac = 0.4;
+    a.chunkInstrs = 512;
+    a.seed = seed;
+    return a;
+}
+
+Mp3dProc::Mp3dProc(Mp3dShared *state, uint64_t seed)
+    : SyntheticApp(mp3dParams(state, seed)), st(state)
+{
+}
+
+void
+Mp3dProc::chunk(Process &p, UserScript &s)
+{
+    (void)p;
+    if (atBarrier) {
+        if (st->generation == myGeneration) {
+            // Peers have not arrived (typically because they are
+            // descheduled): poll the barrier flag, spin briefly, and
+            // yield -- the library's spin-20-then-sginap discipline.
+            // This is the source of Multpgm's sginap storms.
+            s.load(st->particleBase); // the barrier/flag line
+            s.think(20 * 30);
+            s.syscall(Sys::Sginap);
+            return;
+        }
+        atBarrier = false; // released; fall through to real work
+    }
+
+    // Move several particle groups, each under its cell lock.
+    for (uint32_t g = 0; g < 3; ++g) {
+        const uint32_t lk =
+            st->cellLocks[rng.below(st->cellLocks.size())];
+        s.userLock(lk);
+        emitWork(s, 40);
+        s.userUnlock(lk);
+        emitWork(s, 88);
+    }
+
+    if (++stepPhase % 28 == 0) {
+        // End of timestep: arrive at the global barrier.
+        s.userLock(st->barrierLock);
+        s.store(st->particleBase);
+        s.userUnlock(st->barrierLock);
+        myGeneration = st->generation;
+        if (++st->arrived >= st->nprocs) {
+            st->arrived = 0;
+            ++st->generation;
+            ++st->steps;
+        } else {
+            atBarrier = true;
+        }
+        if (stepPhase % 192 == 0)
+            s.syscall(Sys::Other); // occasional gettimeofday etc.
+    }
+}
+
+} // namespace mpos::workload

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Mp3d: the 3-D particle simulator of the paper's Multpgm workload,
+ * run with four processes over a shared particle array. Fine-grain
+ * user locks protect cell groups; when a holder is preempted the
+ * other processes spin 20 times and fall into sginap -- the source of
+ * Multpgm's sginap-dominated OS operation mix (Figure 2).
+ */
+
+#ifndef MPOS_WORKLOAD_MP3D_HH
+#define MPOS_WORKLOAD_MP3D_HH
+
+#include "workload/app_model.hh"
+#include "workload/workload.hh"
+
+namespace mpos::workload
+{
+
+/** One Mp3d worker process. */
+class Mp3dProc : public SyntheticApp
+{
+  public:
+    Mp3dProc(Mp3dShared *state, uint64_t seed);
+
+    void chunk(Process &p, UserScript &s) override;
+
+  private:
+    Mp3dShared *st;
+    uint32_t stepPhase = 0;
+    uint32_t myGeneration = 0;
+    bool atBarrier = false;
+};
+
+AppParams mp3dParams(Mp3dShared *state, uint64_t seed);
+
+} // namespace mpos::workload
+
+#endif // MPOS_WORKLOAD_MP3D_HH

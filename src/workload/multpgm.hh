@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Multpgm: the paper's timesharing workload -- Mp3d (four processes,
+ * 50,000 particles) running concurrently with a full Pmake and five
+ * screen-edit sessions, all started together. Composition happens in
+ * Workload::create; this header only exposes the sub-builders for
+ * tests.
+ */
+
+#ifndef MPOS_WORKLOAD_MULTPGM_HH
+#define MPOS_WORKLOAD_MULTPGM_HH
+
+#include "workload/workload.hh"
+
+#endif // MPOS_WORKLOAD_MULTPGM_HH

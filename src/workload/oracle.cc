@@ -1,0 +1,82 @@
+#include "workload/oracle.hh"
+
+namespace mpos::workload
+{
+
+AppParams
+oracleParams(OracleShared *state, uint64_t seed)
+{
+    AppParams a;
+    a.codeBytes = 1024 * 1024; // the RDBMS engine is huge
+    a.dataBytes = 128 * 1024;  // per-server private state
+    a.hotCodeFrac = 0.3;
+    a.hotCodeProb = 0.7;       // wide instruction working set
+    a.jumpProb = 0.05;
+    a.sharedBytes = state->sgaBytes;
+    a.sharedBase = state->sgaBase;
+    a.sharedRefProb = 0.25;    // SGA buffer pool accesses
+    a.sharedSweepProb = 0.65;  // mostly scans within pinned blocks
+    a.sharedStoreFrac = 0.25;
+    a.sharedHotFrac = 0.15;    // hot tables/indexes
+    a.sharedHotProb = 0.8;
+    a.chunkInstrs = 640;
+    a.seed = seed;
+    return a;
+}
+
+OracleServer::OracleServer(OracleShared *state, uint64_t seed)
+    : SyntheticApp(oracleParams(state, seed)), st(state)
+{
+}
+
+void
+OracleServer::chunk(Process &p, UserScript &s)
+{
+    (void)p;
+    switch (txPhase) {
+      case 0: {
+        // Begin transaction: grab a cache-buffer latch, pin the
+        // branch/teller/account blocks in the SGA.
+        const uint32_t latch =
+            st->latches[st->rng.below(st->latches.size())];
+        s.userLock(latch);
+        emitWork(s, 128);
+        s.userUnlock(latch);
+        txPhase = 1;
+        done = 0;
+        return;
+      }
+      case 1:
+        // Transaction body: SQL execution over the SGA.
+        if (done < 30000) {
+            emitWork(s, 2500);
+            done += 2500;
+            if (rng.chance(0.06))
+                s.syscall(Sys::Other); // lseek/times/semop chatter
+            return;
+        }
+        emitWork(s, 200);
+        if (rng.chance(0.45)) {
+            // SGA miss: read a database block from disk.
+            s.syscall(Sys::Read,
+                      kernel::ioPayload(
+                          st->dbFileBase + uint32_t(rng.below(32)),
+                          8192, uint32_t(rng.below(512))));
+        }
+        txPhase = 2;
+        return;
+      case 2:
+        // Commit: serialize on the redo latch and force the log.
+        s.userLock(st->logLatch);
+        emitWork(s, 64);
+        s.userUnlock(st->logLatch);
+        s.syscall(Sys::Write,
+                  kernel::ioPayload(st->logFile, 2048,
+                                    st->logBlock++ & 0xffff, true));
+        ++st->transactions;
+        txPhase = 0;
+        return;
+    }
+}
+
+} // namespace mpos::workload

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Oracle: a scaled-down TP1 (debit-credit) instance, as in the paper:
+ * 10 branches, 100 tellers, 10,000 accounts, resident in memory. A
+ * pool of server processes executes transactions against a large
+ * shared SGA buffer pool, protected by user-level latches; each
+ * commit performs a synchronous redo-log write, and a fraction of
+ * transactions read database blocks from disk. The servers' large
+ * shared code footprint is what makes OS instruction misses in Oracle
+ * dominated by application displacement (Dispap, Figure 4).
+ */
+
+#ifndef MPOS_WORKLOAD_ORACLE_HH
+#define MPOS_WORKLOAD_ORACLE_HH
+
+#include "workload/app_model.hh"
+#include "workload/workload.hh"
+
+namespace mpos::workload
+{
+
+/** TP1 scale parameters (paper Section 3). */
+struct Tp1Scale
+{
+    uint32_t branches = 10;
+    uint32_t tellers = 100;
+    uint32_t accounts = 10000;
+};
+
+/** One Oracle server (shadow) process. */
+class OracleServer : public SyntheticApp
+{
+  public:
+    OracleServer(OracleShared *state, uint64_t seed);
+
+    void chunk(Process &p, UserScript &s) override;
+
+  private:
+    OracleShared *st;
+    int txPhase = 0;
+    uint64_t done = 0;
+};
+
+AppParams oracleParams(OracleShared *state, uint64_t seed);
+
+} // namespace mpos::workload
+
+#endif // MPOS_WORKLOAD_ORACLE_HH

@@ -1,0 +1,195 @@
+#include "workload/pmake.hh"
+
+namespace mpos::workload
+{
+
+AppParams
+makeDriverParams(uint64_t seed)
+{
+    AppParams a;
+    a.codeBytes = 40 * 1024;
+    a.dataBytes = 24 * 1024;
+    a.chunkInstrs = 384;
+    a.seed = seed;
+    return a;
+}
+
+AppParams
+cppParams(uint64_t seed)
+{
+    AppParams a;
+    a.codeBytes = 64 * 1024;
+    a.dataBytes = 28 * 1024;
+    a.chunkInstrs = 512;
+    a.seed = seed;
+    return a;
+}
+
+AppParams
+cc1Params(uint64_t seed)
+{
+    AppParams a;
+    a.codeBytes = 160 * 1024; // the optimizer is big
+    a.dataBytes = 56 * 1024;
+    a.hotCodeFrac = 0.2;
+    a.hotCodeProb = 0.8;
+    a.chunkInstrs = 640;
+    a.seed = seed;
+    return a;
+}
+
+AppParams
+asParams(uint64_t seed)
+{
+    AppParams a;
+    a.codeBytes = 64 * 1024;
+    a.dataBytes = 24 * 1024;
+    a.chunkInstrs = 512;
+    a.seed = seed;
+    return a;
+}
+
+MakeDriver::MakeDriver(PmakeShared *state, uint64_t seed)
+    : SyntheticApp(makeDriverParams(seed)), st(state)
+{
+}
+
+std::unique_ptr<AppBehavior>
+MakeDriver::makeChildBehavior()
+{
+    return std::make_unique<CompileJob>(st, st->rng.next());
+}
+
+void
+MakeDriver::chunk(Process &p, UserScript &s)
+{
+    (void)p;
+    emitWork(s, 256);
+    if (rng.chance(0.12)) {
+        // Re-scan the makefile / directory (buffer-cache hits).
+        s.syscall(Sys::Read, kernel::ioPayload(0x380000, 4096, 1));
+    }
+    if (st->running < st->maxJobs && st->jobsRemaining > 0) {
+        --st->jobsRemaining;
+        ++st->running;
+        s.syscall(Sys::Other); // stat() the target
+        s.syscall(Sys::Fork);
+        return;
+    }
+    if (st->running > 0) {
+        s.syscall(Sys::Wait);
+        return;
+    }
+    // The make finished all 56 files; for steady-state tracing, start
+    // the next (identical) make immediately.
+    st->jobsRemaining = st->files;
+}
+
+CompileJob::CompileJob(PmakeShared *state, uint64_t seed)
+    : SyntheticApp(makeDriverParams(seed)), st(state)
+{
+    srcFile = st->nextFile;
+    tmpFile = st->nextFile + 1;
+    asmFile = st->nextFile + 2;
+    objFile = st->nextFile + 3;
+    st->nextFile += 4;
+}
+
+void
+CompileJob::chunk(Process &p, UserScript &s)
+{
+    (void)p;
+    switch (phase) {
+      case 0:
+        // Freshly forked copy of make: exec the preprocessor.
+        emitWork(s, 64);
+        s.syscall(Sys::Exec, st->imgCpp);
+        prm = cppParams(rng.next());
+        resetCursors();
+        phase = 1;
+        done = 0;
+        ioStep = 0;
+        return;
+
+      case 1: // cpp: read the source, macro-expand, write a temp file
+        if (ioStep < 6) {
+            s.syscall(Sys::Read,
+                      kernel::ioPayload(srcFile, 4096,
+                                        uint32_t(ioStep)));
+            ++ioStep;
+            emitWork(s, 900);
+            return;
+        }
+        if (done < 40000) {
+            emitWork(s, 1500);
+            done += 1500;
+            if (rng.chance(0.08))
+                s.syscall(Sys::Other);
+            return;
+        }
+        s.syscall(Sys::Write, kernel::ioPayload(tmpFile, 8192, 0));
+        emitWork(s, 400);
+        s.syscall(Sys::Exec, st->imgCc1);
+        prm = cc1Params(rng.next());
+        resetCursors();
+        phase = 2;
+        done = 0;
+        ioStep = 0;
+        return;
+
+      case 2: // cc1: the compute-heavy optimizer
+        if (ioStep < 2) {
+            s.syscall(Sys::Read,
+                      kernel::ioPayload(tmpFile, 4096,
+                                        uint32_t(ioStep)));
+            ++ioStep;
+            emitWork(s, 1000);
+            return;
+        }
+        if (done < 260000) {
+            emitWork(s, 2200);
+            done += 2200;
+            if (rng.chance(0.05))
+                s.syscall(Sys::Brk, 2);
+            if (rng.chance(0.04))
+                s.syscall(Sys::Other);
+            if (rng.chance(0.02)) {
+                // Re-read an include file (usually a cache hit).
+                s.syscall(Sys::Read,
+                          kernel::ioPayload(tmpFile, 4096, 0));
+            }
+            return;
+        }
+        s.syscall(Sys::Write, kernel::ioPayload(asmFile, 8192, 0));
+        s.syscall(Sys::Write, kernel::ioPayload(asmFile, 8192, 2));
+        emitWork(s, 400);
+        s.syscall(Sys::Exec, st->imgAs);
+        prm = asParams(rng.next());
+        resetCursors();
+        phase = 3;
+        done = 0;
+        ioStep = 0;
+        return;
+
+      case 3: // as: assemble and write the object file
+        if (ioStep < 4) {
+            s.syscall(Sys::Read,
+                      kernel::ioPayload(asmFile, 4096,
+                                        uint32_t(ioStep)));
+            ++ioStep;
+            emitWork(s, 900);
+            return;
+        }
+        if (done < 34000) {
+            emitWork(s, 1500);
+            done += 1500;
+            return;
+        }
+        s.syscall(Sys::Write, kernel::ioPayload(objFile, 4096, 0));
+        s.syscall(Sys::Write, kernel::ioPayload(objFile, 4096, 1));
+        s.syscall(Sys::Exit);
+        return;
+    }
+}
+
+} // namespace mpos::workload

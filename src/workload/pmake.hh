@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Pmake: a parallel make of 56 C files with at most 8 concurrent jobs
+ * (the paper's -J 8). The make driver forks compile jobs; each job
+ * runs a cpp -> cc1 -> as pipeline with exec transitions, file reads
+ * and writes, and an eventual exit. File ids advance monotonically so
+ * source reads keep missing the buffer cache, as a fresh make does.
+ */
+
+#ifndef MPOS_WORKLOAD_PMAKE_HH
+#define MPOS_WORKLOAD_PMAKE_HH
+
+#include "workload/app_model.hh"
+#include "workload/workload.hh"
+
+namespace mpos::workload
+{
+
+/** The make process: forks jobs, waits for them, loops forever. */
+class MakeDriver : public SyntheticApp, public ForkableBehavior
+{
+  public:
+    MakeDriver(PmakeShared *state, uint64_t seed);
+
+    void chunk(Process &p, UserScript &s) override;
+    std::unique_ptr<AppBehavior> makeChildBehavior() override;
+
+  private:
+    PmakeShared *st;
+};
+
+/** One compile job: cpp, cc1, as phases. */
+class CompileJob : public SyntheticApp
+{
+  public:
+    CompileJob(PmakeShared *state, uint64_t seed);
+
+    void chunk(Process &p, UserScript &s) override;
+
+  private:
+    PmakeShared *st;
+    uint32_t srcFile, tmpFile, asmFile, objFile;
+    int phase = 0;
+    uint64_t done = 0;
+    int ioStep = 0;
+};
+
+/** Parameter sets for the pipeline stages. */
+AppParams makeDriverParams(uint64_t seed);
+AppParams cppParams(uint64_t seed);
+AppParams cc1Params(uint64_t seed);
+AppParams asParams(uint64_t seed);
+
+} // namespace mpos::workload
+
+#endif // MPOS_WORKLOAD_PMAKE_HH

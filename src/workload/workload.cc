@@ -1,0 +1,122 @@
+#include "workload/workload.hh"
+
+#include "util/logging.hh"
+#include "workload/edit.hh"
+#include "workload/mp3d.hh"
+#include "workload/oracle.hh"
+#include "workload/pmake.hh"
+
+namespace mpos::workload
+{
+
+const char *
+workloadName(WorkloadKind kind)
+{
+    switch (kind) {
+      case WorkloadKind::Pmake: return "Pmake";
+      case WorkloadKind::Multpgm: return "Multpgm";
+      case WorkloadKind::Oracle: return "Oracle";
+    }
+    return "?";
+}
+
+Workload::Workload(WorkloadKind kind, kernel::Kernel &k)
+    : kindTag(kind), label(workloadName(kind)), kern(k)
+{
+}
+
+uint64_t
+Workload::recommendedPoolPages(WorkloadKind kind)
+{
+    switch (kind) {
+      case WorkloadKind::Pmake: return 285;
+      case WorkloadKind::Multpgm: return 1150;
+      case WorkloadKind::Oracle: return 2200;
+    }
+    return 2000;
+}
+
+std::unique_ptr<Workload>
+Workload::create(WorkloadKind kind, kernel::Kernel &k,
+                 const WorkloadOptions &opts)
+{
+    std::unique_ptr<Workload> w(new Workload(kind, k));
+    w->seed = opts.seed;
+    k.setClient(w.get());
+    switch (kind) {
+      case WorkloadKind::Pmake:
+        w->buildPmake(opts);
+        break;
+      case WorkloadKind::Multpgm:
+        w->buildPmake(opts);
+        w->buildMp3d(opts);
+        w->buildEdits(opts);
+        break;
+      case WorkloadKind::Oracle:
+        w->buildOracle(opts);
+        break;
+    }
+    return w;
+}
+
+void
+Workload::buildPmake(const WorkloadOptions &opts)
+{
+    pmake = std::make_unique<PmakeShared>();
+    pmake->files = opts.pmakeFiles;
+    pmake->jobsRemaining = opts.pmakeFiles;
+    pmake->maxJobs = opts.pmakeMaxJobs;
+    pmake->rng = util::Rng(seed ^ 0x9a4e);
+    pmake->imgCpp = kern.registerImage("cpp", 80 * 1024);
+    pmake->imgCc1 = kern.registerImage("cc1", 256 * 1024);
+    pmake->imgAs = kern.registerImage("as", 96 * 1024);
+
+    const uint32_t img = kern.registerImage("make", 48 * 1024);
+    kern.spawn(std::make_unique<MakeDriver>(pmake.get(),
+                                            pmake->rng.next()),
+               img, "make");
+}
+
+void
+Workload::buildOracle(const WorkloadOptions &opts)
+{
+    oracle = std::make_unique<OracleShared>();
+    oracle->rng = util::Rng(seed ^ 0x0acULL);
+    oracle->sgaBytes = 4 * 1024 * 1024; // in-memory TP1 database
+    oracle->sgaBase = kern.shmAlloc(oracle->sgaBytes);
+    for (uint32_t i = 0; i < 4; ++i)
+        oracle->latches.push_back(kern.allocUserLock());
+    oracle->logLatch = kern.allocUserLock();
+    oracle->logFile = 0x200000;
+    oracle->dbFileBase = 0x100000;
+
+    const uint32_t img = kern.registerImage("oracle", 1024 * 1024);
+    util::Rng r(seed ^ 0xdb);
+    for (uint32_t i = 0; i < opts.oracleServers; ++i) {
+        kern.spawn(std::make_unique<OracleServer>(oracle.get(),
+                                                  r.next()),
+                   img, "oracle" + std::to_string(i));
+    }
+}
+
+void
+Workload::onFork(kernel::Process &parent, kernel::Process &child)
+{
+    auto *fk = dynamic_cast<ForkableBehavior *>(parent.behavior.get());
+    if (!fk)
+        util::panic("process %s forked but its behavior cannot "
+                    "produce children", parent.name.c_str());
+    child.behavior = fk->makeChildBehavior();
+}
+
+void
+Workload::onProcExit(kernel::Process &p)
+{
+    if (pmake && dynamic_cast<CompileJob *>(p.behavior.get())) {
+        if (pmake->running > 0)
+            --pmake->running;
+        ++pmake->jobsCompleted;
+    }
+}
+
+} // namespace mpos::workload

@@ -1,0 +1,208 @@
+/** @file Tests of the CPU script engine and cycle accounting. */
+
+#include <deque>
+#include <gtest/gtest.h>
+
+#include "sim/machine.hh"
+
+using namespace mpos::sim;
+
+namespace
+{
+
+/** Executor that replays a fixed schedule and records callbacks. */
+struct StubExecutor : Executor
+{
+    explicit StubExecutor(Machine &machine) : m(machine) {}
+
+    Machine &m;
+    std::deque<ScriptItem> feed; ///< Items handed out one per refill.
+    uint64_t refills = 0;
+    uint64_t padCycles = 0;    ///< Filler cycles across all CPUs.
+    uint64_t padPerCpu[16] = {}; ///< Filler cycles per CPU.
+    uint64_t markers = 0;
+    uint64_t faults = 0;
+    uint64_t polls = 0;
+    bool idleWhenEmpty = true;
+
+    void
+    refill(CpuId cpu) override
+    {
+        ++refills;
+        if (!feed.empty()) {
+            m.cpu(cpu).push(feed.front());
+            feed.pop_front();
+            return;
+        }
+        // Keep the machine fed with cheap idle work.
+        padCycles += 16;
+        padPerCpu[cpu] += 16;
+        m.cpu(cpu).push(ScriptItem::think(16));
+    }
+
+    void
+    marker(CpuId, const ScriptItem &) override
+    {
+        ++markers;
+    }
+
+    void
+    fault(CpuId cpu, Addr vaddr, bool, bool) override
+    {
+        ++faults;
+        // Map 1:1 and let the reference retry.
+        m.cpu(cpu).tlb.insert(m.cpu(cpu).ctx.pid, vaddr / 4096,
+                              vaddr / 4096, true);
+    }
+
+    void pollEvents(CpuId, Cycle) override { ++polls; }
+};
+
+struct MachineTest : ::testing::Test
+{
+    MachineTest() : m(cfg, 8), ex(m) { m.setExecutor(&ex); }
+
+    MachineConfig cfg;
+    Machine m;
+    StubExecutor ex;
+};
+
+} // namespace
+
+TEST_F(MachineTest, ThinkAdvancesTime)
+{
+    m.cpu(0).push(ScriptItem::think(100));
+    m.run(10);
+    EXPECT_GE(m.cpu(0).busyUntil, 100u);
+    EXPECT_EQ(m.now(), 10u);
+}
+
+TEST_F(MachineTest, IFetchChargesExecutionPlusMiss)
+{
+    m.cpu(0).ctx.mode = ExecMode::User;
+    m.cpu(0).push(ScriptItem::ifetch(0x1000));
+    m.run(2);
+    const auto &acct = m.cpu(0).account;
+    // 4 cycles execution + 35 miss stall in User mode.
+    EXPECT_EQ(acct.total[unsigned(ExecMode::User)], 39u);
+    EXPECT_EQ(acct.stall[unsigned(ExecMode::User)], 35u);
+}
+
+TEST_F(MachineTest, DataHitCostsOneCycle)
+{
+    m.cpu(0).ctx.mode = ExecMode::Kernel;
+    m.cpu(0).push(ScriptItem::load(0x500));
+    m.cpu(0).push(ScriptItem::load(0x500));
+    m.run(40);
+    const auto &acct = m.cpu(0).account;
+    // 1+35 for the miss, then 1 for the hit (minus refill filler).
+    EXPECT_EQ(acct.total[unsigned(ExecMode::Kernel)] -
+                  ex.padPerCpu[0],
+              37u);
+}
+
+TEST_F(MachineTest, VirtualRefFaultsOnceThenRetries)
+{
+    m.cpu(0).ctx.pid = 3;
+    m.cpu(0).ctx.mode = ExecMode::User;
+    m.cpu(0).push(ScriptItem::load(0x12345, AddrSpace::Virtual));
+    m.run(50);
+    EXPECT_EQ(ex.faults, 1u);
+    EXPECT_EQ(m.cpu(0).tlb.hits, 1u);   // the retry
+    EXPECT_EQ(m.cpu(0).tlb.misses, 1u); // the fault
+}
+
+TEST_F(MachineTest, WriteToReadOnlyPageFaults)
+{
+    m.cpu(0).ctx.pid = 3;
+    m.cpu(0).tlb.insert(3, 0x12, 0x12, false); // read-only
+    m.cpu(0).push(ScriptItem::store(0x12000, AddrSpace::Virtual));
+    m.run(50);
+    EXPECT_EQ(ex.faults, 1u);
+}
+
+TEST_F(MachineTest, MarkersAreFreeAndDispatched)
+{
+    m.cpu(0).push(ScriptItem::mark(MarkerOp::RoutineEnter, 5));
+    m.cpu(0).push(ScriptItem::mark(MarkerOp::PathDone));
+    m.cpu(0).push(ScriptItem::think(4));
+    m.run(3);
+    EXPECT_EQ(ex.markers, 2u);
+    EXPECT_EQ(m.cpu(0).account.all(), 4u);
+}
+
+TEST_F(MachineTest, RefillCalledWhenDry)
+{
+    m.run(64);
+    EXPECT_GT(ex.refills, 0u);
+}
+
+TEST_F(MachineTest, PollHonorsDisableAndKernelMode)
+{
+    m.cpu(0).ctx.mode = ExecMode::Kernel;
+    m.cpu(1).intrDisable = 1;
+    m.run(600);
+    // CPUs 2 and 3 poll; 0 (kernel) and 1 (disabled) never do.
+    EXPECT_GT(ex.polls, 0u);
+    const uint64_t polls_k = ex.polls;
+    m.cpu(0).ctx.mode = ExecMode::User;
+    m.cpu(1).intrDisable = 0;
+    m.run(600);
+    EXPECT_GT(ex.polls, polls_k);
+}
+
+TEST_F(MachineTest, UncachedItemsReachTheBus)
+{
+    m.cpu(0).push(ScriptItem::uncachedStore(0x40000000));
+    m.run(2);
+    EXPECT_EQ(m.monitor().transactions(), 1u);
+}
+
+TEST_F(MachineTest, PrefetchHidesStall)
+{
+    ScriptItem it = ScriptItem::load(0x3000);
+    it.kind = ItemKind::PrefetchLoad;
+    m.cpu(0).push(it);
+    m.run(2);
+    // The fill happened (bus transaction) but only 1 cycle charged.
+    EXPECT_EQ(m.memory().busTransactions(), 1u);
+    EXPECT_EQ(m.cpu(0).account.all() - ex.padPerCpu[0], 1u);
+    EXPECT_TRUE(m.memory().caches(0).l2d.contains(0x3000));
+}
+
+TEST_F(MachineTest, BypassAvoidsInstallation)
+{
+    ScriptItem it = ScriptItem::store(0x3000);
+    it.kind = ItemKind::BypassStore;
+    m.cpu(0).push(it);
+    m.run(2);
+    EXPECT_EQ(m.memory().busTransactions(), 1u);
+    EXPECT_FALSE(m.memory().caches(0).l2d.contains(0x3000));
+}
+
+TEST_F(MachineTest, PushFrontSeqRunsBeforeQueued)
+{
+    m.cpu(0).push(ScriptItem::think(7));
+    std::vector<ScriptItem> first = {ScriptItem::think(1),
+                                     ScriptItem::think(2)};
+    m.cpu(0).pushFrontSeq(first);
+    // After 1 cycle of run, the front item (think 1) executed first:
+    m.run(1);
+    EXPECT_EQ(m.cpu(0).busyUntil, 1u);
+}
+
+TEST_F(MachineTest, TotalAccountSumsCpus)
+{
+    m.cpu(0).push(ScriptItem::think(10));
+    m.cpu(1).push(ScriptItem::think(20));
+    m.run(1);
+    EXPECT_GE(m.totalAccount().all(), 30u);
+}
+
+TEST_F(MachineTest, ChargeHelperAttributesToMode)
+{
+    m.cpu(2).ctx.mode = ExecMode::Kernel;
+    m.charge(2, 123, true);
+    EXPECT_EQ(m.cpu(2).account.stall[unsigned(ExecMode::Kernel)],
+              123u);
+}

@@ -1,0 +1,111 @@
+/** @file Tests for the dual-protocol lock transport. */
+
+#include <gtest/gtest.h>
+
+#include "sim/syncbus.hh"
+
+using namespace mpos::sim;
+
+TEST(SyncBus, UncachedAcquireCostsProtocolOps)
+{
+    MachineConfig cfg; // cachedLockRmw = false
+    SyncTransport st(cfg, 4);
+    const Cycle c = st.access(0, 0, LockEvent::AcquireSuccess);
+    EXPECT_EQ(c, Cycle(cfg.syncOpsPerAcquire) * cfg.syncBusOpCycles);
+    EXPECT_EQ(st.counts(0).uncachedOps, cfg.syncOpsPerAcquire);
+}
+
+TEST(SyncBus, UncachedSpinAndReleaseCostOneOp)
+{
+    MachineConfig cfg;
+    SyncTransport st(cfg, 4);
+    EXPECT_EQ(st.access(0, 0, LockEvent::AcquireFail),
+              cfg.syncBusOpCycles);
+    EXPECT_EQ(st.access(0, 0, LockEvent::Release),
+              cfg.syncBusOpCycles);
+}
+
+TEST(SyncBus, CachedReacquireByOwnerIsFree)
+{
+    MachineConfig cfg;
+    cfg.cachedLockRmw = true;
+    SyncTransport st(cfg, 4);
+    // First acquire fetches the line.
+    EXPECT_GT(st.access(0, 0, LockEvent::AcquireSuccess), 0u);
+    EXPECT_EQ(st.access(0, 0, LockEvent::Release), 0u);
+    // Undisturbed reacquire: pure cache hit (the paper's key point).
+    EXPECT_EQ(st.access(0, 0, LockEvent::AcquireSuccess), 0u);
+}
+
+TEST(SyncBus, CachedHandoffCostsOneBusOp)
+{
+    MachineConfig cfg;
+    cfg.cachedLockRmw = true;
+    SyncTransport st(cfg, 4);
+    st.access(0, 0, LockEvent::AcquireSuccess);
+    st.access(0, 0, LockEvent::Release);
+    EXPECT_EQ(st.access(1, 0, LockEvent::AcquireSuccess),
+              cfg.busMissStall);
+}
+
+TEST(SyncBus, CachedSpinHitsAfterFirstPoll)
+{
+    MachineConfig cfg;
+    cfg.cachedLockRmw = true;
+    SyncTransport st(cfg, 4);
+    st.access(0, 0, LockEvent::AcquireSuccess);
+    EXPECT_EQ(st.access(1, 0, LockEvent::AcquireFail),
+              cfg.busMissStall); // first poll fetches
+    EXPECT_EQ(st.access(1, 0, LockEvent::AcquireFail), 0u); // spins hit
+    // Release by owner invalidates the spinner's copy.
+    EXPECT_EQ(st.access(0, 0, LockEvent::Release), cfg.busMissStall);
+}
+
+TEST(SyncBus, BothProtocolsCountedSimultaneously)
+{
+    MachineConfig cfg; // active: sync bus
+    SyncTransport st(cfg, 4);
+    st.access(0, 1, LockEvent::AcquireSuccess);
+    st.access(0, 1, LockEvent::Release);
+    st.access(0, 1, LockEvent::AcquireSuccess);
+    const auto &c = st.counts(1);
+    EXPECT_EQ(c.uncachedOps, 2 * cfg.syncOpsPerAcquire + 1);
+    // Cached model: fetch, free release, free reacquire.
+    EXPECT_EQ(c.cachedOps, 1u);
+    EXPECT_GT(st.uncachedStallTotal(), st.cachedStallTotal());
+}
+
+TEST(SyncBus, PerCpuStallAccounting)
+{
+    MachineConfig cfg;
+    SyncTransport st(cfg, 4);
+    st.access(2, 0, LockEvent::AcquireSuccess);
+    EXPECT_GT(st.stallCycles(2), 0u);
+    EXPECT_EQ(st.stallCycles(1), 0u);
+}
+
+TEST(SyncBus, SumOpsRange)
+{
+    MachineConfig cfg;
+    SyncTransport st(cfg, 8);
+    st.access(0, 2, LockEvent::Release);
+    st.access(0, 6, LockEvent::Release);
+    EXPECT_EQ(st.sumOps(4).uncachedOps, 1u);
+    EXPECT_EQ(st.sumOps(8).uncachedOps, 2u);
+    EXPECT_EQ(st.sumOps(100).uncachedOps, 2u); // clamped
+}
+
+TEST(SyncBus, HighLocalityMeansFewCachedOps)
+{
+    MachineConfig cfg;
+    SyncTransport st(cfg, 1);
+    // 100 acquire/release pairs by the same CPU, undisturbed.
+    for (int i = 0; i < 100; ++i) {
+        st.access(0, 0, LockEvent::AcquireSuccess);
+        st.access(0, 0, LockEvent::Release);
+    }
+    // Table 12's last column: caching slashes the bus operations.
+    EXPECT_EQ(st.counts(0).cachedOps, 1u);
+    EXPECT_EQ(st.counts(0).uncachedOps,
+              100u * (cfg.syncOpsPerAcquire + 1));
+}

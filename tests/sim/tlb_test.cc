@@ -1,0 +1,112 @@
+/** @file Unit tests for the PID-tagged fully-associative TLB. */
+
+#include <gtest/gtest.h>
+
+#include "sim/tlb.hh"
+
+using mpos::sim::Tlb;
+using mpos::sim::TlbEntry;
+
+TEST(Tlb, InsertAndLookup)
+{
+    Tlb t(4);
+    t.insert(1, 0x10, 0x99, true);
+    const TlbEntry *e = t.lookup(1, 0x10);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->ppage, 0x99u);
+    EXPECT_TRUE(e->writable);
+}
+
+TEST(Tlb, PidIsolation)
+{
+    Tlb t(4);
+    t.insert(1, 0x10, 0x99, true);
+    EXPECT_EQ(t.lookup(2, 0x10), nullptr);
+}
+
+TEST(Tlb, FifoReplacement)
+{
+    Tlb t(2);
+    t.insert(1, 0xa, 1, false);
+    t.insert(1, 0xb, 2, false);
+    t.insert(1, 0xc, 3, false); // evicts 0xa
+    EXPECT_EQ(t.lookup(1, 0xa), nullptr);
+    EXPECT_NE(t.lookup(1, 0xb), nullptr);
+    EXPECT_NE(t.lookup(1, 0xc), nullptr);
+}
+
+TEST(Tlb, InsertRefreshesInPlace)
+{
+    Tlb t(2);
+    t.insert(1, 0xa, 1, false);
+    t.insert(1, 0xa, 7, true); // same page: update, no eviction slot
+    const TlbEntry *e = t.lookup(1, 0xa);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->ppage, 7u);
+    EXPECT_TRUE(e->writable);
+    EXPECT_EQ(t.residentEntries(), 1u);
+}
+
+TEST(Tlb, InvalidateSingle)
+{
+    Tlb t(4);
+    t.insert(1, 0xa, 1, false);
+    t.invalidate(1, 0xa);
+    EXPECT_EQ(t.lookup(1, 0xa), nullptr);
+}
+
+TEST(Tlb, InvalidatePid)
+{
+    Tlb t(8);
+    t.insert(1, 0xa, 1, false);
+    t.insert(1, 0xb, 2, false);
+    t.insert(2, 0xa, 3, false);
+    t.invalidatePid(1);
+    EXPECT_EQ(t.lookup(1, 0xa), nullptr);
+    EXPECT_EQ(t.lookup(1, 0xb), nullptr);
+    EXPECT_NE(t.lookup(2, 0xa), nullptr);
+}
+
+TEST(Tlb, InvalidatePhys)
+{
+    Tlb t(8);
+    t.insert(1, 0xa, 42, false);
+    t.insert(2, 0xb, 42, false);
+    t.insert(2, 0xc, 43, false);
+    t.invalidatePhys(42);
+    EXPECT_EQ(t.lookup(1, 0xa), nullptr);
+    EXPECT_EQ(t.lookup(2, 0xb), nullptr);
+    EXPECT_NE(t.lookup(2, 0xc), nullptr);
+}
+
+TEST(Tlb, FlushAll)
+{
+    Tlb t(8);
+    t.insert(1, 0xa, 1, false);
+    t.insert(2, 0xb, 2, false);
+    t.flush();
+    EXPECT_EQ(t.residentEntries(), 0u);
+}
+
+TEST(Tlb, HitMissCounters)
+{
+    Tlb t(4);
+    t.insert(1, 0xa, 1, false);
+    t.translate(1, 0xa);
+    t.translate(1, 0xb);
+    EXPECT_EQ(t.hits, 1u);
+    EXPECT_EQ(t.misses, 1u);
+}
+
+TEST(Tlb, CapacityIs64ByDefault)
+{
+    Tlb t;
+    EXPECT_EQ(t.size(), 64u);
+    for (uint32_t i = 0; i < 64; ++i)
+        t.insert(1, i, i, false);
+    EXPECT_EQ(t.residentEntries(), 64u);
+    // One more evicts the oldest.
+    t.insert(1, 100, 100, false);
+    EXPECT_EQ(t.residentEntries(), 64u);
+    EXPECT_EQ(t.lookup(1, 0), nullptr);
+}

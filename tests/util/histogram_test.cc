@@ -1,0 +1,121 @@
+/** @file Unit tests for histogram utilities. */
+
+#include <gtest/gtest.h>
+
+#include "util/histogram.hh"
+
+using mpos::util::LinearHistogram;
+using mpos::util::Log2Histogram;
+
+TEST(LinearHistogram, BasicCounts)
+{
+    LinearHistogram h(10, 5);
+    h.add(0);
+    h.add(9);
+    h.add(10);
+    h.add(49);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.25);
+    EXPECT_DOUBLE_EQ(h.fraction(4), 0.25);
+}
+
+TEST(LinearHistogram, OverflowBucket)
+{
+    LinearHistogram h(10, 3);
+    h.add(1000);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.fraction(3), 1.0); // overflow slot
+}
+
+TEST(LinearHistogram, Mean)
+{
+    LinearHistogram h(1, 100);
+    h.add(10);
+    h.add(20);
+    h.add(30);
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(LinearHistogram, EmptyMeanIsZero)
+{
+    LinearHistogram h(1, 10);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+}
+
+TEST(LinearHistogram, Percentile)
+{
+    LinearHistogram h(10, 10);
+    for (int i = 0; i < 100; ++i)
+        h.add(uint64_t(i));
+    EXPECT_EQ(h.percentile(0.5), 40u);
+    EXPECT_EQ(h.percentile(1.0), 90u);
+}
+
+TEST(LinearHistogram, Merge)
+{
+    LinearHistogram a(10, 5), b(10, 5);
+    a.add(5);
+    b.add(15);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.fraction(0), 0.5);
+    EXPECT_DOUBLE_EQ(a.fraction(1), 0.5);
+}
+
+TEST(Log2Histogram, BucketBoundaries)
+{
+    Log2Histogram h(16);
+    h.add(0);
+    h.add(1);
+    h.add(2);
+    h.add(3);
+    h.add(4);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.4); // 0 and 1
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.4); // 2 and 3
+    EXPECT_DOUBLE_EQ(h.fraction(2), 0.2); // 4
+}
+
+TEST(Log2Histogram, LargeValuesClampToLastBucket)
+{
+    Log2Histogram h(4);
+    h.add(1ULL << 40);
+    EXPECT_DOUBLE_EQ(h.fraction(3), 1.0);
+}
+
+TEST(Log2Histogram, MeanTracksInput)
+{
+    Log2Histogram h;
+    h.add(100);
+    h.add(300);
+    EXPECT_DOUBLE_EQ(h.mean(), 200.0);
+}
+
+TEST(Log2Histogram, RenderMentionsCountAndBars)
+{
+    Log2Histogram h;
+    for (int i = 0; i < 64; ++i)
+        h.add(8);
+    const std::string out = h.render("test");
+    EXPECT_NE(out.find("n=64"), std::string::npos);
+    EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(Log2Histogram, Merge)
+{
+    Log2Histogram a(8), b(8);
+    a.add(2);
+    b.add(2);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(Log2Histogram, PercentileMonotone)
+{
+    Log2Histogram h;
+    for (uint64_t v = 1; v < 5000; v *= 3)
+        h.add(v);
+    EXPECT_LE(h.percentile(0.25), h.percentile(0.75));
+}

@@ -1,0 +1,111 @@
+/** @file Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hh"
+
+using mpos::util::Rng;
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng r(7);
+    for (uint64_t bound : {1ULL, 2ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(r.below(bound), bound);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const uint64_t v = r.range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng r(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = r.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated)
+{
+    Rng r(17);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(hits, 3000, 300);
+}
+
+TEST(Rng, BurstBounds)
+{
+    Rng r(19);
+    for (int i = 0; i < 1000; ++i) {
+        const uint32_t b = r.burst(0.5, 15);
+        EXPECT_GE(b, 1u);
+        EXPECT_LE(b, 15u);
+    }
+}
+
+TEST(Rng, BurstDegenerate)
+{
+    Rng r(21);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.burst(0.0, 15), 1u);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RngSeedSweep, MeanOfBelowIsCentered)
+{
+    Rng r(GetParam());
+    const uint64_t bound = 1000;
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += double(r.below(bound));
+    EXPECT_NEAR(sum / n, 499.5, 25.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(1, 2, 3, 1234, 99999,
+                                           0xdeadbeef));

@@ -1,0 +1,99 @@
+/** @file Unit tests for CounterSet and formatting helpers. */
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using mpos::util::barChart;
+using mpos::util::CounterSet;
+using mpos::util::TextTable;
+
+TEST(CounterSet, AddAndGet)
+{
+    CounterSet c;
+    c.add("a");
+    c.add("a", 4);
+    c.add("b", 10);
+    EXPECT_EQ(c.get("a"), 5u);
+    EXPECT_EQ(c.get("b"), 10u);
+    EXPECT_EQ(c.get("missing"), 0u);
+    EXPECT_EQ(c.total(), 15u);
+}
+
+TEST(CounterSet, FractionOfTotal)
+{
+    CounterSet c;
+    c.add("x", 25);
+    c.add("y", 75);
+    EXPECT_DOUBLE_EQ(c.fractionOfTotal("x"), 0.25);
+}
+
+TEST(CounterSet, EmptyFractionIsZero)
+{
+    CounterSet c;
+    EXPECT_DOUBLE_EQ(c.fractionOfTotal("x"), 0.0);
+}
+
+TEST(CounterSet, InsertionOrderPreserved)
+{
+    CounterSet c;
+    c.add("z");
+    c.add("a");
+    c.add("m");
+    ASSERT_EQ(c.entries().size(), 3u);
+    EXPECT_EQ(c.entries()[0].first, "z");
+    EXPECT_EQ(c.entries()[2].first, "m");
+}
+
+TEST(CounterSet, ClearKeepsNames)
+{
+    CounterSet c;
+    c.add("a", 5);
+    c.clear();
+    EXPECT_EQ(c.get("a"), 0u);
+    EXPECT_EQ(c.entries().size(), 1u);
+}
+
+TEST(Pct, Formatting)
+{
+    EXPECT_EQ(mpos::util::pct(0.5), "50.0");
+    EXPECT_EQ(mpos::util::pctOf(1, 4), "25.0");
+    EXPECT_EQ(mpos::util::pctOf(1, 0), "-");
+}
+
+TEST(TextTable, RenderContainsCellsAndRules)
+{
+    TextTable t("Title");
+    t.header({"A", "B"});
+    t.row({"hello", "world"});
+    t.rule();
+    t.row({"x", "y"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("Title"), std::string::npos);
+    EXPECT_NE(out.find("hello"), std::string::npos);
+    EXPECT_NE(out.find("world"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, RaggedRowsTolerated)
+{
+    TextTable t;
+    t.header({"A", "B", "C"});
+    t.row({"only-one"});
+    EXPECT_NE(t.render().find("only-one"), std::string::npos);
+}
+
+TEST(BarChart, ScalesToMax)
+{
+    const std::string out =
+        barChart("chart", {{"big", 100.0}, {"small", 1.0}}, 10);
+    EXPECT_NE(out.find("big"), std::string::npos);
+    // The big bar should render its full width of hashes.
+    EXPECT_NE(out.find("##########"), std::string::npos);
+}
+
+TEST(BarChart, EmptyDataSafe)
+{
+    EXPECT_NO_THROW(barChart("empty", {}, 10));
+}

@@ -1,0 +1,178 @@
+/** @file Tests for the synthetic application model. */
+
+#include <gtest/gtest.h>
+
+#include "workload/app_model.hh"
+
+using namespace mpos;
+using namespace mpos::workload;
+using kernel::Process;
+using kernel::UserScript;
+using sim::AddrSpace;
+using sim::ItemKind;
+using sim::ScriptItem;
+
+namespace
+{
+
+std::vector<ScriptItem>
+collect(SyntheticApp &app, uint32_t instrs)
+{
+    std::vector<ScriptItem> items;
+    UserScript s(items);
+    app.emitWork(s, instrs);
+    return items;
+}
+
+} // namespace
+
+TEST(AppModel, EmitsRequestedInstructionVolume)
+{
+    AppParams prm;
+    prm.seed = 3;
+    SyntheticApp app(prm);
+    const auto items = collect(app, 400);
+    uint32_t ifetches = 0;
+    for (const auto &it : items)
+        ifetches += it.kind == ItemKind::IFetchLine;
+    // 4 instructions per line.
+    EXPECT_NEAR(double(ifetches), 100.0, 2.0);
+}
+
+TEST(AppModel, AllRefsVirtualAndInBounds)
+{
+    AppParams prm;
+    prm.codeBytes = 32 * 1024;
+    prm.dataBytes = 16 * 1024;
+    prm.seed = 5;
+    SyntheticApp app(prm);
+    for (int round = 0; round < 20; ++round) {
+        for (const auto &it : collect(app, 512)) {
+            if (it.kind == ItemKind::Think)
+                continue;
+            EXPECT_EQ(it.space, AddrSpace::Virtual);
+            if (it.kind == ItemKind::IFetchLine) {
+                EXPECT_GE(it.addr, VaMap::textBase);
+                EXPECT_LT(it.addr, VaMap::textBase + prm.codeBytes);
+            } else {
+                EXPECT_GE(it.addr, VaMap::dataBase);
+                EXPECT_LT(it.addr, VaMap::dataBase + prm.dataBytes);
+            }
+        }
+    }
+}
+
+TEST(AppModel, SharedRefsLandInSharedRegion)
+{
+    AppParams prm;
+    prm.sharedBytes = 64 * 1024;
+    prm.sharedBase = VaMap::sharedBase;
+    prm.sharedRefProb = 1.0; // every data ref is shared
+    prm.seed = 7;
+    SyntheticApp app(prm);
+    bool saw_shared = false;
+    for (const auto &it : collect(app, 2000)) {
+        if (it.kind == ItemKind::Load || it.kind == ItemKind::Store) {
+            EXPECT_GE(it.addr, VaMap::sharedBase);
+            EXPECT_LT(it.addr, VaMap::sharedBase + prm.sharedBytes);
+            saw_shared = true;
+        }
+    }
+    EXPECT_TRUE(saw_shared);
+}
+
+TEST(AppModel, DataRefDensityTracksProbability)
+{
+    AppParams prm;
+    prm.dataRefProb = 0.5;
+    prm.seed = 9;
+    SyntheticApp app(prm);
+    uint32_t data = 0, instr = 0;
+    for (const auto &it : collect(app, 20000)) {
+        if (it.kind == ItemKind::IFetchLine)
+            instr += 4;
+        else if (it.kind == ItemKind::Load ||
+                 it.kind == ItemKind::Store)
+            ++data;
+    }
+    EXPECT_NEAR(double(data) / double(instr), 0.5, 0.05);
+}
+
+TEST(AppModel, StoreFractionRespected)
+{
+    AppParams prm;
+    prm.storeFrac = 0.25;
+    prm.seed = 11;
+    SyntheticApp app(prm);
+    uint32_t loads = 0, stores = 0;
+    for (const auto &it : collect(app, 40000)) {
+        loads += it.kind == ItemKind::Load;
+        stores += it.kind == ItemKind::Store;
+    }
+    EXPECT_NEAR(double(stores) / double(loads + stores), 0.25, 0.04);
+}
+
+TEST(AppModel, DeterministicForSameSeed)
+{
+    AppParams prm;
+    prm.seed = 13;
+    SyntheticApp a(prm), b(prm);
+    const auto ia = collect(a, 1000);
+    const auto ib = collect(b, 1000);
+    ASSERT_EQ(ia.size(), ib.size());
+    for (size_t i = 0; i < ia.size(); ++i) {
+        EXPECT_EQ(ia[i].addr, ib[i].addr);
+        EXPECT_EQ(int(ia[i].kind), int(ib[i].kind));
+    }
+}
+
+TEST(AppModel, HotCodeConcentration)
+{
+    AppParams prm;
+    prm.codeBytes = 128 * 1024;
+    prm.hotCodeFrac = 0.1;
+    prm.hotCodeProb = 0.95;
+    prm.jumpProb = 0.2; // jump a lot so the preference shows
+    prm.seed = 15;
+    SyntheticApp app(prm);
+    uint64_t hot = 0, total = 0;
+    for (const auto &it : collect(app, 60000)) {
+        if (it.kind != ItemKind::IFetchLine)
+            continue;
+        ++total;
+        hot += (it.addr - VaMap::textBase) <
+               uint64_t(0.1 * 128 * 1024);
+    }
+    // Far more than 10% of fetches hit the 10% hot region.
+    EXPECT_GT(double(hot) / double(total), 0.4);
+}
+
+TEST(AppModel, ResetCursorsRestartsCode)
+{
+    AppParams prm;
+    prm.seed = 17;
+    SyntheticApp app(prm);
+    collect(app, 512);
+    app.resetCursors();
+    const auto items = collect(app, 4);
+    ASSERT_FALSE(items.empty());
+    EXPECT_EQ(items[0].addr, VaMap::textBase);
+}
+
+TEST(AppModel, SweepAdvancesSequentially)
+{
+    AppParams prm;
+    prm.sharedBytes = 1024 * 1024;
+    prm.sharedRefProb = 1.0;
+    prm.sharedSweepProb = 1.0;
+    prm.dataRefProb = 1.0;
+    prm.seed = 19;
+    SyntheticApp app(prm);
+    std::vector<sim::Addr> addrs;
+    for (const auto &it : collect(app, 64))
+        if (it.kind == ItemKind::Load || it.kind == ItemKind::Store)
+            addrs.push_back(it.addr);
+    ASSERT_GT(addrs.size(), 4u);
+    for (size_t i = 1; i < addrs.size(); ++i)
+        EXPECT_EQ(addrs[i], addrs[i - 1] + 16);
+}

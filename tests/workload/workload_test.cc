@@ -1,0 +1,173 @@
+/** @file Integration tests of the three paper workloads. */
+
+#include <gtest/gtest.h>
+
+#include "kernel/kernel.hh"
+#include "sim/machine.hh"
+#include "workload/workload.hh"
+
+using namespace mpos;
+using workload::Workload;
+using workload::WorkloadKind;
+using workload::WorkloadOptions;
+
+namespace
+{
+
+struct Rig
+{
+    explicit Rig(WorkloadKind kind, uint64_t pool = 0)
+    {
+        m = std::make_unique<sim::Machine>(
+            mcfg, kernel::numKernelLocks + 32);
+        kcfg.userPoolPages =
+            pool ? pool : Workload::recommendedPoolPages(kind);
+        k = std::make_unique<kernel::Kernel>(*m, kcfg);
+        w = Workload::create(kind, *k);
+    }
+
+    sim::MachineConfig mcfg;
+    kernel::KernelConfig kcfg;
+    std::unique_ptr<sim::Machine> m;
+    std::unique_ptr<kernel::Kernel> k;
+    std::unique_ptr<Workload> w;
+};
+
+} // namespace
+
+TEST(WorkloadPmake, BuildsDriverAndProgresses)
+{
+    Rig r(WorkloadKind::Pmake);
+    r.m->run(15000000);
+    EXPECT_GT(r.k->forks(), 5u);
+    EXPECT_GT(r.k->exits(), 2u);
+    EXPECT_GT(r.w->pmakeJobsCompleted(), 2u);
+    EXPECT_GT(r.k->diskRequests(), 10u);
+}
+
+TEST(WorkloadPmake, JobsExecThroughPipeline)
+{
+    Rig r(WorkloadKind::Pmake);
+    r.m->run(15000000);
+    // cpp -> cc1 -> as means at least two execs per completed job.
+    EXPECT_GT(r.k->osOpCounts()
+                  .count[unsigned(sim::OsOp::OtherSyscall)],
+              3u);
+    EXPECT_GT(r.k->osOpCounts().count[unsigned(sim::OsOp::IoSyscall)],
+              20u);
+}
+
+TEST(WorkloadPmake, MaxJobsRespected)
+{
+    Rig r(WorkloadKind::Pmake);
+    for (int step = 0; step < 30; ++step) {
+        r.m->run(500000);
+        uint32_t jobs = 0;
+        for (uint32_t i = 0; i < r.k->maxProcs(); ++i) {
+            const auto &p = r.k->process(sim::Pid(i));
+            if (p.state != kernel::ProcState::Free &&
+                p.name.find('+') != std::string::npos)
+                ++jobs;
+        }
+        EXPECT_LE(jobs, 8u + 1); // -J 8, one may be a zombie in limbo
+    }
+}
+
+TEST(WorkloadMultpgm, AllComponentsPresent)
+{
+    Rig r(WorkloadKind::Multpgm);
+    uint32_t mp3d = 0, eds = 0, make = 0;
+    for (uint32_t i = 0; i < r.k->maxProcs(); ++i) {
+        const auto &p = r.k->process(sim::Pid(i));
+        if (p.state == kernel::ProcState::Free)
+            continue;
+        mp3d += p.name.find("mp3d") == 0;
+        eds += p.name.find("ed") == 0;
+        make += p.name == "make";
+    }
+    EXPECT_EQ(mp3d, 4u);  // paper: 4 Mp3d processes
+    EXPECT_EQ(eds, 5u);   // paper: 5 edit sessions
+    EXPECT_EQ(make, 1u);
+}
+
+TEST(WorkloadMultpgm, SginapStormsAppear)
+{
+    Rig r(WorkloadKind::Multpgm);
+    r.m->run(25000000);
+    // The signature of the paper's Multpgm: sginap is a major OS
+    // operation (Figure 2).
+    EXPECT_GT(r.k->osOpCounts().count[unsigned(sim::OsOp::Sginap)],
+              100u);
+    EXPECT_GT(r.w->mp3dSteps(), 0u);
+}
+
+TEST(WorkloadMultpgm, KeepsCpusBusy)
+{
+    Rig r(WorkloadKind::Multpgm);
+    r.m->run(15000000);
+    const auto acct = r.m->totalAccount();
+    // Paper: 0.1% idle.
+    EXPECT_LT(double(acct.idle()) / double(acct.all()), 0.03);
+}
+
+TEST(WorkloadOracle, TransactionsCommitWithLogWrites)
+{
+    Rig r(WorkloadKind::Oracle);
+    r.m->run(15000000);
+    EXPECT_GT(r.w->oracleTransactions(), 10u);
+    EXPECT_GT(r.k->diskRequests(), 10u); // redo log forces
+    EXPECT_GT(r.k->osOpCounts().count[unsigned(sim::OsOp::IoSyscall)],
+              10u);
+}
+
+TEST(WorkloadOracle, NoForksSteadyServerPool)
+{
+    Rig r(WorkloadKind::Oracle);
+    r.m->run(10000000);
+    EXPECT_EQ(r.k->forks(), 0u);
+    EXPECT_EQ(r.k->exits(), 0u);
+}
+
+TEST(Workload, NamesAndPools)
+{
+    EXPECT_STREQ(workload::workloadName(WorkloadKind::Pmake), "Pmake");
+    EXPECT_STREQ(workload::workloadName(WorkloadKind::Multpgm),
+                 "Multpgm");
+    EXPECT_STREQ(workload::workloadName(WorkloadKind::Oracle),
+                 "Oracle");
+    EXPECT_GT(Workload::recommendedPoolPages(WorkloadKind::Oracle),
+              Workload::recommendedPoolPages(WorkloadKind::Pmake));
+}
+
+TEST(Workload, DeterministicAcrossRuns)
+{
+    uint64_t jobs[2], txns[2];
+    for (int i = 0; i < 2; ++i) {
+        Rig r(WorkloadKind::Pmake);
+        r.m->run(8000000);
+        jobs[i] = r.w->pmakeJobsCompleted();
+        txns[i] = r.k->contextSwitches();
+    }
+    EXPECT_EQ(jobs[0], jobs[1]);
+    EXPECT_EQ(txns[0], txns[1]);
+}
+
+TEST(Workload, SeedChangesSchedule)
+{
+    WorkloadOptions o1, o2;
+    o2.seed = 1234;
+    sim::MachineConfig mcfg;
+    uint64_t sw[2];
+    int i = 0;
+    for (const auto &o : {o1, o2}) {
+        sim::Machine m(mcfg, kernel::numKernelLocks + 32);
+        kernel::KernelConfig kcfg;
+        kcfg.userPoolPages =
+            Workload::recommendedPoolPages(WorkloadKind::Pmake);
+        kernel::Kernel k(m, kcfg);
+        auto w = Workload::create(WorkloadKind::Pmake, k, o);
+        m.run(6000000);
+        sw[i++] = m.monitor().transactions();
+    }
+    EXPECT_NE(sw[0], sw[1]);
+}
