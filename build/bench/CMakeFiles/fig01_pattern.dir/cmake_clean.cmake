@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_pattern.dir/fig01_pattern.cc.o"
+  "CMakeFiles/fig01_pattern.dir/fig01_pattern.cc.o.d"
+  "fig01_pattern"
+  "fig01_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_os_operations.dir/fig02_os_operations.cc.o"
+  "CMakeFiles/fig02_os_operations.dir/fig02_os_operations.cc.o.d"
+  "fig02_os_operations"
+  "fig02_os_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_os_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

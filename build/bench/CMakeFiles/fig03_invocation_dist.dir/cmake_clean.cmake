@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_invocation_dist.dir/fig03_invocation_dist.cc.o"
+  "CMakeFiles/fig03_invocation_dist.dir/fig03_invocation_dist.cc.o.d"
+  "fig03_invocation_dist"
+  "fig03_invocation_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_invocation_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

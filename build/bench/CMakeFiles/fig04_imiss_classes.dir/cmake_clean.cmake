@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_imiss_classes.dir/fig04_imiss_classes.cc.o"
+  "CMakeFiles/fig04_imiss_classes.dir/fig04_imiss_classes.cc.o.d"
+  "fig04_imiss_classes"
+  "fig04_imiss_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_imiss_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_self_interference.dir/fig05_self_interference.cc.o"
+  "CMakeFiles/fig05_self_interference.dir/fig05_self_interference.cc.o.d"
+  "fig05_self_interference"
+  "fig05_self_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_self_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

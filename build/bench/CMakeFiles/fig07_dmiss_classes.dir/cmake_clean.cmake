@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_dmiss_classes.dir/fig07_dmiss_classes.cc.o"
+  "CMakeFiles/fig07_dmiss_classes.dir/fig07_dmiss_classes.cc.o.d"
+  "fig07_dmiss_classes"
+  "fig07_dmiss_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_dmiss_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

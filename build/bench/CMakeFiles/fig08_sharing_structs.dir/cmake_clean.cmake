@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_sharing_structs.dir/fig08_sharing_structs.cc.o"
+  "CMakeFiles/fig08_sharing_structs.dir/fig08_sharing_structs.cc.o.d"
+  "fig08_sharing_structs"
+  "fig08_sharing_structs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_sharing_structs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_functional.dir/fig09_functional.cc.o"
+  "CMakeFiles/fig09_functional.dir/fig09_functional.cc.o.d"
+  "fig09_functional"
+  "fig09_functional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_functional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_ap_dispos.dir/fig10_ap_dispos.cc.o"
+  "CMakeFiles/fig10_ap_dispos.dir/fig10_ap_dispos.cc.o.d"
+  "fig10_ap_dispos"
+  "fig10_ap_dispos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ap_dispos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

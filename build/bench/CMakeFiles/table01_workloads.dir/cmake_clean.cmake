@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_workloads.dir/table01_workloads.cc.o"
+  "CMakeFiles/table01_workloads.dir/table01_workloads.cc.o.d"
+  "table01_workloads"
+  "table01_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_migration.dir/table04_migration.cc.o"
+  "CMakeFiles/table04_migration.dir/table04_migration.cc.o.d"
+  "table04_migration"
+  "table04_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table05_migration_ops.dir/table05_migration_ops.cc.o"
+  "CMakeFiles/table05_migration_ops.dir/table05_migration_ops.cc.o.d"
+  "table05_migration_ops"
+  "table05_migration_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_migration_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

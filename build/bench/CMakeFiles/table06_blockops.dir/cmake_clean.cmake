@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_blockops.dir/table06_blockops.cc.o"
+  "CMakeFiles/table06_blockops.dir/table06_blockops.cc.o.d"
+  "table06_blockops"
+  "table06_blockops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_blockops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

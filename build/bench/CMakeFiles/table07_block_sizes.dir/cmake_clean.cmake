@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table07_block_sizes.dir/table07_block_sizes.cc.o"
+  "CMakeFiles/table07_block_sizes.dir/table07_block_sizes.cc.o.d"
+  "table07_block_sizes"
+  "table07_block_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table07_block_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

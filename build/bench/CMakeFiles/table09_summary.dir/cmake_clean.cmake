@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table09_summary.dir/table09_summary.cc.o"
+  "CMakeFiles/table09_summary.dir/table09_summary.cc.o.d"
+  "table09_summary"
+  "table09_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table09_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_sync_stall.dir/table10_sync_stall.cc.o"
+  "CMakeFiles/table10_sync_stall.dir/table10_sync_stall.cc.o.d"
+  "table10_sync_stall"
+  "table10_sync_stall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_sync_stall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table12_lock_profile.cc" "bench/CMakeFiles/table12_lock_profile.dir/table12_lock_profile.cc.o" "gcc" "bench/CMakeFiles/table12_lock_profile.dir/table12_lock_profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mpos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mpos_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/mpos_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mpos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table12_lock_profile.dir/table12_lock_profile.cc.o"
+  "CMakeFiles/table12_lock_profile.dir/table12_lock_profile.cc.o.d"
+  "table12_lock_profile"
+  "table12_lock_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table12_lock_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table12_lock_profile.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affinity_study.dir/affinity_study.cpp.o"
+  "CMakeFiles/affinity_study.dir/affinity_study.cpp.o.d"
+  "affinity_study"
+  "affinity_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affinity_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_profile.dir/os_profile.cpp.o"
+  "CMakeFiles/os_profile.dir/os_profile.cpp.o.d"
+  "os_profile"
+  "os_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ap_dispos.cc" "src/core/CMakeFiles/mpos_core.dir/ap_dispos.cc.o" "gcc" "src/core/CMakeFiles/mpos_core.dir/ap_dispos.cc.o.d"
+  "/root/repo/src/core/attribution.cc" "src/core/CMakeFiles/mpos_core.dir/attribution.cc.o" "gcc" "src/core/CMakeFiles/mpos_core.dir/attribution.cc.o.d"
+  "/root/repo/src/core/blockop_stats.cc" "src/core/CMakeFiles/mpos_core.dir/blockop_stats.cc.o" "gcc" "src/core/CMakeFiles/mpos_core.dir/blockop_stats.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/mpos_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/mpos_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/functional_class.cc" "src/core/CMakeFiles/mpos_core.dir/functional_class.cc.o" "gcc" "src/core/CMakeFiles/mpos_core.dir/functional_class.cc.o.d"
+  "/root/repo/src/core/invocation_stats.cc" "src/core/CMakeFiles/mpos_core.dir/invocation_stats.cc.o" "gcc" "src/core/CMakeFiles/mpos_core.dir/invocation_stats.cc.o.d"
+  "/root/repo/src/core/lock_stats.cc" "src/core/CMakeFiles/mpos_core.dir/lock_stats.cc.o" "gcc" "src/core/CMakeFiles/mpos_core.dir/lock_stats.cc.o.d"
+  "/root/repo/src/core/migration.cc" "src/core/CMakeFiles/mpos_core.dir/migration.cc.o" "gcc" "src/core/CMakeFiles/mpos_core.dir/migration.cc.o.d"
+  "/root/repo/src/core/miss_classify.cc" "src/core/CMakeFiles/mpos_core.dir/miss_classify.cc.o" "gcc" "src/core/CMakeFiles/mpos_core.dir/miss_classify.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/mpos_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/mpos_core.dir/report.cc.o.d"
+  "/root/repo/src/core/resim.cc" "src/core/CMakeFiles/mpos_core.dir/resim.cc.o" "gcc" "src/core/CMakeFiles/mpos_core.dir/resim.cc.o.d"
+  "/root/repo/src/core/stall.cc" "src/core/CMakeFiles/mpos_core.dir/stall.cc.o" "gcc" "src/core/CMakeFiles/mpos_core.dir/stall.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/mpos_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/mpos_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mpos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

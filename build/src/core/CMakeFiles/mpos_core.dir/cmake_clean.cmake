@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpos_core.dir/ap_dispos.cc.o"
+  "CMakeFiles/mpos_core.dir/ap_dispos.cc.o.d"
+  "CMakeFiles/mpos_core.dir/attribution.cc.o"
+  "CMakeFiles/mpos_core.dir/attribution.cc.o.d"
+  "CMakeFiles/mpos_core.dir/blockop_stats.cc.o"
+  "CMakeFiles/mpos_core.dir/blockop_stats.cc.o.d"
+  "CMakeFiles/mpos_core.dir/experiment.cc.o"
+  "CMakeFiles/mpos_core.dir/experiment.cc.o.d"
+  "CMakeFiles/mpos_core.dir/functional_class.cc.o"
+  "CMakeFiles/mpos_core.dir/functional_class.cc.o.d"
+  "CMakeFiles/mpos_core.dir/invocation_stats.cc.o"
+  "CMakeFiles/mpos_core.dir/invocation_stats.cc.o.d"
+  "CMakeFiles/mpos_core.dir/lock_stats.cc.o"
+  "CMakeFiles/mpos_core.dir/lock_stats.cc.o.d"
+  "CMakeFiles/mpos_core.dir/migration.cc.o"
+  "CMakeFiles/mpos_core.dir/migration.cc.o.d"
+  "CMakeFiles/mpos_core.dir/miss_classify.cc.o"
+  "CMakeFiles/mpos_core.dir/miss_classify.cc.o.d"
+  "CMakeFiles/mpos_core.dir/report.cc.o"
+  "CMakeFiles/mpos_core.dir/report.cc.o.d"
+  "CMakeFiles/mpos_core.dir/resim.cc.o"
+  "CMakeFiles/mpos_core.dir/resim.cc.o.d"
+  "CMakeFiles/mpos_core.dir/stall.cc.o"
+  "CMakeFiles/mpos_core.dir/stall.cc.o.d"
+  "libmpos_core.a"
+  "libmpos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

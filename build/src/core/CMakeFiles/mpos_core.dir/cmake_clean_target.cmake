@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmpos_core.a"
+)

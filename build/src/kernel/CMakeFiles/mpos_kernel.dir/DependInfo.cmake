@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/fs.cc" "src/kernel/CMakeFiles/mpos_kernel.dir/fs.cc.o" "gcc" "src/kernel/CMakeFiles/mpos_kernel.dir/fs.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/kernel/CMakeFiles/mpos_kernel.dir/kernel.cc.o" "gcc" "src/kernel/CMakeFiles/mpos_kernel.dir/kernel.cc.o.d"
+  "/root/repo/src/kernel/layout.cc" "src/kernel/CMakeFiles/mpos_kernel.dir/layout.cc.o" "gcc" "src/kernel/CMakeFiles/mpos_kernel.dir/layout.cc.o.d"
+  "/root/repo/src/kernel/locks.cc" "src/kernel/CMakeFiles/mpos_kernel.dir/locks.cc.o" "gcc" "src/kernel/CMakeFiles/mpos_kernel.dir/locks.cc.o.d"
+  "/root/repo/src/kernel/paths.cc" "src/kernel/CMakeFiles/mpos_kernel.dir/paths.cc.o" "gcc" "src/kernel/CMakeFiles/mpos_kernel.dir/paths.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mpos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mpos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpos_kernel.dir/fs.cc.o"
+  "CMakeFiles/mpos_kernel.dir/fs.cc.o.d"
+  "CMakeFiles/mpos_kernel.dir/kernel.cc.o"
+  "CMakeFiles/mpos_kernel.dir/kernel.cc.o.d"
+  "CMakeFiles/mpos_kernel.dir/layout.cc.o"
+  "CMakeFiles/mpos_kernel.dir/layout.cc.o.d"
+  "CMakeFiles/mpos_kernel.dir/locks.cc.o"
+  "CMakeFiles/mpos_kernel.dir/locks.cc.o.d"
+  "CMakeFiles/mpos_kernel.dir/paths.cc.o"
+  "CMakeFiles/mpos_kernel.dir/paths.cc.o.d"
+  "libmpos_kernel.a"
+  "libmpos_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpos_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

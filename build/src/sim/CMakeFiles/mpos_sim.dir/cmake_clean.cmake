@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpos_sim.dir/cache.cc.o"
+  "CMakeFiles/mpos_sim.dir/cache.cc.o.d"
+  "CMakeFiles/mpos_sim.dir/machine.cc.o"
+  "CMakeFiles/mpos_sim.dir/machine.cc.o.d"
+  "CMakeFiles/mpos_sim.dir/memsys.cc.o"
+  "CMakeFiles/mpos_sim.dir/memsys.cc.o.d"
+  "CMakeFiles/mpos_sim.dir/monitor.cc.o"
+  "CMakeFiles/mpos_sim.dir/monitor.cc.o.d"
+  "CMakeFiles/mpos_sim.dir/syncbus.cc.o"
+  "CMakeFiles/mpos_sim.dir/syncbus.cc.o.d"
+  "CMakeFiles/mpos_sim.dir/tlb.cc.o"
+  "CMakeFiles/mpos_sim.dir/tlb.cc.o.d"
+  "libmpos_sim.a"
+  "libmpos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

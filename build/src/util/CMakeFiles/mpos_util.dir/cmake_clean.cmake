@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpos_util.dir/histogram.cc.o"
+  "CMakeFiles/mpos_util.dir/histogram.cc.o.d"
+  "CMakeFiles/mpos_util.dir/stats.cc.o"
+  "CMakeFiles/mpos_util.dir/stats.cc.o.d"
+  "CMakeFiles/mpos_util.dir/table.cc.o"
+  "CMakeFiles/mpos_util.dir/table.cc.o.d"
+  "libmpos_util.a"
+  "libmpos_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpos_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

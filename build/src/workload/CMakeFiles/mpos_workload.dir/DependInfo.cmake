@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/app_model.cc" "src/workload/CMakeFiles/mpos_workload.dir/app_model.cc.o" "gcc" "src/workload/CMakeFiles/mpos_workload.dir/app_model.cc.o.d"
+  "/root/repo/src/workload/edit.cc" "src/workload/CMakeFiles/mpos_workload.dir/edit.cc.o" "gcc" "src/workload/CMakeFiles/mpos_workload.dir/edit.cc.o.d"
+  "/root/repo/src/workload/mp3d.cc" "src/workload/CMakeFiles/mpos_workload.dir/mp3d.cc.o" "gcc" "src/workload/CMakeFiles/mpos_workload.dir/mp3d.cc.o.d"
+  "/root/repo/src/workload/multpgm.cc" "src/workload/CMakeFiles/mpos_workload.dir/multpgm.cc.o" "gcc" "src/workload/CMakeFiles/mpos_workload.dir/multpgm.cc.o.d"
+  "/root/repo/src/workload/oracle.cc" "src/workload/CMakeFiles/mpos_workload.dir/oracle.cc.o" "gcc" "src/workload/CMakeFiles/mpos_workload.dir/oracle.cc.o.d"
+  "/root/repo/src/workload/pmake.cc" "src/workload/CMakeFiles/mpos_workload.dir/pmake.cc.o" "gcc" "src/workload/CMakeFiles/mpos_workload.dir/pmake.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/workload/CMakeFiles/mpos_workload.dir/workload.cc.o" "gcc" "src/workload/CMakeFiles/mpos_workload.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/mpos_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mpos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

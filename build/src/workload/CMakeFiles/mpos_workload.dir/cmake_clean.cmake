@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpos_workload.dir/app_model.cc.o"
+  "CMakeFiles/mpos_workload.dir/app_model.cc.o.d"
+  "CMakeFiles/mpos_workload.dir/edit.cc.o"
+  "CMakeFiles/mpos_workload.dir/edit.cc.o.d"
+  "CMakeFiles/mpos_workload.dir/mp3d.cc.o"
+  "CMakeFiles/mpos_workload.dir/mp3d.cc.o.d"
+  "CMakeFiles/mpos_workload.dir/multpgm.cc.o"
+  "CMakeFiles/mpos_workload.dir/multpgm.cc.o.d"
+  "CMakeFiles/mpos_workload.dir/oracle.cc.o"
+  "CMakeFiles/mpos_workload.dir/oracle.cc.o.d"
+  "CMakeFiles/mpos_workload.dir/pmake.cc.o"
+  "CMakeFiles/mpos_workload.dir/pmake.cc.o.d"
+  "CMakeFiles/mpos_workload.dir/workload.cc.o"
+  "CMakeFiles/mpos_workload.dir/workload.cc.o.d"
+  "libmpos_workload.a"
+  "libmpos_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpos_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiment_tests.dir/core/experiment_test.cc.o"
+  "CMakeFiles/experiment_tests.dir/core/experiment_test.cc.o.d"
+  "experiment_tests"
+  "experiment_tests.pdb"
+  "experiment_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiment_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/cache_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/cache_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/cache_test.cc.o.d"
+  "/root/repo/tests/sim/machine_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/machine_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/machine_test.cc.o.d"
+  "/root/repo/tests/sim/memsys_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/memsys_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/memsys_test.cc.o.d"
+  "/root/repo/tests/sim/syncbus_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/syncbus_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/syncbus_test.cc.o.d"
+  "/root/repo/tests/sim/tlb_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/tlb_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/tlb_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mpos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mpos_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/mpos_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mpos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

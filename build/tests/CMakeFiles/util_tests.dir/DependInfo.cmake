@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/histogram_test.cc" "tests/CMakeFiles/util_tests.dir/util/histogram_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/histogram_test.cc.o.d"
+  "/root/repo/tests/util/rng_test.cc" "tests/CMakeFiles/util_tests.dir/util/rng_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/rng_test.cc.o.d"
+  "/root/repo/tests/util/stats_test.cc" "tests/CMakeFiles/util_tests.dir/util/stats_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/stats_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mpos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mpos_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/mpos_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mpos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
