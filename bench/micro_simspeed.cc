@@ -76,6 +76,13 @@ BM_MachineCyclesPmake(benchmark::State &state)
         exp.machine().run(100000);
     state.SetItemsProcessed(int64_t(state.iterations()) * 100000);
 }
-BENCHMARK(BM_MachineCyclesPmake)->Unit(benchmark::kMillisecond);
+// Fixed iteration count: every iteration advances the *same* machine,
+// so with the adaptive loop the measured window would depend on how
+// many calibration iterations already drained the workload. Pinning
+// the count measures cycles 1M..11M -- the busy phase -- every run,
+// which makes before/after comparisons meaningful.
+BENCHMARK(BM_MachineCyclesPmake)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(100);
 
 BENCHMARK_MAIN();

@@ -141,14 +141,14 @@ Kernel::refill(CpuId cpu)
             p.savedScript.clear();
             return;
         }
-        Script buf;
-        UserScript us(buf);
+        chunkBuf.clear(); // reused across refills to avoid reallocating
+        UserScript us(chunkBuf);
         p.behavior->chunk(p, us);
         ++p.userChunks;
-        if (buf.empty())
+        if (chunkBuf.empty())
             util::panic("behavior of %s produced an empty chunk",
                         p.name.c_str());
-        c.pushSeq(buf);
+        c.pushSeq(chunkBuf);
         return;
     }
 
@@ -167,20 +167,25 @@ Kernel::refill(CpuId cpu)
         c.pushSeq(s);
         return;
     }
-    Script s;
-    const RoutineId idle = map.routine("idleloop");
-    const Routine &r = map.routineInfo(idle);
-    s.push_back(ScriptItem::mark(MarkerOp::RoutineEnter, idle));
-    const uint32_t lines = r.textBytes / cfg.layout.lineBytes;
-    for (uint32_t rep = 0; rep < 4; ++rep) {
-        for (uint32_t l = 0; l < lines; ++l)
-            s.push_back(ScriptItem::ifetch(r.textBase +
-                                           l * cfg.layout.lineBytes));
-        // The idle loop polls the run queue header without the lock.
-        s.push_back(ScriptItem::load(map.runQueueAddr()));
+    // The idle chunk is the same every time (the layout is fixed after
+    // construction), so build it once and replay it; an idle machine
+    // otherwise spends most of its kernel time re-emitting this script.
+    if (idleChunk.empty()) {
+        Script &s = idleChunk;
+        const RoutineId idle = map.routine("idleloop");
+        const Routine &r = map.routineInfo(idle);
+        s.push_back(ScriptItem::mark(MarkerOp::RoutineEnter, idle));
+        const uint32_t lines = r.textBytes / cfg.layout.lineBytes;
+        for (uint32_t rep = 0; rep < 4; ++rep) {
+            for (uint32_t l = 0; l < lines; ++l)
+                s.push_back(ScriptItem::ifetch(r.textBase +
+                                               l * cfg.layout.lineBytes));
+            // The idle loop polls the run queue header without the lock.
+            s.push_back(ScriptItem::load(map.runQueueAddr()));
+        }
+        s.push_back(ScriptItem::mark(MarkerOp::IdlePoll));
     }
-    s.push_back(ScriptItem::mark(MarkerOp::IdlePoll));
-    c.pushSeq(s);
+    c.pushSeq(idleChunk);
 }
 
 void

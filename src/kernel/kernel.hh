@@ -284,6 +284,11 @@ class Kernel : public sim::Executor
     LockListener *lockListener = nullptr;
     util::Rng rng;
 
+    /** Scratch buffer reused by refill() for user chunk generation. */
+    Script chunkBuf;
+    /** The (constant) idle-loop chunk, built once on first idle. */
+    Script idleChunk;
+
     std::vector<std::unique_ptr<Process>> procs;
     std::vector<Pid> curProc;          ///< Per CPU; invalidPid = idle.
     std::deque<Pid> runQueue;

@@ -64,6 +64,7 @@ KernelLayout::addRoutine(const std::string &name, uint32_t bytes,
     r.textBytes = bytes;
     r.group = group;
     routines.push_back(r);
+    byName.emplace(name, RoutineId(routines.size() - 1));
     textLimit += bytes;
     return RoutineId(routines.size() - 1);
 }
@@ -302,10 +303,10 @@ KernelLayout::buildData()
 RoutineId
 KernelLayout::routine(const std::string &name) const
 {
-    for (size_t i = 0; i < routines.size(); ++i)
-        if (routines[i].name == name)
-            return RoutineId(i);
-    util::fatal("unknown kernel routine '%s'", name.c_str());
+    const auto it = byName.find(name);
+    if (it == byName.end())
+        util::fatal("unknown kernel routine '%s'", name.c_str());
+    return it->second;
 }
 
 const Routine &

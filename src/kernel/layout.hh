@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/types.hh"
@@ -171,6 +172,8 @@ class KernelLayout
 
     LayoutConfig cfg;
     std::vector<Routine> routines;
+    /** name -> id index for routine(); built by addRoutine(). */
+    std::unordered_map<std::string, RoutineId> byName;
     Addr textLimit = 0;
 
     // Data segment bases.

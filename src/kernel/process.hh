@@ -14,12 +14,12 @@
 #define MPOS_KERNEL_PROCESS_HH
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "sim/cpu.hh"
 #include "sim/types.hh"
 
 namespace mpos::kernel
@@ -191,7 +191,7 @@ class Process
     std::unique_ptr<AppBehavior> behavior;
 
     /** Work saved when the process was preempted or blocked. */
-    std::deque<ScriptItem> savedScript;
+    sim::ScriptQueue savedScript;
 
     /** vpage -> pte. */
     std::unordered_map<Addr, Pte> pageTable;

@@ -18,6 +18,14 @@ Cache::Cache(std::string name, uint64_t bytes, uint32_t assoc,
                     static_cast<unsigned long long>(bytes), assoc,
                     line_bytes);
     }
+    if (!std::has_single_bit(line_bytes))
+        util::fatal("cache %s: line size %u not a power of two",
+                    label.c_str(), line_bytes);
+    if (line_bytes < 4)
+        util::fatal("cache %s: line size %u leaves no room for the "
+                    "packed valid/dirty tag bits", label.c_str(),
+                    line_bytes);
+    lineShift_ = uint32_t(std::countr_zero(line_bytes));
     numSets = bytes / (uint64_t(assoc) * line_bytes);
     if (!std::has_single_bit(numSets))
         util::fatal("cache %s: number of sets %llu not a power of two",
@@ -32,7 +40,7 @@ Cache::findWay(Addr line)
     const uint64_t set = setIndex(line);
     Way *base = &ways[set * assoc_];
     for (uint32_t i = 0; i < assoc_; ++i)
-        if (base[i].valid && base[i].tag == line)
+        if ((base[i].tv & ~uint64_t(2)) == (line | 1))
             return &base[i];
     return nullptr;
 }
@@ -49,7 +57,7 @@ Cache::promote(uint64_t set, Way &way)
     Way *base = &ways[set * assoc_];
     const uint32_t old = way.lru;
     for (uint32_t i = 0; i < assoc_; ++i)
-        if (base[i].valid && base[i].lru < old)
+        if (base[i].valid() && base[i].lru < old)
             ++base[i].lru;
     way.lru = 0;
 }
@@ -61,9 +69,8 @@ Cache::contains(Addr addr) const
 }
 
 bool
-Cache::touch(Addr addr)
+Cache::touchAssoc(Addr line)
 {
-    const Addr line = lineAddr(addr);
     Way *w = findWay(line);
     if (!w)
         return false;
@@ -76,18 +83,35 @@ Cache::fill(Addr addr, bool dirty)
 {
     const Addr line = lineAddr(addr);
     const uint64_t set = setIndex(line);
+
+    if (assoc_ == 1) {
+        // Direct-mapped: the single way is replaced outright; no LRU
+        // bookkeeping, no empty-way scan.
+        Way &w = ways[set];
+        if ((w.tv & ~uint64_t(2)) == (line | 1)) {
+            w.tv |= uint64_t(dirty) << 1;
+            return {};
+        }
+        Victim victim;
+        if (w.valid())
+            victim = {w.tag(), true, w.dirty()};
+        w.set(line, true, dirty);
+        w.lru = 0;
+        return victim;
+    }
+
     Way *base = &ways[set * assoc_];
 
     if (Way *w = findWay(line)) {
         promote(set, *w);
-        w->dirty = w->dirty || dirty;
+        w->tv |= uint64_t(dirty) << 1;
         return {};
     }
 
     // Prefer an invalid way; otherwise evict the LRU one.
     Way *slot = nullptr;
     for (uint32_t i = 0; i < assoc_; ++i) {
-        if (!base[i].valid) {
+        if (!base[i].valid()) {
             slot = &base[i];
             break;
         }
@@ -99,11 +123,9 @@ Cache::fill(Addr addr, bool dirty)
             if (base[i].lru > base[worst].lru)
                 worst = i;
         slot = &base[worst];
-        victim = {slot->tag, true, slot->dirty};
+        victim = {slot->tag(), true, slot->dirty()};
     }
-    slot->tag = line;
-    slot->valid = true;
-    slot->dirty = dirty;
+    slot->set(line, true, dirty);
     slot->lru = assoc_; // promote() pulls it to 0
     promote(set, *slot);
     return victim;
@@ -115,7 +137,7 @@ Cache::markDirty(Addr addr)
     Way *w = findWay(lineAddr(addr));
     if (!w)
         return false;
-    w->dirty = true;
+    w->tv |= 2;
     return true;
 }
 
@@ -123,31 +145,17 @@ bool
 Cache::isDirty(Addr addr) const
 {
     const Way *w = findWay(lineAddr(addr));
-    return w && w->dirty;
+    return w && w->dirty();
 }
 
 bool
-Cache::invalidate(Addr addr)
+Cache::invalidateAssoc(Addr line)
 {
-    Way *w = findWay(lineAddr(addr));
+    Way *w = findWay(line);
     if (!w)
         return false;
-    w->valid = false;
-    w->dirty = false;
+    w->tv = 0;
     return true;
-}
-
-void
-Cache::invalidateRange(Addr lo, Addr hi,
-                       const std::function<void(Addr)> &cb)
-{
-    for (auto &w : ways) {
-        if (w.valid && w.tag >= lo && w.tag < hi) {
-            w.valid = false;
-            w.dirty = false;
-            cb(w.tag);
-        }
-    }
 }
 
 void
@@ -162,7 +170,7 @@ Cache::residentLines() const
 {
     uint64_t n = 0;
     for (const auto &w : ways)
-        n += w.valid;
+        n += w.tv & 1;
     return n;
 }
 

@@ -13,8 +13,6 @@
 #define MPOS_SIM_CACHE_HH
 
 #include <cstdint>
-#include <functional>
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -48,8 +46,24 @@ class Cache
     /** True if the line holding addr is present (no LRU update). */
     bool contains(Addr addr) const;
 
-    /** Access for read/fetch: returns hit and updates LRU. */
-    bool touch(Addr addr);
+    /**
+     * Access for read/fetch: returns hit and updates LRU. Inline with
+     * a direct-mapped short circuit: the one way either matches or
+     * does not, and its LRU rank is always already 0, so the probe is
+     * a single indexed compare (all three 4D/340 caches are assoc 1).
+     */
+    bool
+    touch(Addr addr)
+    {
+        const Addr line = lineAddr(addr);
+        if (assoc_ == 1) {
+            // valid && tag == line, as a single load and compare on
+            // the packed word (the dirty bit is masked out).
+            return (ways[setIndex(line)].tv & ~uint64_t(2)) ==
+                   (line | 1);
+        }
+        return touchAssoc(line);
+    }
 
     /**
      * Install the line holding addr, evicting the LRU way if the set is
@@ -65,14 +79,37 @@ class Cache
     bool isDirty(Addr addr) const;
 
     /** Remove the line; returns true if it was present. */
-    bool invalidate(Addr addr);
+    bool
+    invalidate(Addr addr)
+    {
+        const Addr line = lineAddr(addr);
+        if (assoc_ == 1) {
+            Way &w = ways[setIndex(line)];
+            if ((w.tv & ~uint64_t(2)) != (line | 1))
+                return false;
+            w.tv = 0;
+            return true;
+        }
+        return invalidateAssoc(line);
+    }
 
     /**
      * Invalidate every resident line with address in [lo, hi) and call
-     * cb for each one removed.
+     * cb for each one removed. Takes the callback as a template so the
+     * call inlines instead of going through a std::function thunk.
      */
-    void invalidateRange(Addr lo, Addr hi,
-                         const std::function<void(Addr)> &cb);
+    template <typename Fn>
+    void
+    invalidateRange(Addr lo, Addr hi, Fn &&cb)
+    {
+        for (auto &w : ways) {
+            const Addr tag = w.tag();
+            if (w.valid() && tag >= lo && tag < hi) {
+                w.tv = 0;
+                cb(tag);
+            }
+        }
+    }
 
     /** Drop everything (power-on state). */
     void reset();
@@ -91,17 +128,37 @@ class Cache
   private:
     struct Way
     {
-        Addr tag = 0;       // full line address
-        bool valid = false;
-        bool dirty = false;
+        /**
+         * Tag and flags packed into one word: bit 0 = valid, bit 1 =
+         * dirty, the rest the full line address (line sizes are >= 4,
+         * so those bits are free in a line-aligned address). The
+         * direct-mapped hit probe -- the hottest operation in the
+         * simulator -- is then a single load and masked compare.
+         */
+        uint64_t tv = 0;
         uint32_t lru = 0;   // lower = more recently used
+
+        Addr tag() const { return Addr(tv & ~uint64_t(3)); }
+        bool valid() const { return tv & 1; }
+        bool dirty() const { return tv & 2; }
+        void
+        set(Addr line, bool valid_, bool dirty_)
+        {
+            tv = line | uint64_t(valid_) | (uint64_t(dirty_) << 1);
+        }
     };
 
     Addr lineAddr(Addr addr) const { return addr & ~Addr(lineBytes_ - 1); }
     uint64_t setIndex(Addr addr) const
     {
-        return (addr / lineBytes_) & (numSets - 1);
+        return (addr >> lineShift_) & (numSets - 1);
     }
+
+    /** touch() for the associative case: probe ways, update LRU. */
+    bool touchAssoc(Addr line);
+
+    /** invalidate() for the associative case. */
+    bool invalidateAssoc(Addr line);
 
     Way *findWay(Addr line);
     const Way *findWay(Addr line) const;
@@ -110,6 +167,7 @@ class Cache
     std::string label;
     uint32_t assoc_;
     uint32_t lineBytes_;
+    uint32_t lineShift_; // log2(lineBytes_)
     uint64_t numSets;
     std::vector<Way> ways; // numSets * assoc_, set-major
 };

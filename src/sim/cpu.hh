@@ -12,8 +12,8 @@
 #ifndef MPOS_SIM_CPU_HH
 #define MPOS_SIM_CPU_HH
 
+#include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "sim/tlb.hh"
@@ -21,6 +21,106 @@
 
 namespace mpos::sim
 {
+
+/**
+ * FIFO of pending script items: a power-of-two ring buffer indexed by
+ * monotonically increasing head/tail counters (modular arithmetic keeps
+ * the masked indices valid even after head is decremented below zero by
+ * a prepend). The front pop / back push pair runs once per simulated
+ * reference, which is why this is not a std::deque.
+ */
+class ScriptQueue
+{
+  public:
+    ScriptQueue() = default;
+
+    ScriptQueue(ScriptQueue &&o) noexcept
+        : buf(std::move(o.buf)), mask(o.mask), head(o.head), tail(o.tail)
+    {
+        o.mask = 0;
+        o.head = o.tail = 0;
+    }
+
+    ScriptQueue &
+    operator=(ScriptQueue &&o) noexcept
+    {
+        buf = std::move(o.buf);
+        mask = o.mask;
+        head = o.head;
+        tail = o.tail;
+        o.mask = 0;
+        o.head = o.tail = 0;
+        return *this;
+    }
+
+    bool empty() const { return head == tail; }
+    uint64_t size() const { return tail - head; }
+
+    const ScriptItem &front() const { return buf[head & mask]; }
+
+    void pop_front() { ++head; }
+
+    void
+    push_back(const ScriptItem &item)
+    {
+        if (size() == buf.size())
+            grow(size() + 1);
+        buf[tail++ & mask] = item;
+    }
+
+    /** Append items in order after everything currently queued. */
+    void
+    append(const ScriptItem *items, uint64_t n)
+    {
+        if (size() + n > buf.size())
+            grow(size() + n);
+        // At most two contiguous spans (the copy may wrap the ring);
+        // bulk copies beat a per-item masked-index loop for the
+        // hundreds-of-items chunks the kernel pushes per refill.
+        const uint64_t start = tail & mask;
+        const uint64_t first = std::min(n, buf.size() - start);
+        std::copy_n(items, first, buf.data() + start);
+        std::copy_n(items + first, n - first, buf.data());
+        tail += n;
+    }
+
+    /** Insert items in order before everything currently queued. */
+    void
+    prepend(const ScriptItem *items, uint64_t n)
+    {
+        if (size() + n > buf.size())
+            grow(size() + n);
+        head -= n;
+        const uint64_t start = head & mask;
+        const uint64_t first = std::min(n, buf.size() - start);
+        std::copy_n(items, first, buf.data() + start);
+        std::copy_n(items + first, n - first, buf.data());
+    }
+
+    void clear() { head = tail = 0; }
+
+  private:
+    void
+    grow(uint64_t need)
+    {
+        uint64_t cap = buf.empty() ? 64 : buf.size();
+        while (cap < need)
+            cap *= 2;
+        std::vector<ScriptItem> nb(cap);
+        const uint64_t n = size();
+        for (uint64_t i = 0; i < n; ++i)
+            nb[i] = buf[(head + i) & mask];
+        buf = std::move(nb);
+        mask = cap - 1;
+        head = 0;
+        tail = n;
+    }
+
+    std::vector<ScriptItem> buf;
+    uint64_t mask = 0; ///< buf.size() - 1 (0 while unallocated).
+    uint64_t head = 0;
+    uint64_t tail = 0;
+};
 
 /** Per-mode cycle accounting (indexed by ExecMode). */
 struct CycleAccount
@@ -62,31 +162,30 @@ class Cpu
     CycleAccount account;
 
     /** Pending work, front = next to execute. */
-    std::deque<ScriptItem> script;
+    ScriptQueue script;
 
     void push(const ScriptItem &item) { script.push_back(item); }
 
     void
     pushSeq(const std::vector<ScriptItem> &items)
     {
-        script.insert(script.end(), items.begin(), items.end());
+        script.append(items.data(), items.size());
     }
 
     /** Insert items so they run before everything currently queued. */
     void
     pushFrontSeq(const std::vector<ScriptItem> &items)
     {
-        script.insert(script.begin(), items.begin(), items.end());
+        script.prepend(items.data(), items.size());
     }
 
-    void pushFront(const ScriptItem &item) { script.push_front(item); }
+    void pushFront(const ScriptItem &item) { script.prepend(&item, 1); }
 
     /** Move the entire remaining script out (context switch / block). */
-    std::deque<ScriptItem>
+    ScriptQueue
     drainScript()
     {
-        std::deque<ScriptItem> out;
-        out.swap(script);
+        ScriptQueue out = std::move(script);
         return out;
     }
 
@@ -119,8 +218,8 @@ class Executor
 
     /**
      * A virtual reference could not be translated. The faulting item
-     * has already been re-pushed; the executor must push a handling
-     * path in front of it.
+     * is still at the front of the queue; the executor must push a
+     * handling path in front of it.
      * @param is_prot True for a write to a read-only mapping (COW).
      */
     virtual void fault(CpuId cpu, Addr vaddr, bool is_store,

@@ -1,15 +1,24 @@
 #include "sim/machine.hh"
 
+#include <bit>
+
 #include "util/logging.hh"
 
 namespace mpos::sim
 {
 
 Machine::Machine(const MachineConfig &config, uint32_t num_locks)
-    : cfg(config), mem(cfg, mon), syncTransport(cfg, num_locks)
+    : cfg(config), mem(cfg, mon), syncTransport(cfg, num_locks),
+      pageShift(uint32_t(std::countr_zero(cfg.pageBytes))),
+      pageMask(Addr(cfg.pageBytes) - 1),
+      lineExecCycles(Cycle(cfg.instrPerLine) * cfg.cyclesPerInstr),
+      slowSim(cfg.slowSim || slowSimForced())
 {
+    if (!std::has_single_bit(cfg.pageBytes))
+        util::fatal("page size %u not a power of two", cfg.pageBytes);
+    cpus.reserve(cfg.numCpus);
     for (CpuId c = 0; c < cfg.numCpus; ++c)
-        cpus.push_back(std::make_unique<Cpu>(c, cfg));
+        cpus.emplace_back(c, cfg);
 }
 
 CycleAccount
@@ -18,57 +27,46 @@ Machine::totalAccount() const
     CycleAccount sum;
     for (const auto &c : cpus) {
         for (unsigned m = 0; m < 3; ++m) {
-            sum.total[m] += c->account.total[m];
-            sum.stall[m] += c->account.stall[m];
+            sum.total[m] += c.account.total[m];
+            sum.stall[m] += c.account.stall[m];
         }
     }
     return sum;
 }
 
 bool
-Machine::translate(Cpu &c, ScriptItem &item, bool is_store, Addr &pa)
-{
-    const Addr vpage = item.addr / cfg.pageBytes;
-    const TlbEntry *e = c.tlb.translate(c.ctx.pid, vpage);
-    if (!e) {
-        c.pushFront(item);
-        exec->fault(c.id, item.addr, is_store, false);
-        return false;
-    }
-    if (is_store && !e->writable) {
-        c.pushFront(item);
-        exec->fault(c.id, item.addr, is_store, true);
-        return false;
-    }
-    pa = e->ppage * cfg.pageBytes + item.addr % cfg.pageBytes;
-    return true;
-}
-
-bool
 Machine::step(Cpu &c, Cycle now)
 {
-    ScriptItem item = c.script.front();
-    c.script.pop_front();
+    // The item is only popped once it is consumed: a faulting reference
+    // stays at its queue position and the fault handler's script is
+    // prepended in front of it, which is what the old pop + re-push
+    // produced. A reference is safe here: pop_front only advances the
+    // head index, and nothing below pushes to this queue -- except the
+    // marker and fault callbacks, which get a copy / never reread it.
+    const ScriptItem &item = c.script.front();
 
     switch (item.kind) {
-      case ItemKind::Marker:
-        exec->marker(c.id, item);
+      case ItemKind::Marker: {
+        const ScriptItem m = item;
+        c.script.pop_front();
+        exec->marker(c.id, m);
         return false;
+      }
 
       case ItemKind::Think:
+        c.script.pop_front();
         c.charge(item.addr, 0);
         return true;
 
       case ItemKind::IFetchLine: {
         Addr pa = item.addr;
         if (item.space == AddrSpace::Virtual &&
-            !translate(c, item, false, pa)) {
+            !translate(c, item.addr, false, pa)) {
             return false;
         }
+        c.script.pop_front();
         const AccessResult r = mem.ifetchAccess(c.id, pa, now, c.ctx);
-        const Cycle execution =
-            Cycle(cfg.instrPerLine) * cfg.cyclesPerInstr;
-        c.charge(execution, r.cycles - execution);
+        c.charge(lineExecCycles, r.cycles - lineExecCycles);
         return true;
       }
 
@@ -77,9 +75,10 @@ Machine::step(Cpu &c, Cycle now)
         const bool is_store = item.kind == ItemKind::Store;
         Addr pa = item.addr;
         if (item.space == AddrSpace::Virtual &&
-            !translate(c, item, is_store, pa)) {
+            !translate(c, item.addr, is_store, pa)) {
             return false;
         }
+        c.script.pop_front();
         const AccessResult r =
             mem.dataAccess(c.id, pa, is_store, now, c.ctx);
         c.charge(1, r.cycles - 1);
@@ -91,9 +90,10 @@ Machine::step(Cpu &c, Cycle now)
         const bool is_store = item.kind == ItemKind::BypassStore;
         Addr pa = item.addr;
         if (item.space == AddrSpace::Virtual &&
-            !translate(c, item, is_store, pa)) {
+            !translate(c, item.addr, is_store, pa)) {
             return false;
         }
+        c.script.pop_front();
         const AccessResult r =
             mem.bypassAccess(c.id, pa, is_store, now, c.ctx);
         c.charge(1, r.cycles - 1);
@@ -108,9 +108,10 @@ Machine::step(Cpu &c, Cycle now)
         const bool is_store = item.kind == ItemKind::PrefetchStore;
         Addr pa = item.addr;
         if (item.space == AddrSpace::Virtual &&
-            !translate(c, item, is_store, pa)) {
+            !translate(c, item.addr, is_store, pa)) {
             return false;
         }
+        c.script.pop_front();
         mem.dataAccess(c.id, pa, is_store, now, c.ctx);
         c.charge(1, 0);
         return true;
@@ -119,6 +120,7 @@ Machine::step(Cpu &c, Cycle now)
       case ItemKind::UncachedLoad:
       case ItemKind::UncachedStore: {
         const bool is_store = item.kind == ItemKind::UncachedStore;
+        c.script.pop_front();
         const AccessResult r =
             mem.uncachedAccess(c.id, item.addr, is_store, now, c.ctx);
         c.charge(1, r.cycles - 1);
@@ -129,44 +131,88 @@ Machine::step(Cpu &c, Cycle now)
 }
 
 void
+Machine::activate(Cpu &c)
+{
+    if (currentCycle >= c.nextPollAt) {
+        c.nextPollAt = currentCycle + pollPeriod;
+        if (c.intrDisable == 0 && c.ctx.mode != ExecMode::Kernel)
+            exec->pollEvents(c.id, currentCycle);
+    }
+
+    uint32_t markers = 0;
+    // Execute until the CPU has consumed this cycle.
+    while (c.busyUntil <= currentCycle) {
+        if (c.script.empty()) {
+            exec->refill(c.id);
+            if (c.script.empty())
+                util::panic("executor refill pushed no work for cpu %u",
+                            c.id);
+        }
+        if (!step(c, currentCycle)) {
+            if (++markers > markerBudget) {
+                // Runaway marker chain; let time advance.
+                c.charge(1, 0);
+                break;
+            }
+        }
+    }
+}
+
+void
+Machine::runFast(Cycle target)
+{
+    while (currentCycle < target) {
+        // The same pass that executes free CPUs also collects the
+        // minimum busyUntil for the cycle skip below. A CPU's busyUntil
+        // can still rise after being sampled (a later CPU's kernel work
+        // may charge it), which only makes the sampled minimum too
+        // small: jumping to a cycle where nothing is ready is a no-op
+        // pass, never a semantic difference.
+        Cycle next = target;
+        for (Cpu &c : cpus) {
+            if (c.busyUntil <= currentCycle)
+                activate(c);
+            if (c.busyUntil < next)
+                next = c.busyUntil;
+        }
+
+        // Cycle skip: a CPU only acts at cycles where busyUntil <= now,
+        // and busyUntil never decreases, so the next cycle at which
+        // anything can happen is the minimum busyUntil. Polling cannot
+        // wake a CPU early: pollEvents only fires when the CPU is
+        // already free. Jump straight there (clamped so a runaway
+        // marker chain that left busyUntil behind still advances one
+        // tick at a time, exactly as the reference loop does).
+        currentCycle = next > currentCycle ? next : currentCycle + 1;
+    }
+}
+
+void
+Machine::runReference(Cycle target)
+{
+    // The original algorithm, kept byte-for-byte as the golden
+    // reference: tick one cycle at a time and rescan every CPU.
+    while (currentCycle < target) {
+        for (Cpu &c : cpus) {
+            if (c.busyUntil > currentCycle)
+                continue;
+            activate(c);
+        }
+        ++currentCycle;
+    }
+}
+
+void
 Machine::run(Cycle cycles)
 {
     if (!exec)
         util::fatal("Machine::run called with no executor installed");
 
     const Cycle target = currentCycle + cycles;
-    while (currentCycle < target) {
-        for (auto &cp : cpus) {
-            Cpu &c = *cp;
-            if (c.busyUntil > currentCycle)
-                continue;
-
-            if (currentCycle >= c.nextPollAt) {
-                c.nextPollAt = currentCycle + pollPeriod;
-                if (c.intrDisable == 0 && c.ctx.mode != ExecMode::Kernel)
-                    exec->pollEvents(c.id, currentCycle);
-            }
-
-            uint32_t markers = 0;
-            // Execute until the CPU has consumed this cycle.
-            while (c.busyUntil <= currentCycle) {
-                if (c.script.empty()) {
-                    exec->refill(c.id);
-                    if (c.script.empty())
-                        util::panic("executor refill pushed no work "
-                                    "for cpu %u", c.id);
-                }
-                if (!step(c, currentCycle)) {
-                    if (++markers > markerBudget) {
-                        // Runaway marker chain; let time advance.
-                        c.charge(1, 0);
-                        break;
-                    }
-                }
-            }
-        }
-        ++currentCycle;
-    }
+    if (slowSim)
+        runReference(target);
+    else
+        runFast(target);
 }
 
 } // namespace mpos::sim

@@ -7,6 +7,12 @@
  * CPU pops and executes script items. Virtual references translate
  * through the CPU's TLB and fault into the executor (the kernel) on a
  * miss; physical references go straight to the memory system.
+ *
+ * The scheduler is event-driven: between activations it jumps straight
+ * to the smallest per-CPU busyUntil instead of ticking through dead
+ * cycles, which is observably identical because CPUs only act when
+ * busyUntil <= now (MachineConfig::slowSim or MPOS_SLOW_SIM selects
+ * the one-tick-at-a-time reference loop).
  */
 
 #ifndef MPOS_SIM_MACHINE_HH
@@ -44,8 +50,8 @@ class Machine
 
     Cycle now() const { return currentCycle; }
 
-    Cpu &cpu(CpuId c) { return *cpus[c]; }
-    const Cpu &cpu(CpuId c) const { return *cpus[c]; }
+    Cpu &cpu(CpuId c) { return cpus[c]; }
+    const Cpu &cpu(CpuId c) const { return cpus[c]; }
     uint32_t numCpus() const { return uint32_t(cpus.size()); }
 
     Monitor &monitor() { return mon; }
@@ -60,7 +66,7 @@ class Machine
     void
     charge(CpuId c, Cycle cycles, bool stall)
     {
-        cpus[c]->charge(stall ? 0 : cycles, stall ? cycles : 0);
+        cpus[c].charge(stall ? 0 : cycles, stall ? cycles : 0);
     }
 
     /** Aggregate cycle accounting over all CPUs. */
@@ -73,16 +79,54 @@ class Machine
      */
     bool step(Cpu &c, Cycle now);
 
-    /** Translate a virtual item address; false => fault pushed. */
-    bool translate(Cpu &c, ScriptItem &item, bool is_store, Addr &pa);
+    /** Poll + execute a ready CPU until it has consumed currentCycle.
+     *  Shared by the fast scheduler and the reference loop; forced
+     *  inline so each loop keeps a specialized copy (it runs once per
+     *  CPU activation, the hottest call edge in the simulator). */
+    [[gnu::always_inline]] inline void activate(Cpu &c);
+
+    /** Event-driven scheduler: scan, execute, jump to the next event.
+     */
+    void runFast(Cycle target);
+
+    /** One-cycle-at-a-time reference scheduler (slowSim). */
+    void runReference(Cycle target);
+
+    /** Translate a virtual address; false => faulted into the exec.
+     *  Inline: runs once per virtual script item. */
+    bool
+    translate(Cpu &c, Addr vaddr, bool is_store, Addr &pa)
+    {
+        const Addr vpage = vaddr >> pageShift;
+        const TlbEntry *e = c.tlb.translate(c.ctx.pid, vpage);
+        if (!e) {
+            exec->fault(c.id, vaddr, is_store, false);
+            return false;
+        }
+        if (is_store && !e->writable) {
+            exec->fault(c.id, vaddr, is_store, true);
+            return false;
+        }
+        pa = (e->ppage << pageShift) | (vaddr & pageMask);
+        return true;
+    }
 
     MachineConfig cfg;
     Monitor mon;
     MemorySystem mem;
     SyncTransport syncTransport;
-    std::vector<std::unique_ptr<Cpu>> cpus;
+    /** log2(pageBytes) / pageBytes-1: translation without dividing. */
+    uint32_t pageShift = 0;
+    Addr pageMask = 0;
+    /** Execution cycles for one full instruction line. */
+    Cycle lineExecCycles = 0;
+    /** By value: the scheduler scans busyUntil every interesting
+     *  cycle, so one less indirection matters. */
+    std::vector<Cpu> cpus;
     Executor *exec = nullptr;
     Cycle currentCycle = 0;
+    /** Reference mode: tick one cycle at a time (no cycle skipping). */
+    bool slowSim = false;
 
     /** External-event poll period in cycles. */
     static constexpr Cycle pollPeriod = 256;

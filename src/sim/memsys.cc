@@ -1,5 +1,7 @@
 #include "sim/memsys.hh"
 
+#include <bit>
+
 #include "util/logging.hh"
 
 namespace mpos::sim
@@ -13,36 +15,36 @@ CpuCaches::CpuCaches(CpuId id, const MachineConfig &cfg)
           cfg.lineBytes),
       l2d("l2d" + std::to_string(id), cfg.l2dBytes, cfg.l2dAssoc,
           cfg.lineBytes),
-      l2state(cfg.numLines(), Coh::Invalid)
+      l2state(cfg.numLines(), Coh::Invalid),
+      lineShift(uint32_t(std::countr_zero(cfg.lineBytes))),
+      memBytes(cfg.memBytes)
 {
-}
-
-Coh
-CpuCaches::getState(Addr line) const
-{
-    const uint64_t idx = line / icache.lineBytes();
-    if (idx >= l2state.size())
-        util::panic("coherence state index out of range: %llx",
-                    static_cast<unsigned long long>(line));
-    return l2state[idx];
+    if (!std::has_single_bit(cfg.lineBytes))
+        util::fatal("line size %u not a power of two", cfg.lineBytes);
 }
 
 void
-CpuCaches::setState(Addr line, Coh s)
+CpuCaches::rangePanic(Addr line) const
 {
-    const uint64_t idx = line / icache.lineBytes();
-    if (idx >= l2state.size())
-        util::panic("coherence state index out of range: %llx",
-                    static_cast<unsigned long long>(line));
-    l2state[idx] = s;
+    util::panic("coherence state for line %llx outside the "
+                "%llu-byte configured memory",
+                static_cast<unsigned long long>(line),
+                static_cast<unsigned long long>(memBytes));
 }
 
 MemorySystem::MemorySystem(const MachineConfig &config, Monitor &monitor)
-    : cfg(config), mon(monitor)
+    : cfg(config), mon(monitor), sharers(cfg.numLines(), 0),
+      lineShift(uint32_t(std::countr_zero(cfg.lineBytes))),
+      lineMask(~Addr(cfg.lineBytes - 1)),
+      lineExecCycles(Cycle(cfg.instrPerLine) * cfg.cyclesPerInstr),
+      slowSim(cfg.slowSim || slowSimForced())
 {
+    if (cfg.numCpus > 8)
+        util::fatal("snoop filter supports at most 8 CPUs, got %u",
+                    cfg.numCpus);
     hier.reserve(cfg.numCpus);
     for (CpuId c = 0; c < cfg.numCpus; ++c)
-        hier.push_back(std::make_unique<CpuCaches>(c, cfg));
+        hier.emplace_back(c, cfg);
 }
 
 Cycle
@@ -58,24 +60,49 @@ MemorySystem::record(Cycle now, CpuId cpu, Addr line, BusOp op,
                      CacheKind kind, const MonitorContext &ctx)
 {
     ++txTotal;
-    mon.busTransaction({now, cpu, line, op, kind, ctx});
+    // Skip constructing the BusRecord when nobody is subscribed (the
+    // collectMisses=false warmup mode); the always-on counters still
+    // advance.
+    if (mon.listening())
+        mon.busTransaction({now, cpu, line, op, kind, ctx});
+    else
+        mon.countTransaction(ctx.mode);
 }
 
 bool
 MemorySystem::snoopRead(CpuId requester, Addr line)
 {
+    // Snoop filter: a walk over caches whose state is Invalid has no
+    // effect, so the fast mode visits only the CPUs whose sharers bit
+    // is set (ascending id, the same order as the full walk). The
+    // reference mode always walks everything to double-check the
+    // filter.
+    if (!slowSim) {
+        uint32_t m = sharers[line >> lineShift] &
+                     uint8_t(~(1u << requester));
+        const bool shared = m != 0;
+        while (m) {
+            CpuCaches &h = hier[uint32_t(std::countr_zero(m))];
+            m &= m - 1;
+            const Coh st = h.getState(line);
+            if (st == Coh::Modified || st == Coh::Exclusive) {
+                // Dirty copy flushes; both downgrade to Shared.
+                h.setState(line, Coh::Shared);
+            }
+        }
+        return shared;
+    }
+
     bool shared = false;
-    for (auto &hp : hier) {
-        if (hp->cpu == requester)
+    for (CpuCaches &h : hier) {
+        if (h.cpu == requester)
             continue;
-        const Coh st = hp->getState(line);
+        const Coh st = h.getState(line);
         if (st == Coh::Invalid)
             continue;
         shared = true;
-        if (st == Coh::Modified || st == Coh::Exclusive) {
-            // Dirty copy flushes; both downgrade to Shared.
-            hp->setState(line, Coh::Shared);
-        }
+        if (st == Coh::Modified || st == Coh::Exclusive)
+            h.setState(line, Coh::Shared);
     }
     return shared;
 }
@@ -83,15 +110,29 @@ MemorySystem::snoopRead(CpuId requester, Addr line)
 void
 MemorySystem::snoopInvalidate(CpuId requester, Addr line)
 {
-    for (auto &hp : hier) {
-        if (hp->cpu == requester)
+    if (!slowSim) {
+        uint32_t m = sharers[line >> lineShift] &
+                     uint8_t(~(1u << requester));
+        while (m) {
+            CpuCaches &h = hier[uint32_t(std::countr_zero(m))];
+            m &= m - 1;
+            setCohState(h, line, Coh::Invalid);
+            h.l2d.invalidate(line);
+            h.l1d.invalidate(line);
+            mon.invalSharing(h.cpu, CacheKind::Data, line);
+        }
+        return;
+    }
+
+    for (CpuCaches &h : hier) {
+        if (h.cpu == requester)
             continue;
-        if (hp->getState(line) == Coh::Invalid)
+        if (h.getState(line) == Coh::Invalid)
             continue;
-        hp->setState(line, Coh::Invalid);
-        hp->l2d.invalidate(line);
-        hp->l1d.invalidate(line);
-        mon.invalSharing(hp->cpu, CacheKind::Data, line);
+        setCohState(h, line, Coh::Invalid);
+        h.l2d.invalidate(line);
+        h.l1d.invalidate(line);
+        mon.invalSharing(h.cpu, CacheKind::Data, line);
     }
 }
 
@@ -99,7 +140,7 @@ void
 MemorySystem::l2Fill(CpuId cpu, Addr line, Coh st, Cycle now,
                      const MonitorContext &ctx)
 {
-    CpuCaches &h = *hier[cpu];
+    CpuCaches &h = hier[cpu];
     const Victim v = h.l2d.fill(line);
     if (v.valid) {
         const Coh vst = h.getState(v.lineAddr);
@@ -108,19 +149,20 @@ MemorySystem::l2Fill(CpuId cpu, Addr line, Coh st, Cycle now,
             record(now, cpu, v.lineAddr, BusOp::Writeback,
                    CacheKind::Data, ctx);
         }
-        h.setState(v.lineAddr, Coh::Invalid);
+        setCohState(h, v.lineAddr, Coh::Invalid);
         // Inclusion: the L1 may not keep a line the L2 dropped.
         h.l1d.invalidate(v.lineAddr);
-        mon.evict(cpu, CacheKind::Data, v.lineAddr, ctx);
+        if (mon.listening())
+            mon.evict(cpu, CacheKind::Data, v.lineAddr, ctx);
     }
-    h.setState(line, st);
+    setCohState(h, line, st);
 }
 
 AccessResult
-MemorySystem::dataAccess(CpuId cpu, Addr addr, bool is_write, Cycle now,
-                         const MonitorContext &ctx)
+MemorySystem::dataAccessSlow(CpuId cpu, Addr addr, bool is_write,
+                             Cycle now, const MonitorContext &ctx)
 {
-    CpuCaches &h = *hier[cpu];
+    CpuCaches &h = hier[cpu];
     const Addr line = addr & ~Addr(cfg.lineBytes - 1);
     AccessResult res;
     res.cycles = 1; // base execution cost of the reference
@@ -144,7 +186,7 @@ MemorySystem::dataAccess(CpuId cpu, Addr addr, bool is_write, Cycle now,
                 res.cycles += cfg.busMissStall + delay;
                 res.busAccess = true;
             }
-            h.setState(line, Coh::Modified);
+            setCohState(h, line, Coh::Modified);
         }
         return res;
     }
@@ -171,17 +213,13 @@ MemorySystem::dataAccess(CpuId cpu, Addr addr, bool is_write, Cycle now,
 }
 
 AccessResult
-MemorySystem::ifetchAccess(CpuId cpu, Addr addr, Cycle now,
-                           const MonitorContext &ctx)
+MemorySystem::ifetchMiss(CpuId cpu, Addr line, Cycle now,
+                         const MonitorContext &ctx)
 {
-    CpuCaches &h = *hier[cpu];
-    const Addr line = addr & ~Addr(cfg.lineBytes - 1);
+    CpuCaches &h = hier[cpu];
     AccessResult res;
     // Executing the instructions in the line.
-    res.cycles = Cycle(cfg.instrPerLine) * cfg.cyclesPerInstr;
-
-    if (h.icache.touch(line))
-        return res;
+    res.cycles = lineExecCycles;
 
     const Cycle delay = acquireBus(now);
     // A dirty data copy in any D-cache must be flushed before the
@@ -189,7 +227,7 @@ MemorySystem::ifetchAccess(CpuId cpu, Addr addr, Cycle now,
     snoopRead(cpu, line);
     record(now + delay, cpu, line, BusOp::Read, CacheKind::Instr, ctx);
     const Victim v = h.icache.fill(line);
-    if (v.valid)
+    if (v.valid && mon.listening())
         mon.evict(cpu, CacheKind::Instr, v.lineAddr, ctx);
     res.cycles += cfg.busMissStall + delay;
     res.busAccess = true;
@@ -235,10 +273,10 @@ MemorySystem::flushICachesForPage(Addr ppage)
     // notes that this algorithm does not scale down with larger
     // caches, which is what creates the Inval saturation floor.
     (void)ppage;
-    for (auto &hp : hier) {
-        mon.flushPage(hp->cpu, 0, 0); // 0 bytes = full-cache flush
-        hp->icache.invalidateRange(0, ~Addr(0), [&](Addr line) {
-            mon.invalPageRealloc(hp->cpu, line);
+    for (CpuCaches &h : hier) {
+        mon.flushPage(h.cpu, 0, 0); // 0 bytes = full-cache flush
+        h.icache.invalidateRange(0, ~Addr(0), [&](Addr line) {
+            mon.invalPageRealloc(h.cpu, line);
         });
     }
 }

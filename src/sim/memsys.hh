@@ -16,7 +16,6 @@
 #define MPOS_SIM_MEMSYS_HH
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "sim/cache.hh"
@@ -48,10 +47,33 @@ struct CpuCaches
     /** MESI state per resident L2 line, parallel array by set/way. */
     std::vector<Coh> l2state;
 
-    Coh getState(Addr line) const;
-    void setState(Addr line, Coh s);
+    Coh
+    getState(Addr line) const
+    {
+        const uint64_t idx = line >> lineShift;
+        if (idx >= l2state.size())
+            rangePanic(line);
+        return l2state[idx];
+    }
+
+    void
+    setState(Addr line, Coh s)
+    {
+        const uint64_t idx = line >> lineShift;
+        if (idx >= l2state.size())
+            rangePanic(line);
+        l2state[idx] = s;
+    }
 
   private:
+    /** Line outside configured memory: report it and abort. */
+    [[noreturn]] void rangePanic(Addr line) const;
+
+    /** log2(lineBytes): line -> l2state index without dividing. */
+    uint32_t lineShift;
+    /** Configured memory size, for range-check diagnostics. */
+    uint64_t memBytes;
+
     friend class MemorySystem;
 };
 
@@ -65,16 +87,47 @@ class MemorySystem
     MemorySystem(const MachineConfig &cfg, Monitor &mon);
 
     /**
-     * Perform a data reference.
+     * Perform a data reference. The L1 hit path (the overwhelmingly
+     * common case) is inline: a read hit, or a write hit on a line
+     * already owned, costs one probe and returns without touching the
+     * bus -- exactly what the out-of-line path computes for it.
      * @param now Machine cycle at which the reference issues.
      * @param ctx Monitor context snapshot of the issuing CPU.
      */
-    AccessResult dataAccess(CpuId cpu, Addr addr, bool is_write,
-                            Cycle now, const MonitorContext &ctx);
+    AccessResult
+    dataAccess(CpuId cpu, Addr addr, bool is_write, Cycle now,
+               const MonitorContext &ctx)
+    {
+        CpuCaches &h = hier[cpu];
+        const Addr line = addr & lineMask;
+        if (h.l1d.touch(line)) {
+            if (!is_write)
+                return {1, false};
+            // An L1 hit implies the line is resident in the inclusive
+            // L2, hence in range: skip getState's bounds check.
+            const Coh st = h.l2state[line >> lineShift];
+            if (st != Coh::Shared) {
+                // Silent E -> M upgrade; M stays M. Shared needs the
+                // bus and falls through to the slow path.
+                if (st != Coh::Modified)
+                    setCohState(h, line, Coh::Modified);
+                return {1, false};
+            }
+        }
+        return dataAccessSlow(cpu, addr, is_write, now, ctx);
+    }
 
-    /** Perform an instruction-line fetch. */
-    AccessResult ifetchAccess(CpuId cpu, Addr addr, Cycle now,
-                              const MonitorContext &ctx);
+    /** Perform an instruction-line fetch (hit path inline). */
+    AccessResult
+    ifetchAccess(CpuId cpu, Addr addr, Cycle now,
+                 const MonitorContext &ctx)
+    {
+        CpuCaches &h = hier[cpu];
+        const Addr line = addr & lineMask;
+        if (h.icache.touch(line))
+            return {lineExecCycles, false};
+        return ifetchMiss(cpu, line, now, ctx);
+    }
 
     /** Cache-bypassing device access. */
     AccessResult uncachedAccess(CpuId cpu, Addr addr, bool is_write,
@@ -95,14 +148,33 @@ class MemorySystem
     AccessResult bypassAccess(CpuId cpu, Addr addr, bool is_write,
                               Cycle now, const MonitorContext &ctx);
 
-    CpuCaches &caches(CpuId cpu) { return *hier[cpu]; }
-    const CpuCaches &caches(CpuId cpu) const { return *hier[cpu]; }
+    CpuCaches &caches(CpuId cpu) { return hier[cpu]; }
+    const CpuCaches &caches(CpuId cpu) const { return hier[cpu]; }
 
     uint64_t busTransactions() const { return txTotal; }
+
+    /**
+     * Snoop-filter bitmask of CPUs whose L2 holds the line in a
+     * non-Invalid state (bit c = CPU c). Maintained alongside the
+     * per-CPU l2state arrays so bus transactions on unshared lines
+     * skip the snoop walk entirely.
+     */
+    uint8_t sharersMask(Addr line) const
+    {
+        return sharers[line >> lineShift];
+    }
 
     const MachineConfig &config() const { return cfg; }
 
   private:
+    /** dataAccess() when the L1 cannot satisfy the reference alone. */
+    AccessResult dataAccessSlow(CpuId cpu, Addr addr, bool is_write,
+                                Cycle now, const MonitorContext &ctx);
+
+    /** ifetchAccess() miss path: bus fill + victim bookkeeping. */
+    AccessResult ifetchMiss(CpuId cpu, Addr line, Cycle now,
+                            const MonitorContext &ctx);
+
     /** Charge bus arbitration and occupancy; returns queueing delay. */
     Cycle acquireBus(Cycle now);
 
@@ -119,11 +191,36 @@ class MemorySystem
     void l2Fill(CpuId cpu, Addr line, Coh st, Cycle now,
                 const MonitorContext &ctx);
 
+    /** Set/clear a line's coherence state and keep sharers in sync. */
+    void
+    setCohState(CpuCaches &h, Addr line, Coh st)
+    {
+        h.setState(line, st);
+        const uint64_t idx = line >> lineShift;
+        if (st == Coh::Invalid)
+            sharers[idx] &= uint8_t(~(1u << h.cpu));
+        else
+            sharers[idx] |= uint8_t(1u << h.cpu);
+    }
+
     MachineConfig cfg;
     Monitor &mon;
-    std::vector<std::unique_ptr<CpuCaches>> hier;
+    /** By value: every reference starts with a hier[cpu] lookup, so
+     *  the extra pointer chase of unique_ptr would be on the hottest
+     *  path in the simulator. */
+    std::vector<CpuCaches> hier;
+    /** Per-line snoop filter: bit c set iff CPU c holds the line. */
+    std::vector<uint8_t> sharers;
+    /** log2(lineBytes). */
+    uint32_t lineShift = 0;
+    /** ~(lineBytes - 1): address -> line address. */
+    Addr lineMask = 0;
+    /** Execution cycles for one full instruction line. */
+    Cycle lineExecCycles = 0;
     Cycle busBusyUntil = 0;
     uint64_t txTotal = 0;
+    /** Reference mode: full snoop walks, no filter shortcut. */
+    bool slowSim = false;
 };
 
 } // namespace mpos::sim

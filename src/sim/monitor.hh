@@ -106,6 +106,22 @@ class Monitor
     void attach(MonitorObserver *obs) { observers.push_back(obs); }
     void detach(MonitorObserver *obs);
 
+    /**
+     * True if any observer is attached. Producers may use this to
+     * skip building event records entirely (the warmup fast path);
+     * countTransaction() keeps the always-on counters advancing.
+     */
+    bool listening() const { return !observers.empty(); }
+
+    /** Advance the transaction counters without building a record. */
+    void
+    countTransaction(ExecMode mode)
+    {
+        ++txCount;
+        if (mode != ExecMode::User)
+            ++txOs;
+    }
+
     void
     busTransaction(const BusRecord &rec)
     {

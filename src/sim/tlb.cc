@@ -9,11 +9,16 @@ Tlb::Tlb(uint32_t num_entries)
 }
 
 const TlbEntry *
-Tlb::lookup(Pid pid, Addr vpage) const
+Tlb::lookupScan(Pid pid, Addr vpage, uint32_t h) const
 {
-    for (const auto &e : entries)
-        if (e.valid && e.pid == pid && e.vpage == vpage)
+    for (uint32_t i = 0; i < uint32_t(entries.size()); ++i) {
+        const auto &e = entries[i];
+        if (e.valid && e.pid == pid && e.vpage == vpage) {
+            if (i < 256)
+                hint[h] = uint8_t(i);
             return &e;
+        }
+    }
     return nullptr;
 }
 
@@ -32,6 +37,8 @@ Tlb::insert(Pid pid, Addr vpage, Addr ppage, bool writable)
     const uint32_t slot = fifoNext;
     fifoNext = (fifoNext + 1) % uint32_t(entries.size());
     entries[slot] = {pid, vpage, ppage, writable, true};
+    if (slot < 256)
+        hint[hintSlot(pid, vpage)] = uint8_t(slot);
     return slot;
 }
 

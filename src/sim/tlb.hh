@@ -37,8 +37,23 @@ class Tlb
   public:
     explicit Tlb(uint32_t num_entries = 64);
 
-    /** Look up (pid, vpage); updates no state. */
-    const TlbEntry *lookup(Pid pid, Addr vpage) const;
+    /**
+     * Look up (pid, vpage); updates no architectural state.
+     *
+     * A way-prediction hint table short-circuits the associative scan:
+     * the hint is only ever a guess verified against the real entry,
+     * so a stale hint falls back to the scan and can never change the
+     * result ((pid, vpage) pairs are unique in the TLB).
+     */
+    const TlbEntry *
+    lookup(Pid pid, Addr vpage) const
+    {
+        const uint32_t h = hintSlot(pid, vpage);
+        const TlbEntry &e = entries[hint[h]];
+        if (e.valid && e.pid == pid && e.vpage == vpage)
+            return &e;
+        return lookupScan(pid, vpage, h);
+    }
 
     /**
      * Install a mapping, replacing any existing entry for (pid, vpage)
@@ -77,8 +92,25 @@ class Tlb
     }
 
   private:
+    /** Associative scan fallback; refreshes the hint slot on a hit. */
+    const TlbEntry *lookupScan(Pid pid, Addr vpage, uint32_t h) const;
+
+    static uint32_t
+    hintSlot(Pid pid, Addr vpage)
+    {
+        // Cheap mix of pid and page number; collisions only cost a scan.
+        const uint64_t x =
+            (vpage ^ (uint64_t(uint32_t(pid)) << 20)) *
+            0x9e3779b97f4a7c15ULL;
+        return uint32_t(x >> 56) & (numHints - 1);
+    }
+
+    static constexpr uint32_t numHints = 256;
+
     std::vector<TlbEntry> entries;
     uint32_t fifoNext = 0;
+    /** Way predictor: likely entry index per hash slot (guess only). */
+    mutable uint8_t hint[numHints] = {};
 };
 
 } // namespace mpos::sim

@@ -14,6 +14,7 @@
 #define MPOS_SIM_TYPES_HH
 
 #include <cstdint>
+#include <cstdlib>
 
 namespace mpos::sim
 {
@@ -55,6 +56,14 @@ constexpr uint32_t numOsOps = 9;
 
 /** Name of an OsOp for reports. */
 const char *osOpName(OsOp op);
+
+/** True if MPOS_SLOW_SIM is set: force the reference simulation core. */
+inline bool
+slowSimForced()
+{
+    static const bool forced = std::getenv("MPOS_SLOW_SIM") != nullptr;
+    return forced;
+}
 
 /** Bus transaction kinds. */
 enum class BusOp : uint8_t
@@ -105,6 +114,15 @@ struct MachineConfig
 
     /** 33 MHz clock: cycles in one 10 ms scheduler tick. */
     Cycle clockTickCycles = 330000;
+
+    /**
+     * Force the reference (non-fast-path) simulation core: the
+     * one-tick-at-a-time scheduler and full snoop walks. Slower but
+     * byte-for-byte the original algorithms; the golden-counters
+     * regression test runs both modes and asserts identical results.
+     * Also forced globally by the MPOS_SLOW_SIM environment variable.
+     */
+    bool slowSim = false;
 
     uint64_t numLines() const { return memBytes / lineBytes; }
     uint64_t numPages() const { return memBytes / pageBytes; }

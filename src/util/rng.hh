@@ -77,6 +77,34 @@ class Rng
     bool chance(double p) { return real() < p; }
 
     /**
+     * Precomputed form of chance(): chance(p) compares
+     * u * 2^-53 < p with u = next() >> 11, and since scaling by a
+     * power of two is exact that is u < ceil(p * 2^53) over the
+     * integers. Callers that test the same probability millions of
+     * times can hoist the threshold and skip the int-to-double
+     * conversion per draw; the draw itself, its order, and the
+     * outcome are identical to chance(p).
+     */
+    static uint64_t
+    chanceThreshold(double p)
+    {
+        if (p <= 0.0)
+            return 0;
+        if (p >= 1.0)
+            return uint64_t(1) << 53;
+        const double scaled = p * 0x1.0p53; // exact for p in (0, 1)
+        const uint64_t floor_ = uint64_t(scaled);
+        return floor_ + (double(floor_) < scaled);
+    }
+
+    /** chance(p) for a threshold from chanceThreshold(p). */
+    bool
+    chanceBelow(uint64_t threshold)
+    {
+        return (next() >> 11) < threshold;
+    }
+
+    /**
      * Geometric-ish burst length in [1, max]: each extra unit continues
      * with probability cont.
      */

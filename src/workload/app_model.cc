@@ -10,7 +10,24 @@ constexpr uint32_t instrPerLine = 4;
 } // namespace
 
 SyntheticApp::SyntheticApp(const AppParams &params)
-    : prm(params), rng(params.seed)
+    : prm(params), rng(params.seed),
+      hotDataSpan(uint64_t(params.hotDataFrac *
+                           double(params.dataBytes))),
+      hotCodeSpan(uint64_t(params.hotCodeFrac *
+                           double(params.codeBytes))),
+      sharedHotSpan(uint64_t(params.sharedHotFrac *
+                             double(params.sharedBytes))),
+      thDataRef(util::Rng::chanceThreshold(params.dataRefProb)),
+      thStore(util::Rng::chanceThreshold(params.storeFrac)),
+      thJumpLine(
+          util::Rng::chanceThreshold(params.jumpProb * instrPerLine)),
+      thLoopStart(util::Rng::chanceThreshold(params.loopStartProb)),
+      thHotCode(util::Rng::chanceThreshold(params.hotCodeProb)),
+      thHotData(util::Rng::chanceThreshold(params.hotDataProb)),
+      thSharedRef(util::Rng::chanceThreshold(params.sharedRefProb)),
+      thSharedSweep(util::Rng::chanceThreshold(params.sharedSweepProb)),
+      thSharedStore(util::Rng::chanceThreshold(params.sharedStoreFrac)),
+      thSharedHot(util::Rng::chanceThreshold(params.sharedHotProb))
 {
 }
 
@@ -25,25 +42,26 @@ SyntheticApp::resetCursors()
 Addr
 SyntheticApp::pickDataAddr()
 {
-    if (prm.sharedBytes && rng.chance(prm.sharedRefProb)) {
-        if (rng.chance(prm.sharedSweepProb)) {
+    if (prm.sharedBytes && rng.chanceBelow(thSharedRef)) {
+        if (rng.chanceBelow(thSharedSweep)) {
             const Addr a = prm.sharedBase + sweepPos;
-            sweepPos = (sweepPos + lineBytes) % prm.sharedBytes;
+            // Equivalent to % sharedBytes; loops at most once for any
+            // shared region at least a line long.
+            sweepPos += lineBytes;
+            while (sweepPos >= prm.sharedBytes)
+                sweepPos -= prm.sharedBytes;
             return a;
         }
         uint64_t span = prm.sharedBytes;
-        if (prm.sharedHotProb > 0.0 && rng.chance(prm.sharedHotProb))
-            span = uint64_t(prm.sharedHotFrac *
-                            double(prm.sharedBytes));
+        if (prm.sharedHotProb > 0.0 && rng.chanceBelow(thSharedHot))
+            span = sharedHotSpan;
         if (!span)
             span = lineBytes;
         return prm.sharedBase + (rng.below(span) & ~(lineBytes - 1));
     }
-    const uint64_t hot =
-        uint64_t(prm.hotDataFrac * double(prm.dataBytes));
     uint64_t off;
-    if (hot && rng.chance(prm.hotDataProb))
-        off = rng.below(hot);
+    if (hotDataSpan && rng.chanceBelow(thHotData))
+        off = rng.below(hotDataSpan);
     else
         off = rng.below(prm.dataBytes);
     return VaMap::dataBase + (off & ~(lineBytes - 1));
@@ -52,13 +70,11 @@ SyntheticApp::pickDataAddr()
 void
 SyntheticApp::maybeJump()
 {
-    if (!rng.chance(prm.jumpProb * instrPerLine))
+    if (!rng.chanceBelow(thJumpLine))
         return;
-    const uint64_t hot =
-        uint64_t(prm.hotCodeFrac * double(prm.codeBytes));
     uint64_t target;
-    if (hot && rng.chance(prm.hotCodeProb))
-        target = rng.below(hot);
+    if (hotCodeSpan && rng.chanceBelow(thHotCode))
+        target = rng.below(hotCodeSpan);
     else
         target = rng.below(prm.codeBytes);
     codePos = target & ~(lineBytes - 1);
@@ -71,7 +87,7 @@ SyntheticApp::emitWork(UserScript &s, uint32_t instrs)
     uint32_t emitted = 0;
     const bool shared_write_ok = prm.sharedBytes > 0;
     while (emitted < instrs) {
-        if (!loopActive && rng.chance(prm.loopStartProb)) {
+        if (!loopActive && rng.chanceBelow(thLoopStart)) {
             loopActive = true;
             loopStart = codePos;
             loopLines = 2 + uint32_t(rng.below(prm.maxLoopLines));
@@ -80,15 +96,14 @@ SyntheticApp::emitWork(UserScript &s, uint32_t instrs)
 
         s.ifetch(VaMap::textBase + codePos);
         for (uint32_t i = 0; i < instrPerLine; ++i) {
-            if (!rng.chance(prm.dataRefProb))
+            if (!rng.chanceBelow(thDataRef))
                 continue;
             const Addr a = pickDataAddr();
             const bool is_shared =
                 shared_write_ok && a >= prm.sharedBase &&
                 a < prm.sharedBase + prm.sharedBytes;
-            const double sf =
-                is_shared ? prm.sharedStoreFrac : prm.storeFrac;
-            if (rng.chance(sf))
+            if (rng.chanceBelow(is_shared ? thSharedStore
+                                          : thStore))
                 s.store(a);
             else
                 s.load(a);

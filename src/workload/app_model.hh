@@ -94,6 +94,26 @@ class SyntheticApp : public AppBehavior
     uint32_t loopRepsLeft = 0;
     Addr sweepPos = 0;
 
+    /** Hot-region spans precomputed from prm (prm never changes after
+     *  construction); pickDataAddr/maybeJump draw these per reference. */
+    uint64_t hotDataSpan = 0;
+    uint64_t hotCodeSpan = 0;
+    uint64_t sharedHotSpan = 0;
+
+    /** Rng::chanceThreshold of every fixed probability in prm; the
+     *  emit loop tests them millions of times per run (equivalent
+     *  draws, see chanceBelow). */
+    uint64_t thDataRef = 0;
+    uint64_t thStore = 0;
+    uint64_t thJumpLine = 0; ///< jumpProb * instrPerLine
+    uint64_t thLoopStart = 0;
+    uint64_t thHotCode = 0;
+    uint64_t thHotData = 0;
+    uint64_t thSharedRef = 0;
+    uint64_t thSharedSweep = 0;
+    uint64_t thSharedStore = 0;
+    uint64_t thSharedHot = 0;
+
     Addr pickDataAddr();
     void maybeJump();
 };

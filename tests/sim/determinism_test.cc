@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Golden-counters equivalence test for the event-driven simulation
+ * fast paths.
+ *
+ * The cycle-skipping scheduler, the snoop-filter bit walks, and the
+ * packed cache/monitor fast paths are pure optimizations: they must
+ * not change a single simulated event. This test runs the same
+ * experiment twice -- once through the fast paths and once with
+ * MachineConfig::slowSim selecting the one-cycle-at-a-time reference
+ * scheduler and full snoop walks -- and requires every observable
+ * counter to be identical: bus transactions, per-class miss counts,
+ * and the per-mode cycle accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+
+using namespace mpos;
+using core::MissCounts;
+using core::numMissClasses;
+
+namespace
+{
+
+core::ExperimentConfig
+smallConfig(workload::WorkloadKind kind, bool slow)
+{
+    core::ExperimentConfig cfg;
+    cfg.kind = kind;
+    cfg.warmupCycles = 200000;
+    cfg.measureCycles = 1000000;
+    cfg.machine.slowSim = slow;
+    return cfg;
+}
+
+void
+expectSameCounts(const MissCounts &fast, const MissCounts &slow)
+{
+    for (uint32_t c = 0; c < numMissClasses; ++c) {
+        EXPECT_EQ(fast.osI[c], slow.osI[c]) << "osI class " << c;
+        EXPECT_EQ(fast.osD[c], slow.osD[c]) << "osD class " << c;
+        EXPECT_EQ(fast.appI[c], slow.appI[c]) << "appI class " << c;
+        EXPECT_EQ(fast.appD[c], slow.appD[c]) << "appD class " << c;
+        EXPECT_EQ(fast.idleI[c], slow.idleI[c]) << "idleI class " << c;
+        EXPECT_EQ(fast.idleD[c], slow.idleD[c]) << "idleD class " << c;
+    }
+    EXPECT_EQ(fast.osDispossameI, slow.osDispossameI);
+    EXPECT_EQ(fast.osDispossameD, slow.osDispossameD);
+}
+
+void
+expectSameAccount(const sim::CycleAccount &fast,
+                  const sim::CycleAccount &slow)
+{
+    for (unsigned m = 0; m < 3; ++m) {
+        EXPECT_EQ(fast.total[m], slow.total[m]) << "total mode " << m;
+        EXPECT_EQ(fast.stall[m], slow.stall[m]) << "stall mode " << m;
+    }
+}
+
+void
+runBothAndCompare(workload::WorkloadKind kind)
+{
+    core::Experiment fast(smallConfig(kind, false));
+    fast.run();
+    core::Experiment slow(smallConfig(kind, true));
+    slow.run();
+
+    EXPECT_EQ(fast.machine().now(), slow.machine().now());
+    EXPECT_EQ(fast.machine().memory().busTransactions(),
+              slow.machine().memory().busTransactions());
+    expectSameCounts(fast.misses(), slow.misses());
+    expectSameAccount(fast.account(), slow.account());
+    EXPECT_EQ(fast.elapsed(), slow.elapsed());
+}
+
+} // namespace
+
+TEST(Determinism, PmakeFastMatchesReference)
+{
+    runBothAndCompare(workload::WorkloadKind::Pmake);
+}
+
+TEST(Determinism, MultpgmFastMatchesReference)
+{
+    runBothAndCompare(workload::WorkloadKind::Multpgm);
+}
+
+TEST(Determinism, OracleFastMatchesReference)
+{
+    runBothAndCompare(workload::WorkloadKind::Oracle);
+}

@@ -193,6 +193,46 @@ TEST_F(Fixture, BusOccupancyQueues)
     EXPECT_EQ(r2.cycles, 1 + qcfg.busMissStall + 15);
 }
 
+TEST_F(Fixture, SharersMaskTracksReaders)
+{
+    EXPECT_EQ(mem.sharersMask(0x1000), 0u);
+    mem.dataAccess(0, 0x1000, false, 0, ctx);
+    EXPECT_EQ(mem.sharersMask(0x1000), 0b0001u);
+    mem.dataAccess(2, 0x1000, false, 1, ctx);
+    EXPECT_EQ(mem.sharersMask(0x1000), 0b0101u);
+    mem.dataAccess(3, 0x1000, false, 2, ctx);
+    EXPECT_EQ(mem.sharersMask(0x1000), 0b1101u);
+}
+
+TEST_F(Fixture, SharersMaskCollapsesOnWrite)
+{
+    mem.dataAccess(0, 0x1000, false, 0, ctx);
+    mem.dataAccess(1, 0x1000, false, 1, ctx);
+    mem.dataAccess(2, 0x1000, false, 2, ctx);
+    mem.dataAccess(3, 0x1000, true, 3, ctx); // invalidates 0, 1, 2
+    EXPECT_EQ(mem.sharersMask(0x1000), 0b1000u);
+    EXPECT_EQ(tally.invalSharings, 3u);
+}
+
+TEST_F(Fixture, SharersMaskClearsOnEviction)
+{
+    mem.dataAccess(0, 0x1000, false, 0, ctx);
+    EXPECT_EQ(mem.sharersMask(0x1000), 0b0001u);
+    // Conflict in the 256 KB direct-mapped L2 evicts the line.
+    mem.dataAccess(0, 0x1000 + 256 * 1024, false, 1, ctx);
+    EXPECT_EQ(mem.sharersMask(0x1000), 0u);
+    EXPECT_EQ(mem.sharersMask(0x1000 + 256 * 1024), 0b0001u);
+}
+
+TEST_F(Fixture, SharersMaskIgnoresBypassAndUncached)
+{
+    mem.bypassAccess(0, 0x1000, false, 0, ctx);
+    mem.uncachedAccess(0, 0x2000, true, 1, ctx);
+    // Neither installs a line, so neither may set a sharer bit.
+    EXPECT_EQ(mem.sharersMask(0x1000), 0u);
+    EXPECT_EQ(mem.sharersMask(0x2000), 0u);
+}
+
 /** Property: single-writer invariant under random traffic. */
 class CoherenceStress : public ::testing::TestWithParam<uint64_t>
 {
@@ -223,15 +263,21 @@ TEST_P(CoherenceStress, SingleWriterAndInclusion)
                     if (st != Coh::Invalid)
                         ++present;
                     // Inclusion: L1 resident implies L2 resident.
-                    if (mem.caches(c).l1d.contains(line))
+                    if (mem.caches(c).l1d.contains(line)) {
                         EXPECT_TRUE(mem.caches(c).l2d.contains(line));
+                    }
                     // State Invalid implies not resident in L2.
-                    if (st == Coh::Invalid)
+                    if (st == Coh::Invalid) {
                         EXPECT_FALSE(mem.caches(c).l2d.contains(line));
+                    }
+                    // Snoop filter: bit c mirrors the coherence state.
+                    const bool bit = mem.sharersMask(line) & (1u << c);
+                    EXPECT_EQ(bit, st != Coh::Invalid);
                 }
                 EXPECT_LE(modified, 1);
-                if (modified == 1)
+                if (modified == 1) {
                     EXPECT_EQ(present, 1);
+                }
             }
         }
     }
