@@ -9,12 +9,15 @@
  *    re-simulation, run live here as a machine configuration).
  */
 
-#include "bench/common.hh"
+#include "bench/analyses.hh"
 
 using namespace mpos;
 
 namespace
 {
+
+using WK = workload::WorkloadKind;
+using BM = kernel::BlockOpMode;
 
 struct Result
 {
@@ -27,10 +30,9 @@ struct Result
     uint64_t dispossameI;
 };
 
-Result
-runVariant(const char *label, workload::WorkloadKind kind,
-           bool affinity, kernel::BlockOpMode mode, uint32_t iassoc,
-           bool optimized_layout = false)
+core::ExperimentConfig
+variantConfig(WK kind, bool affinity, BM mode, uint32_t iassoc,
+              bool optimized_layout = false)
 {
     auto cfg = bench::standardConfig(kind);
     cfg.measureCycles = bench::envOr("MPOS_CYCLES", 20000000) / 2;
@@ -38,10 +40,40 @@ runVariant(const char *label, workload::WorkloadKind kind,
     cfg.kernelCfg.blockOpMode = mode;
     cfg.kernelCfg.layout.optimizedTextLayout = optimized_layout;
     cfg.machine.icacheAssoc = iassoc;
-    core::Experiment exp(cfg);
-    std::fprintf(stderr, "[bench] %s...\n", label);
-    exp.run();
+    return cfg;
+}
 
+/** The seven §4.2 variants, each one parallel job. */
+struct Variant
+{
+    const char *name;
+    core::ExperimentConfig cfg;
+};
+
+std::vector<Variant>
+variants()
+{
+    return {
+        {"ablation/multpgm-base",
+         variantConfig(WK::Multpgm, false, BM::Normal, 1)},
+        {"ablation/affinity",
+         variantConfig(WK::Multpgm, true, BM::Normal, 1)},
+        {"ablation/pmake-base",
+         variantConfig(WK::Pmake, false, BM::Normal, 1)},
+        {"ablation/bypass",
+         variantConfig(WK::Pmake, false, BM::Bypass, 1)},
+        {"ablation/prefetch",
+         variantConfig(WK::Pmake, false, BM::Prefetch, 1)},
+        {"ablation/twoway",
+         variantConfig(WK::Pmake, false, BM::Normal, 2)},
+        {"ablation/layout",
+         variantConfig(WK::Pmake, false, BM::Normal, 1, true)},
+    };
+}
+
+Result
+measure(core::Experiment &exp)
+{
     Result r;
     const auto mig = core::computeMigration(
         exp.attribution(), exp.misses(), exp.account());
@@ -60,21 +92,23 @@ runVariant(const char *label, workload::WorkloadKind kind,
 
 } // namespace
 
-int
-main()
+void
+mpos::bench::prepare_ablation(BenchContext &ctx)
 {
+    for (const auto &v : variants())
+        ctx.submit(v.name, v.cfg);
+}
+
+void
+mpos::bench::run_ablation(BenchContext &ctx)
+{
+    prepare_ablation(ctx);
+
     core::banner("Ablations: the paper's proposed optimizations");
     core::shapeNote();
 
-    using WK = workload::WorkloadKind;
-    using BM = kernel::BlockOpMode;
-
-    const auto base =
-        runVariant("baseline (Multpgm)", WK::Multpgm, false,
-                   BM::Normal, 1);
-    const auto aff =
-        runVariant("affinity scheduling", WK::Multpgm, true,
-                   BM::Normal, 1);
+    const auto base = measure(ctx.get("ablation/multpgm-base"));
+    const auto aff = measure(ctx.get("ablation/affinity"));
     util::TextTable t1("Cache-affinity scheduling (Multpgm)");
     t1.header({"", "migrations", "migration %D", "OS stall %"});
     t1.row({"baseline", core::fmtCount(base.migrations),
@@ -83,13 +117,9 @@ main()
             core::fmt1(aff.migrPctD), core::fmt1(aff.osStall)});
     t1.print();
 
-    const auto pbase =
-        runVariant("baseline (Pmake)", WK::Pmake, false, BM::Normal,
-                   1);
-    const auto bypass = runVariant("block-op bypass", WK::Pmake,
-                                   false, BM::Bypass, 1);
-    const auto prefetch = runVariant("block-op prefetch", WK::Pmake,
-                                     false, BM::Prefetch, 1);
+    const auto pbase = measure(ctx.get("ablation/pmake-base"));
+    const auto bypass = measure(ctx.get("ablation/bypass"));
+    const auto prefetch = measure(ctx.get("ablation/prefetch"));
     util::TextTable t2("\nBlock-operation handling (Pmake)");
     t2.header({"", "block-op stall %", "OS stall %"});
     t2.row({"through caches", core::fmt1(pbase.blockStall),
@@ -100,8 +130,7 @@ main()
             core::fmt1(prefetch.osStall)});
     t2.print();
 
-    const auto twoway =
-        runVariant("2-way I-cache", WK::Pmake, false, BM::Normal, 2);
+    const auto twoway = measure(ctx.get("ablation/twoway"));
     util::TextTable t3("\nI-cache associativity (Pmake)");
     t3.header({"", "OS I-miss share %", "OS stall %"});
     t3.row({"direct-mapped", core::fmt1(pbase.osIMissShare),
@@ -113,8 +142,7 @@ main()
     // Code layout optimization: the paper suggests placing OS basic
     // blocks to avoid conflicts; we reorder whole routines so the hot
     // paths pack into the bottom 64 KB of kernel text.
-    const auto layout = runVariant("optimized code layout", WK::Pmake,
-                                   false, BM::Normal, 1, true);
+    const auto layout = measure(ctx.get("ablation/layout"));
     util::TextTable t4("\nKernel code layout (Pmake)");
     t4.header({"", "Dispos I-misses", "Dispossame", "OS stall %"});
     t4.row({"link order", core::fmtCount(pbase.disposI),
@@ -130,5 +158,4 @@ main()
                 "associativity and hot-packed code layout cut OS\n"
                 "instruction misses (the paper's Sec. 4.2 "
                 "proposals).\n");
-    return 0;
 }

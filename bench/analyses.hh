@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The per-figure analysis functions (one translation unit each, named
+ * after the figure/table they regenerate). Each prints exactly what
+ * the historical standalone binary printed; registry.cc wires them
+ * into the unified driver.
+ */
+
+#ifndef MPOS_BENCH_ANALYSES_HH
+#define MPOS_BENCH_ANALYSES_HH
+
+#include "bench/registry.hh"
+
+namespace mpos::bench
+{
+
+void run_table01(BenchContext &ctx);
+void run_fig01(BenchContext &ctx);
+void run_fig02(BenchContext &ctx);
+void run_fig03(BenchContext &ctx);
+void run_fig04(BenchContext &ctx);
+void run_fig05(BenchContext &ctx);
+void run_fig06(BenchContext &ctx);
+void run_fig07(BenchContext &ctx);
+void run_fig08(BenchContext &ctx);
+void run_table04(BenchContext &ctx);
+void run_table05(BenchContext &ctx);
+void run_table06(BenchContext &ctx);
+void run_table07(BenchContext &ctx);
+void run_fig09(BenchContext &ctx);
+void run_table09(BenchContext &ctx);
+void run_fig10(BenchContext &ctx);
+void run_table10(BenchContext &ctx);
+void run_table12(BenchContext &ctx);
+void prepare_fig11(BenchContext &ctx);
+void run_fig11(BenchContext &ctx);
+void prepare_ablation(BenchContext &ctx);
+void run_ablation(BenchContext &ctx);
+
+} // namespace mpos::bench
+
+#endif // MPOS_BENCH_ANALYSES_HH

@@ -6,8 +6,9 @@
  *
  * Environment knobs:
  *   MPOS_CYCLES  - measured cycles per CPU (default 20,000,000)
- *   MPOS_WARMUP  - warmup cycles (default 3,000,000)
- *   MPOS_SEED    - workload seed
+ *   MPOS_WARMUP  - warmup cycles (default 8,000,000)
+ *   MPOS_SEED    - workload seed (default 7)
+ *   MPOS_JOBS    - host threads for parallel experiment jobs
  */
 
 #ifndef MPOS_BENCH_COMMON_HH

@@ -6,7 +6,7 @@
  * caches.
  */
 
-#include "bench/common.hh"
+#include "bench/analyses.hh"
 
 using namespace mpos;
 
@@ -37,8 +37,8 @@ opt(double v, const std::string &s)
 
 } // namespace
 
-int
-main()
+void
+mpos::bench::run_fig01(BenchContext &ctx)
 {
     core::banner("Figure 1: the repeating OS/application pattern");
     core::shapeNote();
@@ -48,8 +48,8 @@ main()
               "OS every (ms)", "UTLB miss/flt", "UTLB cyc",
               "UTLB/app-inv"});
     for (int i = 0; i < 3; ++i) {
-        auto exp = bench::runWorkload(bench::allWorkloads[i]);
-        const auto &inv = exp->invocations();
+        auto &exp = ctx.standard(bench::allWorkloads[i]);
+        const auto &inv = exp.invocations();
         const auto &p = paper[i];
         t.row({p.name, "paper", opt(p.osIMiss, core::fmt1(p.osIMiss)),
                opt(p.osDMiss, core::fmt1(p.osDMiss)),
@@ -58,7 +58,7 @@ main()
                core::fmt1(inv.osInvocations().meanI()),
                core::fmt1(inv.osInvocations().meanD()),
                core::fmt2(inv.cyclesBetweenOsInvocations(
-                              exp->elapsed()) /
+                              exp.elapsed()) /
                           33000.0),
                core::fmt2(inv.utlbFaults().meanI() +
                           inv.utlbFaults().meanD()),
@@ -71,5 +71,4 @@ main()
                 "miss-free; Multpgm has the\nshortest interval "
                 "between OS invocations; one invocation replaces only "
                 "a small\nfraction of the 4096-line caches.\n");
-    return 0;
 }

@@ -5,25 +5,25 @@
  * calls, ~5% clock interrupts.
  */
 
-#include "bench/common.hh"
+#include "bench/analyses.hh"
 
 using namespace mpos;
 using sim::OsOp;
 
-int
-main()
+void
+mpos::bench::run_fig02(BenchContext &ctx)
 {
     core::banner("Figure 2: OS operation frequency in Multpgm");
     core::shapeNote();
 
-    auto exp = bench::runWorkload(workload::WorkloadKind::Multpgm);
+    auto &exp = ctx.standard(workload::WorkloadKind::Multpgm);
 
-    const uint64_t sginap = exp->osOpCount(OsOp::Sginap);
-    const uint64_t tlb = exp->osOpCount(OsOp::CheapTlbFault) +
-                         exp->osOpCount(OsOp::ExpensiveTlbFault);
-    const uint64_t io = exp->osOpCount(OsOp::IoSyscall);
-    const uint64_t other = exp->osOpCount(OsOp::OtherSyscall);
-    const uint64_t intr = exp->osOpCount(OsOp::Interrupt);
+    const uint64_t sginap = exp.osOpCount(OsOp::Sginap);
+    const uint64_t tlb = exp.osOpCount(OsOp::CheapTlbFault) +
+                         exp.osOpCount(OsOp::ExpensiveTlbFault);
+    const uint64_t io = exp.osOpCount(OsOp::IoSyscall);
+    const uint64_t other = exp.osOpCount(OsOp::OtherSyscall);
+    const uint64_t intr = exp.osOpCount(OsOp::Interrupt);
     const uint64_t total = sginap + tlb + io + other + intr;
 
     auto pct = [&](uint64_t v) {
@@ -48,6 +48,5 @@ main()
          {"interrupts", pct(intr)}}).c_str());
     std::printf("\n(UTLB spikes, shown separately in Figure 1: %llu)\n",
                 static_cast<unsigned long long>(
-                    exp->osOpCount(OsOp::UtlbFault)));
-    return 0;
+                    exp.osOpCount(OsOp::UtlbFault)));
 }

@@ -5,18 +5,18 @@
  * invocation touching far fewer lines than the caches hold.
  */
 
-#include "bench/common.hh"
+#include "bench/analyses.hh"
 
 using namespace mpos;
 
-int
-main()
+void
+mpos::bench::run_fig03(BenchContext &ctx)
 {
     core::banner("Figure 3: per-invocation distributions (Pmake)");
     core::shapeNote();
 
-    auto exp = bench::runWorkload(workload::WorkloadKind::Pmake);
-    const auto &inv = exp->invocations();
+    auto &exp = ctx.standard(workload::WorkloadKind::Pmake);
+    const auto &inv = exp.invocations();
 
     std::printf("%s\n",
                 inv.osInvIMissHist()
@@ -36,5 +36,4 @@ main()
                     inv.osInvDMissHist().percentile(0.5)),
                 static_cast<unsigned long long>(
                     inv.osInvCycleHist().percentile(0.5)));
-    return 0;
 }

@@ -6,13 +6,13 @@
  * Dispap dominates in Oracle.
  */
 
-#include "bench/common.hh"
+#include "bench/analyses.hh"
 
 using namespace mpos;
 using core::MissClass;
 
-int
-main()
+void
+mpos::bench::run_fig04(BenchContext &ctx)
 {
     core::banner("Figure 4: OS instruction-miss classes "
                  "(% of all OS misses)");
@@ -29,8 +29,8 @@ main()
     };
 
     for (int i = 0; i < 3; ++i) {
-        auto exp = bench::runWorkload(bench::allWorkloads[i]);
-        const auto &mc = exp->misses();
+        auto &exp = ctx.standard(bench::allWorkloads[i]);
+        const auto &mc = exp.misses();
         const double all = double(mc.osTotal());
         auto pc = [&](MissClass c) {
             return all ? 100.0 * double(mc.osI[unsigned(c)]) / all
@@ -55,5 +55,4 @@ main()
         t.rule();
     }
     t.print();
-    return 0;
 }

@@ -9,20 +9,20 @@
 #include <algorithm>
 #include <vector>
 
-#include "bench/common.hh"
+#include "bench/analyses.hh"
 
 using namespace mpos;
 
-int
-main()
+void
+mpos::bench::run_fig05(BenchContext &ctx)
 {
     core::banner("Figure 5: Dispos I-misses vs. routine address "
                  "(Pmake)");
     core::shapeNote();
 
-    auto exp = bench::runWorkload(workload::WorkloadKind::Pmake);
-    const auto &layout = exp->kern().layout();
-    const auto &attr = exp->attribution();
+    auto &exp = ctx.standard(workload::WorkloadKind::Pmake);
+    const auto &layout = exp.kern().layout();
+    const auto &attr = exp.attribution();
 
     struct Row
     {
@@ -65,5 +65,4 @@ main()
                 "misses\n(paper: misses concentrated in thin spikes "
                 "-- a few routines).\n",
                 total ? 100.0 * double(top5) / double(total) : 0.0);
-    return 0;
 }

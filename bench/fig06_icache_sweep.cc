@@ -10,12 +10,12 @@
  * toward 1 MB.
  */
 
-#include "bench/common.hh"
+#include "bench/analyses.hh"
 
 using namespace mpos;
 
-int
-main()
+void
+mpos::bench::run_fig06(BenchContext &ctx)
 {
     core::banner("Figure 6: I-cache size/associativity sweep "
                  "(relative OS I-miss rate)");
@@ -24,20 +24,16 @@ main()
     const uint64_t sizesKb[] = {64, 128, 256, 512, 1024};
 
     for (auto kind : bench::allWorkloads) {
-        auto cfg = bench::standardConfig(kind);
-        cfg.collectResim = true;
-        auto exp = std::make_unique<core::Experiment>(cfg);
-        std::fprintf(stderr, "[bench] running %s...\n",
-                     workload::workloadName(kind));
-        exp->run();
-        auto &rs = exp->resim();
+        // The shared standard runs record the replay stream, so the
+        // sweep is pure replay -- no re-simulation of the workload.
+        auto &rs = ctx.standard(kind).resim();
 
         util::TextTable t(std::string("  ") +
                           workload::workloadName(kind));
         t.header({"I-cache", "direct", "2-way", "direct, no Inval"});
         for (const uint64_t kb : sizesKb) {
-            const auto dm = rs.simulate(kb * 1024, 1, true);
-            const auto noinv = rs.simulate(kb * 1024, 1, false);
+            // One replay yields both direct-mapped curves.
+            const auto pair = rs.simulateDirectPair(kb * 1024);
             std::string twoway = "-";
             if (kb > 64) {
                 // Like the paper, the filtered stream cannot support
@@ -47,8 +43,9 @@ main()
                         .relativeOsMissRate);
             }
             t.row({std::to_string(kb) + " KB",
-                   core::fmt2(dm.relativeOsMissRate), twoway,
-                   core::fmt2(noinv.relativeOsMissRate)});
+                   core::fmt2(pair.withInval.relativeOsMissRate),
+                   twoway,
+                   core::fmt2(pair.noInval.relativeOsMissRate)});
         }
         t.print();
         std::printf("\n");
@@ -57,5 +54,4 @@ main()
                 "Inval' at large sizes is the\ninvalidation floor "
                 "that limits Pmake/Multpgm; Oracle's curve keeps "
                 "falling.\n");
-    return 0;
 }

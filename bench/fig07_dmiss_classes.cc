@@ -6,13 +6,13 @@
  * operations.
  */
 
-#include "bench/common.hh"
+#include "bench/analyses.hh"
 
 using namespace mpos;
 using core::MissClass;
 
-int
-main()
+void
+mpos::bench::run_fig07(BenchContext &ctx)
 {
     core::banner("Figure 7: OS data-miss classes "
                  "(% of all OS misses)");
@@ -29,8 +29,8 @@ main()
     };
 
     for (int i = 0; i < 3; ++i) {
-        auto exp = bench::runWorkload(bench::allWorkloads[i]);
-        const auto &mc = exp->misses();
+        auto &exp = ctx.standard(bench::allWorkloads[i]);
+        const auto &mc = exp.misses();
         const double all = double(mc.osTotal());
         auto pc = [&](MissClass c) {
             return all ? 100.0 * double(mc.osD[unsigned(c)]) / all
@@ -49,5 +49,4 @@ main()
         t.rule();
     }
     t.print();
-    return 0;
 }

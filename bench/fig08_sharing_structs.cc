@@ -5,20 +5,20 @@
  * stack, user structure, process table) accounting for 40-65%.
  */
 
-#include "bench/common.hh"
+#include "bench/analyses.hh"
 
 using namespace mpos;
 using kernel::KStruct;
 
-int
-main()
+void
+mpos::bench::run_fig08(BenchContext &ctx)
 {
     core::banner("Figure 8: Sharing misses by data structure");
     core::shapeNote();
 
     for (auto kind : bench::allWorkloads) {
-        auto exp = bench::runWorkload(kind);
-        const auto &sh = exp->attribution().sharing();
+        auto &exp = ctx.standard(kind);
+        const auto &sh = exp.attribution().sharing();
         const double total = double(sh.total);
 
         std::vector<std::pair<std::string, double>> data;
@@ -58,5 +58,4 @@ main()
                     "(paper: 40-65%%)\n\n",
                     perProc);
     }
-    return 0;
 }

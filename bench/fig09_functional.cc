@@ -7,21 +7,21 @@
  * Multpgm.
  */
 
-#include "bench/common.hh"
+#include "bench/analyses.hh"
 
 using namespace mpos;
 using sim::OsOp;
 
-int
-main()
+void
+mpos::bench::run_fig09(BenchContext &ctx)
 {
     core::banner("Figure 9: OS misses by high-level operation "
                  "(% of OS I/D misses)");
     core::shapeNote();
 
     for (auto kind : bench::allWorkloads) {
-        auto exp = bench::runWorkload(kind);
-        const auto &f = exp->functional();
+        auto &exp = ctx.standard(kind);
+        const auto &f = exp.functional();
         const double ti = double(f.totalI());
         const double td = double(f.totalD());
 
@@ -47,5 +47,4 @@ main()
         t.print();
         std::printf("\n");
     }
-    return 0;
 }

@@ -5,12 +5,12 @@
  * three workloads, split into I and D components.
  */
 
-#include "bench/common.hh"
+#include "bench/analyses.hh"
 
 using namespace mpos;
 
-int
-main()
+void
+mpos::bench::run_fig10(BenchContext &ctx)
 {
     core::banner("Figure 10: OS-induced application misses "
                  "(Ap_dispos)");
@@ -22,8 +22,8 @@ main()
     t.header({"Workload", "", "Ap_dispos % of app misses", "I share",
               "D share"});
     for (int i = 0; i < 3; ++i) {
-        auto exp = bench::runWorkload(bench::allWorkloads[i]);
-        const auto r = exp->apDispos();
+        auto &exp = ctx.standard(bench::allWorkloads[i]);
+        const auto r = exp.apDispos();
         t.row({workload::workloadName(bench::allWorkloads[i]),
                "paper", core::fmt1(paperTotal[i]) + " (22-27)", "-",
                "-"});
@@ -33,5 +33,4 @@ main()
         t.rule();
     }
     t.print();
-    return 0;
 }

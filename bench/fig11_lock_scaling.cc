@@ -7,15 +7,42 @@
  * machines (Section 6).
  */
 
-#include "bench/common.hh"
+#include "bench/analyses.hh"
 
 using namespace mpos;
 using kernel::Memlock;
 using kernel::Runqlk;
 
-int
-main()
+namespace
 {
+
+constexpr uint32_t cpuCounts[] = {1, 2, 4, 6, 8};
+
+std::string
+jobName(uint32_t ncpu)
+{
+    return "fig11/cpus" + std::to_string(ncpu);
+}
+
+} // namespace
+
+void
+mpos::bench::prepare_fig11(BenchContext &ctx)
+{
+    for (const uint32_t ncpu : cpuCounts) {
+        auto cfg = standardConfig(workload::WorkloadKind::Multpgm);
+        cfg.machine.numCpus = ncpu;
+        cfg.collectMisses = false; // only lock stats needed
+        cfg.measureCycles = envOr("MPOS_CYCLES", 20000000) / 2;
+        ctx.submit(jobName(ncpu), cfg);
+    }
+}
+
+void
+mpos::bench::run_fig11(BenchContext &ctx)
+{
+    prepare_fig11(ctx);
+
     core::banner("Figure 11: failed lock acquires per ms vs CPUs "
                  "(Multpgm)");
     core::shapeNote();
@@ -24,16 +51,8 @@ main()
     t.header({"CPUs", "Runqlk fails/ms", "Memlock fails/ms",
               "Bfreelock fails/ms"});
 
-    for (uint32_t ncpu : {1u, 2u, 4u, 6u, 8u}) {
-        auto cfg = bench::standardConfig(
-            workload::WorkloadKind::Multpgm);
-        cfg.machine.numCpus = ncpu;
-        cfg.collectMisses = false; // only lock stats needed
-        cfg.measureCycles = bench::envOr("MPOS_CYCLES", 20000000) / 2;
-        core::Experiment exp(cfg);
-        std::fprintf(stderr, "[bench] Multpgm with %u CPUs...\n",
-                     ncpu);
-        exp.run();
+    for (const uint32_t ncpu : cpuCounts) {
+        auto &exp = ctx.get(jobName(ncpu));
         const auto &ls = exp.lockStats();
         t.row({std::to_string(ncpu),
                core::fmt2(ls.failsPerMs(Runqlk, exp.elapsed())),
@@ -46,5 +65,4 @@ main()
                 "with CPU count; Runqlk steepest\n(its contention "
                 "'will be significant for machines with more "
                 "CPUs').\n");
-    return 0;
 }

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * `mpos_bench`: the unified run-once/analyze-many driver. One sweep
+ * simulates each standard workload once (plus the Figure 11 and
+ * ablation configurations) on a host thread pool and regenerates
+ * every figure/table of the paper, with a JSON results file next to
+ * the text tables. See registry.hh for the architecture.
+ */
+
+#include "bench/registry.hh"
+
+int
+main(int argc, char **argv)
+{
+    return mpos::bench::benchMain(argc, argv);
+}

@@ -1,0 +1,415 @@
+#include "bench/registry.hh"
+
+#include <chrono>
+#include <cstring>
+
+#include "bench/analyses.hh"
+
+namespace mpos::bench
+{
+
+// ---------------------------------------------------------------- //
+// Context                                                          //
+// ---------------------------------------------------------------- //
+
+BenchContext::BenchContext(unsigned jobs)
+    : runner_(jobs)
+{
+}
+
+std::string
+standardJobName(workload::WorkloadKind kind)
+{
+    return std::string("std/") + workload::workloadName(kind);
+}
+
+void
+BenchContext::prepareStandard(workload::WorkloadKind kind)
+{
+    const std::string name = standardJobName(kind);
+    if (runner_.find(name) != core::ExperimentRunner::npos)
+        return;
+    // Resim recording is always on for the shared runs: the recorder
+    // is a passive monitor observer (it cannot perturb simulated
+    // events), and having the stream lets Figure 6 replay the same
+    // run every other analysis reads.
+    auto cfg = standardConfig(kind);
+    cfg.collectResim = true;
+    runner_.submit(name, cfg);
+}
+
+core::Experiment &
+BenchContext::standard(workload::WorkloadKind kind)
+{
+    prepareStandard(kind);
+    return runner_.get(standardJobName(kind));
+}
+
+void
+BenchContext::submit(const std::string &name,
+                     const core::ExperimentConfig &cfg)
+{
+    if (runner_.find(name) != core::ExperimentRunner::npos)
+        return;
+    runner_.submit(name, cfg);
+}
+
+core::Experiment &
+BenchContext::get(const std::string &name)
+{
+    return runner_.get(name);
+}
+
+// ---------------------------------------------------------------- //
+// Registry                                                         //
+// ---------------------------------------------------------------- //
+
+const std::vector<BenchEntry> &
+benchRegistry()
+{
+    // Paper presentation order; names match the wrapper binaries.
+    static const std::vector<BenchEntry> entries = {
+        {"table01_workloads", "Table 1: workload characteristics",
+         NeedsAll, nullptr, run_table01},
+        {"fig01_pattern", "Figure 1: repeating OS/app pattern",
+         NeedsAll, nullptr, run_fig01},
+        {"fig02_os_operations", "Figure 2: OS operation mix (Multpgm)",
+         NeedsMultpgm, nullptr, run_fig02},
+        {"fig03_invocation_dist",
+         "Figure 3: per-invocation distributions (Pmake)", NeedsPmake,
+         nullptr, run_fig03},
+        {"fig04_imiss_classes", "Figure 4: OS I-miss classes",
+         NeedsAll, nullptr, run_fig04},
+        {"fig05_self_interference",
+         "Figure 5: Dispos misses by routine (Pmake)", NeedsPmake,
+         nullptr, run_fig05},
+        {"fig06_icache_sweep",
+         "Figure 6: I-cache size/associativity sweep", NeedsAll,
+         nullptr, run_fig06},
+        {"fig07_dmiss_classes", "Figure 7: OS D-miss classes",
+         NeedsAll, nullptr, run_fig07},
+        {"fig08_sharing_structs",
+         "Figure 8: Sharing misses by data structure", NeedsAll,
+         nullptr, run_fig08},
+        {"table04_migration", "Table 4: migration misses and stall",
+         NeedsAll, nullptr, run_table04},
+        {"table05_migration_ops",
+         "Table 5: migration misses by operation", NeedsAll, nullptr,
+         run_table05},
+        {"table06_blockops", "Table 6: block-operation misses",
+         NeedsAll, nullptr, run_table06},
+        {"table07_block_sizes", "Table 7: block sizes (Pmake)",
+         NeedsPmake, nullptr, run_table07},
+        {"fig09_functional", "Figure 9: misses by OS operation",
+         NeedsAll, nullptr, run_fig09},
+        {"table09_summary", "Table 9: stall decomposition", NeedsAll,
+         nullptr, run_table09},
+        {"fig10_ap_dispos", "Figure 10: OS-induced app misses",
+         NeedsAll, nullptr, run_fig10},
+        {"table10_sync_stall", "Table 10: synchronization stall",
+         NeedsAll, nullptr, run_table10},
+        {"table12_lock_profile", "Table 12: lock profile (Pmake)",
+         NeedsPmake, nullptr, run_table12},
+        {"fig11_lock_scaling",
+         "Figure 11: lock contention vs CPU count", NeedsNone,
+         prepare_fig11, run_fig11},
+        {"ablation_optimizations", "Ablations: Sec. 4.2 proposals",
+         NeedsNone, prepare_ablation, run_ablation},
+    };
+    return entries;
+}
+
+const BenchEntry *
+findBench(std::string_view name)
+{
+    for (const auto &e : benchRegistry()) {
+        if (name == e.name)
+            return &e;
+    }
+    return nullptr;
+}
+
+// ---------------------------------------------------------------- //
+// Drivers                                                          //
+// ---------------------------------------------------------------- //
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+struct AnalysisRecord
+{
+    const char *name;
+    bool ok = true;
+    std::string error;
+    double wallSeconds = 0;
+};
+
+/** Minimal JSON string escape (names/errors are plain ASCII). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+void
+writeJson(const std::string &path, bool smoke, unsigned jobs,
+          core::ExperimentRunner &runner,
+          const std::vector<AnalysisRecord> &analyses,
+          double totalWall)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "mpos_bench: cannot write %s\n",
+                     path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n  \"driver\": \"mpos_bench\",\n");
+    std::fprintf(f,
+                 "  \"config\": {\"measure_cycles\": %llu, "
+                 "\"warmup_cycles\": %llu, \"seed\": %llu, "
+                 "\"jobs\": %u, \"smoke\": %s},\n",
+                 (unsigned long long)envOr("MPOS_CYCLES", 20000000),
+                 (unsigned long long)envOr("MPOS_WARMUP", 8000000),
+                 (unsigned long long)envOr("MPOS_SEED", 7), jobs,
+                 smoke ? "true" : "false");
+
+    std::fprintf(f, "  \"jobs\": [\n");
+    double simSeconds = 0;
+    for (size_t i = 0; i < runner.size(); ++i) {
+        bool ok = true;
+        try {
+            runner.result(i);
+        } catch (...) {
+            ok = false;
+        }
+        const auto &r = runner.result(i);
+        simSeconds += r.wallSeconds;
+        std::fprintf(
+            f,
+            "    {\"name\": \"%s\", \"workload\": \"%s\", "
+            "\"cpus\": %u, \"measure_cycles\": %llu, "
+            "\"wall_seconds\": %.3f, \"ok\": %s}%s\n",
+            jsonEscape(r.name).c_str(),
+            workload::workloadName(r.cfg.kind), r.cfg.machine.numCpus,
+            (unsigned long long)r.cfg.measureCycles, r.wallSeconds,
+            ok && r.exp ? "true" : "false",
+            i + 1 < runner.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+
+    std::fprintf(f, "  \"analyses\": [\n");
+    for (size_t i = 0; i < analyses.size(); ++i) {
+        const auto &a = analyses[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"status\": \"%s\", "
+                     "\"error\": \"%s\", \"wall_seconds\": %.3f}%s\n",
+                     a.name, a.ok ? "ok" : "error",
+                     jsonEscape(a.error).c_str(), a.wallSeconds,
+                     i + 1 < analyses.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"simulation_seconds\": %.3f,\n"
+                 "  \"total_wall_seconds\": %.3f\n}\n",
+                 simSeconds, totalWall);
+    std::fclose(f);
+}
+
+void
+usage()
+{
+    std::printf(
+        "mpos_bench -- regenerate every figure/table of the paper "
+        "from shared parallel runs\n\n"
+        "  --list          list registered analyses and exit\n"
+        "  --only NAME     run one analysis (repeatable); default "
+        "all\n"
+        "  --jobs N        worker threads (default: MPOS_JOBS or all "
+        "cores)\n"
+        "  --json PATH     machine-readable results (default "
+        "mpos_bench_results.json)\n"
+        "  --smoke         tiny-run smoke mode: sets "
+        "MPOS_CYCLES/MPOS_WARMUP to small\n"
+        "                  values unless already set; exit 1 if any "
+        "analysis throws\n"
+        "  --help          this text\n\n"
+        "Environment: MPOS_CYCLES, MPOS_WARMUP, MPOS_SEED, "
+        "MPOS_JOBS.\n");
+}
+
+} // namespace
+
+int
+benchMain(int argc, char **argv)
+{
+    std::string jsonPath = "mpos_bench_results.json";
+    std::vector<std::string> only;
+    bool smoke = false;
+    bool list = false;
+    unsigned jobs = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "mpos_bench: %s needs a value\n",
+                             flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--list") {
+            list = true;
+        } else if (arg == "--json") {
+            jsonPath = value("--json");
+        } else if (arg == "--only") {
+            only.push_back(value("--only"));
+        } else if (arg == "--jobs") {
+            jobs = unsigned(std::strtoul(value("--jobs"), nullptr, 10));
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "mpos_bench: unknown option '%s'\n",
+                         arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+
+    if (list) {
+        for (const auto &e : benchRegistry())
+            std::printf("%-24s %s\n", e.name, e.title);
+        return 0;
+    }
+
+    if (smoke) {
+        // Tiny runs unless the caller already pinned the lengths.
+        setenv("MPOS_CYCLES", "300000", 0);
+        setenv("MPOS_WARMUP", "150000", 0);
+    }
+
+    std::vector<const BenchEntry *> sel;
+    if (only.empty()) {
+        for (const auto &e : benchRegistry())
+            sel.push_back(&e);
+    } else {
+        for (const auto &name : only) {
+            const BenchEntry *e = findBench(name);
+            if (!e) {
+                std::fprintf(stderr,
+                             "mpos_bench: unknown analysis '%s' "
+                             "(--list shows all)\n",
+                             name.c_str());
+                return 2;
+            }
+            sel.push_back(e);
+        }
+    }
+
+    BenchContext ctx(jobs);
+    core::banner("mpos_bench: the paper's figures/tables from shared "
+                 "parallel runs");
+    std::printf("Config: measure %llu cycles/CPU after %llu warmup, "
+                "seed %llu, %u host jobs%s\n",
+                (unsigned long long)envOr("MPOS_CYCLES", 20000000),
+                (unsigned long long)envOr("MPOS_WARMUP", 8000000),
+                (unsigned long long)envOr("MPOS_SEED", 7),
+                ctx.runner().jobs(), smoke ? " [smoke]" : "");
+
+    const auto t0 = std::chrono::steady_clock::now();
+
+    // Queue everything up front so the pool stays full: the three
+    // shared standard runs first, then every sweep/ablation job.
+    uint32_t mask = 0;
+    for (const auto *e : sel)
+        mask |= e->standardMask;
+    for (int i = 0; i < 3; ++i) {
+        if (mask & (1u << i))
+            ctx.prepareStandard(allWorkloads[i]);
+    }
+    for (const auto *e : sel) {
+        if (e->prepare)
+            e->prepare(ctx);
+    }
+
+    // Analyses print in registry order regardless of which job
+    // finishes first.
+    std::vector<AnalysisRecord> records;
+    for (const auto *e : sel) {
+        AnalysisRecord rec;
+        rec.name = e->name;
+        const auto a0 = std::chrono::steady_clock::now();
+        try {
+            e->run(ctx);
+        } catch (const std::exception &ex) {
+            rec.ok = false;
+            rec.error = ex.what();
+        } catch (...) {
+            rec.ok = false;
+            rec.error = "unknown exception";
+        }
+        rec.wallSeconds = secondsSince(a0);
+        if (!rec.ok) {
+            std::fprintf(stderr, "[mpos_bench] FAILED %s: %s\n",
+                         e->name, rec.error.c_str());
+        }
+        records.push_back(std::move(rec));
+    }
+
+    const double totalWall = secondsSince(t0);
+    writeJson(jsonPath, smoke, ctx.runner().jobs(), ctx.runner(),
+              records, totalWall);
+
+    size_t failed = 0;
+    for (const auto &r : records)
+        failed += !r.ok;
+    std::fprintf(stderr,
+                 "[mpos_bench] %zu analyses (%zu failed), %zu "
+                 "simulation jobs, %.1fs wall on %u threads; results "
+                 "in %s\n",
+                 records.size(), failed, ctx.runner().size(),
+                 totalWall, ctx.runner().jobs(), jsonPath.c_str());
+    return failed ? 1 : 0;
+}
+
+int
+singleBenchMain(const char *name)
+{
+    const BenchEntry *e = findBench(name);
+    if (!e) {
+        std::fprintf(stderr, "unknown bench entry '%s'\n", name);
+        return 2;
+    }
+    BenchContext ctx;
+    for (int i = 0; i < 3; ++i) {
+        if (e->standardMask & (1u << i))
+            ctx.prepareStandard(allWorkloads[i]);
+    }
+    if (e->prepare)
+        e->prepare(ctx);
+    e->run(ctx);
+    return 0;
+}
+
+} // namespace mpos::bench

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The unified bench driver's registry: every figure/table of the
+ * paper is an *analysis* over shared experiment results, not a
+ * binary that re-simulates them.
+ *
+ * The three standard workload runs (Pmake/Multpgm/Oracle, standard
+ * configuration, resim recording on) are simulated once each --
+ * concurrently, on the MPOS_JOBS thread pool -- and every analysis
+ * reads from them; true sweeps (Figure 6 cache sizes are replays of
+ * the recorded stream, Figure 11 CPU counts and the ablations are
+ * extra machine configurations) fan out as additional parallel jobs.
+ * Results are consumed in submission order, so the printed tables are
+ * byte-identical no matter how many host threads ran the sweep.
+ *
+ * `mpos_bench` runs every analysis; the historical per-figure
+ * binaries are two-line wrappers that run exactly one.
+ */
+
+#ifndef MPOS_BENCH_REGISTRY_HH
+#define MPOS_BENCH_REGISTRY_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench/common.hh"
+#include "core/runner.hh"
+
+namespace mpos::bench
+{
+
+/** Shared state handed to every analysis. */
+class BenchContext
+{
+  public:
+    /** @param jobs Worker threads; 0 means MPOS_JOBS/default. */
+    explicit BenchContext(unsigned jobs = 0);
+
+    /** Queue the standard run for a workload without waiting. */
+    void prepareStandard(workload::WorkloadKind kind);
+
+    /** The shared standard run (submits on first request, waits). */
+    core::Experiment &standard(workload::WorkloadKind kind);
+
+    /** Queue a named sweep/ablation job; no-op if already queued. */
+    void submit(const std::string &name,
+                const core::ExperimentConfig &cfg);
+
+    /** Wait for a previously submitted job and return it. */
+    core::Experiment &get(const std::string &name);
+
+    core::ExperimentRunner &runner() { return runner_; }
+
+  private:
+    core::ExperimentRunner runner_;
+};
+
+/// @name Standard-workload requirement bits (allWorkloads order)
+/// @{
+inline constexpr uint32_t NeedsNone = 0;
+inline constexpr uint32_t NeedsPmake = 1;
+inline constexpr uint32_t NeedsMultpgm = 2;
+inline constexpr uint32_t NeedsOracle = 4;
+inline constexpr uint32_t NeedsAll = 7;
+/// @}
+
+/** One registered figure/table analysis. */
+struct BenchEntry
+{
+    const char *name;  ///< Registry + binary name ("fig01_pattern").
+    const char *title; ///< One-line description for --list.
+    uint32_t standardMask; ///< Standard runs the analysis consumes.
+    /** Queues extra sweep jobs (nullptr if none). Idempotent. */
+    void (*prepare)(BenchContext &);
+    /** Prints the figure/table from completed results. */
+    void (*run)(BenchContext &);
+};
+
+/** All analyses, in the paper's presentation order. */
+const std::vector<BenchEntry> &benchRegistry();
+
+/** Lookup by name; nullptr if unknown. */
+const BenchEntry *findBench(std::string_view name);
+
+/** Job name of the shared standard run for a workload. */
+std::string standardJobName(workload::WorkloadKind kind);
+
+/** Entry point of the unified `mpos_bench` driver. */
+int benchMain(int argc, char **argv);
+
+/** Entry point of the historical single-figure wrapper binaries. */
+int singleBenchMain(const char *name);
+
+} // namespace mpos::bench
+
+#endif // MPOS_BENCH_REGISTRY_HH

@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Shared main() of the historical per-figure binaries: each is this
+ * file compiled with -DMPOS_BENCH_ENTRY="<registry name>", running
+ * exactly one analysis through the shared orchestration layer (so
+ * even a single figure's workload runs execute concurrently).
+ */
+
+#include "bench/registry.hh"
+
+int
+main()
+{
+    return mpos::bench::singleBenchMain(MPOS_BENCH_ENTRY);
+}

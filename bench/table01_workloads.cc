@@ -7,7 +7,7 @@
  * misses).
  */
 
-#include "bench/common.hh"
+#include "bench/analyses.hh"
 
 using namespace mpos;
 
@@ -28,8 +28,8 @@ const PaperRow paper[3] = {
 
 } // namespace
 
-int
-main()
+void
+mpos::bench::run_table01(BenchContext &ctx)
 {
     core::banner("Table 1: Characteristics of the workloads");
     core::shapeNote();
@@ -40,8 +40,8 @@ main()
               "OS+induced%"});
 
     for (int i = 0; i < 3; ++i) {
-        auto exp = bench::runWorkload(bench::allWorkloads[i]);
-        const auto r = exp->table1();
+        auto &exp = ctx.standard(bench::allWorkloads[i]);
+        const auto r = exp.table1();
         const auto &p = paper[i];
         t.row({p.name, "paper", core::fmt1(p.user), core::fmt1(p.sys),
                core::fmt1(p.idle), core::fmt1(p.osFrac),
@@ -56,5 +56,4 @@ main()
         t.rule();
     }
     t.print();
-    return 0;
 }

@@ -5,7 +5,7 @@
  * structure, and process table).
  */
 
-#include "bench/common.hh"
+#include "bench/analyses.hh"
 
 using namespace mpos;
 
@@ -23,8 +23,8 @@ const PaperRow paper[3] = {
 };
 } // namespace
 
-int
-main()
+void
+mpos::bench::run_table04(BenchContext &ctx)
 {
     core::banner("Table 4: data misses and stall from process "
                  "migration");
@@ -34,10 +34,10 @@ main()
     t.header({"Workload", "", "KStack %D", "UStruct %D", "ProcTab %D",
               "Total %D", "Stall %"});
     for (int i = 0; i < 3; ++i) {
-        auto exp = bench::runWorkload(bench::allWorkloads[i]);
+        auto &exp = ctx.standard(bench::allWorkloads[i]);
         const auto r = core::computeMigration(
-            exp->attribution(), exp->misses(), exp->account(),
-            exp->config().machine.busMissStall);
+            exp.attribution(), exp.misses(), exp.account(),
+            exp.config().machine.busMissStall);
         const auto &p = paper[i];
         t.row({p.name, "paper", core::fmt1(p.kstack),
                core::fmt1(p.ustruct), core::fmt1(p.proctab),
@@ -50,5 +50,4 @@ main()
         t.rule();
     }
     t.print();
-    return 0;
 }

@@ -5,7 +5,7 @@
  * call recognition/setup -- together 25-50% in the paper.
  */
 
-#include "bench/common.hh"
+#include "bench/analyses.hh"
 
 using namespace mpos;
 
@@ -23,8 +23,8 @@ const PaperRow paper[3] = {
 };
 } // namespace
 
-int
-main()
+void
+mpos::bench::run_table05(BenchContext &ctx)
 {
     core::banner("Table 5: migration misses by operation");
     core::shapeNote();
@@ -33,8 +33,8 @@ main()
     t.header({"Workload", "", "Run queue", "Low-level exc.",
               "R/W setup", "Total"});
     for (int i = 0; i < 3; ++i) {
-        auto exp = bench::runWorkload(bench::allWorkloads[i]);
-        const auto r = core::computeMigrationOps(exp->attribution());
+        auto &exp = ctx.standard(bench::allWorkloads[i]);
+        const auto r = core::computeMigrationOps(exp.attribution());
         const auto &p = paper[i];
         t.row({p.name, "paper", core::fmt1(p.runq),
                core::fmt1(p.lowlevel), core::fmt1(p.rdwr),
@@ -45,5 +45,4 @@ main()
         t.rule();
     }
     t.print();
-    return 0;
 }

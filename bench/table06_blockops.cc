@@ -5,7 +5,7 @@
  * Pmake suffers far more than Oracle; stall up to ~6%.
  */
 
-#include "bench/common.hh"
+#include "bench/analyses.hh"
 
 using namespace mpos;
 
@@ -23,8 +23,8 @@ const PaperRow paper[3] = {
 };
 } // namespace
 
-int
-main()
+void
+mpos::bench::run_table06(BenchContext &ctx)
 {
     core::banner("Table 6: data misses and stall from block "
                  "operations");
@@ -34,8 +34,8 @@ main()
     t.header({"Workload", "", "Copy %D", "Clear %D", "Traverse %D",
               "Total %D", "Stall %"});
     for (int i = 0; i < 3; ++i) {
-        auto exp = bench::runWorkload(bench::allWorkloads[i]);
-        const auto r = exp->blockOpReport();
+        auto &exp = ctx.standard(bench::allWorkloads[i]);
+        const auto r = exp.blockOpReport();
         const auto &p = paper[i];
         t.row({p.name, "paper", core::fmt1(p.copy),
                core::fmt1(p.clear), core::fmt1(p.traverse),
@@ -48,5 +48,4 @@ main()
         t.rule();
     }
     t.print();
-    return 0;
 }

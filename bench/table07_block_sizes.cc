@@ -5,19 +5,19 @@
  * regular page fragment; ~70% of clears are full pages.
  */
 
-#include "bench/common.hh"
+#include "bench/analyses.hh"
 
 using namespace mpos;
 using kernel::BlockKind;
 
-int
-main()
+void
+mpos::bench::run_table07(BenchContext &ctx)
 {
     core::banner("Table 7: block sizes copied/cleared in Pmake");
     core::shapeNote();
 
-    auto exp = bench::runWorkload(workload::WorkloadKind::Pmake);
-    const auto ops = exp->blockOps();
+    auto &exp = ctx.standard(workload::WorkloadKind::Pmake);
+    const auto ops = exp.blockOps();
     const auto copies = core::blockSizes(ops, BlockKind::Copy);
     const auto clears = core::blockSizes(ops, BlockKind::Clear);
 
@@ -41,5 +41,4 @@ main()
                 "COW updates; regular\nfragments are buffer-cache "
                 "transfers; irregular chunks are string and\nsyscall-"
                 "parameter copies and kernel-heap initialization.\n");
-    return 0;
 }

@@ -6,7 +6,7 @@
  * components; no single dominant fix.
  */
 
-#include "bench/common.hh"
+#include "bench/analyses.hh"
 
 using namespace mpos;
 
@@ -25,8 +25,8 @@ const PaperRow paper[4] = {
 };
 } // namespace
 
-int
-main()
+void
+mpos::bench::run_table09(BenchContext &ctx)
 {
     core::banner("Table 9: OS miss stall decomposition "
                  "(% of non-idle time)");
@@ -37,8 +37,8 @@ main()
               "Block ops", "Rest"});
     core::Table9Row sum{};
     for (int i = 0; i < 3; ++i) {
-        auto exp = bench::runWorkload(bench::allWorkloads[i]);
-        const auto r = exp->table9();
+        auto &exp = ctx.standard(bench::allWorkloads[i]);
+        const auto r = exp.table9();
         const auto &p = paper[i];
         t.row({p.name, "paper", core::fmt1(p.total),
                core::fmt1(p.instr), core::fmt1(p.migr),
@@ -60,5 +60,4 @@ main()
            core::fmt1(sum.instrPct), core::fmt1(sum.migrationPct),
            core::fmt1(sum.blockOpPct), core::fmt1(sum.restPct)});
     t.print();
-    return 0;
 }

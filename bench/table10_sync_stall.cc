@@ -6,7 +6,7 @@
  * collapses to ~1%.
  */
 
-#include "bench/common.hh"
+#include "bench/analyses.hh"
 
 using namespace mpos;
 
@@ -16,8 +16,8 @@ const double paperUncached[3] = {4.2, 4.6, 4.7};
 const double paperCached[3] = {0.7, 0.8, 1.1};
 } // namespace
 
-int
-main()
+void
+mpos::bench::run_table10(BenchContext &ctx)
 {
     core::banner("Table 10: OS synchronization stall, sync bus vs "
                  "cached atomic RMW");
@@ -27,8 +27,8 @@ main()
     t.header({"Workload", "", "Sync bus (current) %",
               "Atomic RMW + caches %"});
     for (int i = 0; i < 3; ++i) {
-        auto exp = bench::runWorkload(bench::allWorkloads[i]);
-        const auto r = exp->syncStallReport();
+        auto &exp = ctx.standard(bench::allWorkloads[i]);
+        const auto r = exp.syncStallReport();
         t.row({workload::workloadName(bench::allWorkloads[i]),
                "paper", core::fmt1(paperUncached[i]),
                core::fmt1(paperCached[i])});
@@ -41,5 +41,4 @@ main()
                 "counts bus operations under\nboth protocols "
                 "simultaneously over the same lock-access trace, as "
                 "the paper's\nSection 5.1 simulation does.\n");
-    return 0;
 }

@@ -10,7 +10,7 @@
 
 #include <cstring>
 
-#include "bench/common.hh"
+#include "bench/analyses.hh"
 
 using namespace mpos;
 
@@ -43,21 +43,21 @@ lockIdOf(const char *name)
 }
 } // namespace
 
-int
-main()
+void
+mpos::bench::run_table12(BenchContext &ctx)
 {
     core::banner("Table 12: most frequently acquired locks (Pmake)");
     core::shapeNote();
 
-    auto exp = bench::runWorkload(workload::WorkloadKind::Pmake);
+    auto &exp = ctx.standard(workload::WorkloadKind::Pmake);
 
     util::TextTable t;
     t.header({"Lock", "", "kcyc between acq", "failed %", "waiters",
               "same-CPU %", "cached/uncached ops %"});
     for (const auto &p : paper) {
         const uint32_t id = lockIdOf(p.lock);
-        const auto &lp = exp->lockStats().profile(id);
-        const auto &ops = exp->machine().sync().counts(id);
+        const auto &lp = exp.lockStats().profile(id);
+        const auto &ops = exp.machine().sync().counts(id);
         const double ratio =
             ops.uncachedOps ? 100.0 * double(ops.cachedOps) /
                                   double(ops.uncachedOps)
@@ -76,5 +76,4 @@ main()
         t.rule();
     }
     t.print();
-    return 0;
 }

@@ -1,11 +1,29 @@
 #include "core/resim.hh"
 
-#include <memory>
-
 #include "sim/cache.hh"
 
 namespace mpos::core
 {
+
+namespace
+{
+
+/** Per-CPU caches built by value: one allocation each (the ways),
+ *  no unique_ptr indirection in the replay loop. */
+std::vector<sim::Cache>
+buildCaches(uint32_t n_cpus, uint64_t cache_bytes, uint32_t assoc,
+            uint32_t line_bytes)
+{
+    std::vector<sim::Cache> caches;
+    caches.reserve(n_cpus);
+    for (uint32_t c = 0; c < n_cpus; ++c) {
+        caches.emplace_back("resim" + std::to_string(c), cache_bytes,
+                            assoc, line_bytes);
+    }
+    return caches;
+}
+
+} // namespace
 
 ICacheResim::ICacheResim(uint32_t num_cpus, uint32_t line_bytes)
     : nCpus(num_cpus), lineBytes(line_bytes)
@@ -18,6 +36,11 @@ ICacheResim::onMiss(const ClassifiedMiss &miss)
     const auto &rec = miss.rec;
     if (rec.cache != CacheKind::Instr)
         return;
+    // Reserve a large block on first use: the measured runs record
+    // hundreds of thousands of events, and doubling through that
+    // range copies the vector ~20 times.
+    if (events.capacity() == 0)
+        events.reserve(1u << 20);
     const bool os = rec.ctx.mode == ExecMode::Kernel;
     if (os)
         ++baseOs;
@@ -28,6 +51,8 @@ ICacheResim::onMiss(const ClassifiedMiss &miss)
 void
 ICacheResim::flushPage(CpuId cpu, Addr page_addr, uint32_t page_bytes)
 {
+    if (events.capacity() == 0)
+        events.reserve(1u << 20);
     // page_bytes == 0 encodes a full-cache flush.
     events.push_back({uint32_t(page_addr / lineBytes), uint8_t(cpu), 1,
                       uint16_t(page_bytes / lineBytes)});
@@ -37,17 +62,12 @@ ResimResult
 ICacheResim::simulate(uint64_t cache_bytes, uint32_t assoc,
                       bool apply_invals) const
 {
-    std::vector<std::unique_ptr<sim::Cache>> caches;
-    for (uint32_t c = 0; c < nCpus; ++c) {
-        caches.push_back(std::make_unique<sim::Cache>(
-            "resim" + std::to_string(c), cache_bytes, assoc,
-            lineBytes));
-    }
+    auto caches = buildCaches(nCpus, cache_bytes, assoc, lineBytes);
 
     ResimResult r;
     for (const Ev &e : events) {
         const Addr line = Addr(e.lineIdx) * lineBytes;
-        sim::Cache &c = *caches[e.cpu];
+        sim::Cache &c = caches[e.cpu];
         if (e.flags & 1) {
             if (apply_invals) {
                 if (e.lines == 0) {
@@ -69,10 +89,52 @@ ICacheResim::simulate(uint64_t cache_bytes, uint32_t assoc,
     }
     if (baseOs)
         r.relativeOsMissRate = double(r.osMisses) / double(baseOs);
+    return r;
+}
 
-    // Estimate the Inval floor: difference against an inval-free run.
-    if (apply_invals) {
-        // (computed lazily by callers when needed; avoid double work)
+ResimPairResult
+ICacheResim::simulateDirectPair(uint64_t cache_bytes) const
+{
+    auto withInval = buildCaches(nCpus, cache_bytes, 1, lineBytes);
+    auto noInval = buildCaches(nCpus, cache_bytes, 1, lineBytes);
+
+    ResimPairResult r;
+    for (const Ev &e : events) {
+        const Addr line = Addr(e.lineIdx) * lineBytes;
+        if (e.flags & 1) {
+            // Flushes touch only the with-invalidation bank.
+            sim::Cache &c = withInval[e.cpu];
+            if (e.lines == 0) {
+                c.reset();
+            } else {
+                for (uint32_t i = 0; i < e.lines; ++i)
+                    c.invalidate(line + Addr(i) * lineBytes);
+            }
+            continue;
+        }
+        const bool os = e.flags & 2;
+        sim::Cache &cw = withInval[e.cpu];
+        if (!cw.touch(line)) {
+            cw.fill(line);
+            if (os)
+                ++r.withInval.osMisses;
+            else
+                ++r.withInval.appMisses;
+        }
+        sim::Cache &cn = noInval[e.cpu];
+        if (!cn.touch(line)) {
+            cn.fill(line);
+            if (os)
+                ++r.noInval.osMisses;
+            else
+                ++r.noInval.appMisses;
+        }
+    }
+    if (baseOs) {
+        r.withInval.relativeOsMissRate =
+            double(r.withInval.osMisses) / double(baseOs);
+        r.noInval.relativeOsMissRate =
+            double(r.noInval.osMisses) / double(baseOs);
     }
     return r;
 }

@@ -32,6 +32,13 @@ struct ResimResult
     double relativeOsMissRate = 0.0;
 };
 
+/** The solid and dashed Figure 6 curves from one replay. */
+struct ResimPairResult
+{
+    ResimResult withInval; ///< Flushes applied (solid curve).
+    ResimResult noInval;   ///< Flushes ignored (dashed Inval floor).
+};
+
 /** Recorder + replayer. */
 class ICacheResim : public MissSink, public sim::MonitorObserver
 {
@@ -57,6 +64,15 @@ class ICacheResim : public MissSink, public sim::MonitorObserver
      */
     ResimResult simulate(uint64_t cache_bytes, uint32_t assoc,
                          bool apply_invals = true) const;
+
+    /**
+     * Replay once, simulating the direct-mapped cache with and
+     * without invalidations side by side. Equivalent to two
+     * simulate(cache_bytes, 1, ...) calls at half the replay cost --
+     * the Figure 6 sweep walks the recorded stream per size, so the
+     * single pass matters.
+     */
+    ResimPairResult simulateDirectPair(uint64_t cache_bytes) const;
 
     void clear();
 

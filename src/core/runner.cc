@@ -1,0 +1,113 @@
+#include "core/runner.hh"
+
+#include <chrono>
+
+#include "util/logging.hh"
+
+namespace mpos::core
+{
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+ExperimentRunner::ExperimentRunner(unsigned jobs)
+    : pool(jobs)
+{
+}
+
+ExperimentRunner::~ExperimentRunner()
+{
+    // Don't let worker threads touch slots after the runner dies.
+    for (auto &f : pending) {
+        if (f.valid())
+            f.wait();
+    }
+}
+
+size_t
+ExperimentRunner::submit(std::string name,
+                         const ExperimentConfig &cfg)
+{
+    if (find(name) != npos)
+        util::panic("duplicate experiment job '%s'", name.c_str());
+    const size_t idx = slots.size();
+    slots.push_back(ExperimentResult{std::move(name), cfg, nullptr, 0});
+    ExperimentResult *slot = &slots.back();
+    pending.push_back(pool.submit([slot] {
+        const auto t0 = std::chrono::steady_clock::now();
+        std::fprintf(stderr, "[runner] %s: start\n",
+                     slot->name.c_str());
+        auto exp = std::make_unique<Experiment>(slot->cfg);
+        exp->run();
+        slot->exp = std::move(exp);
+        slot->wallSeconds = secondsSince(t0);
+        std::fprintf(stderr, "[runner] %s: done in %.1fs\n",
+                     slot->name.c_str(), slot->wallSeconds);
+    }));
+    return idx;
+}
+
+size_t
+ExperimentRunner::find(std::string_view name) const
+{
+    for (size_t i = 0; i < slots.size(); ++i) {
+        if (slots[i].name == name)
+            return i;
+    }
+    return npos;
+}
+
+Experiment &
+ExperimentRunner::get(size_t idx)
+{
+    const ExperimentResult &r = result(idx);
+    if (!r.exp)
+        util::panic("experiment job '%s' failed", r.name.c_str());
+    return *r.exp;
+}
+
+Experiment &
+ExperimentRunner::get(std::string_view name)
+{
+    const size_t idx = find(name);
+    if (idx == npos)
+        util::panic("unknown experiment job '%.*s'",
+                    int(name.size()), name.data());
+    return get(idx);
+}
+
+const ExperimentResult &
+ExperimentRunner::result(size_t idx)
+{
+    if (idx >= slots.size())
+        util::panic("experiment slot %zu out of range", idx);
+    if (pending[idx].valid())
+        pending[idx].get(); // rethrows if the job failed
+    return slots[idx];
+}
+
+void
+ExperimentRunner::waitAll()
+{
+    for (size_t i = 0; i < pending.size(); ++i)
+        result(i);
+}
+
+const std::deque<ExperimentResult> &
+ExperimentRunner::results()
+{
+    waitAll();
+    return slots;
+}
+
+} // namespace mpos::core

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Concurrent execution of independent experiments.
+ *
+ * Every Experiment owns its whole simulated machine and is
+ * deterministic for a given configuration, so unrelated experiments
+ * can run on host threads without any possibility of changing
+ * simulated events. The runner exploits that: jobs are submitted by
+ * name, execute on a util::ThreadPool (sized by MPOS_JOBS), and
+ * results are retrieved in submission order -- so everything built on
+ * top produces byte-identical output no matter how many host threads
+ * were used.
+ */
+
+#ifndef MPOS_CORE_RUNNER_HH
+#define MPOS_CORE_RUNNER_HH
+
+#include <deque>
+#include <future>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "util/threadpool.hh"
+
+namespace mpos::core
+{
+
+/** One completed (or in-flight) experiment job. */
+struct ExperimentResult
+{
+    std::string name;
+    ExperimentConfig cfg;
+    std::unique_ptr<Experiment> exp; ///< Set once the job finishes.
+    double wallSeconds = 0;          ///< Host time: build + warm + run.
+};
+
+/** Schedules ExperimentConfig jobs over a host thread pool. */
+class ExperimentRunner
+{
+  public:
+    static constexpr size_t npos = size_t(-1);
+
+    /** @param jobs Worker threads; 0 means MPOS_JOBS/default. */
+    explicit ExperimentRunner(unsigned jobs = 0);
+
+    /** Waits for all outstanding jobs. */
+    ~ExperimentRunner();
+
+    /**
+     * Queue one experiment. Returns its slot index; slots are ordered
+     * by submission and never move. Names must be unique.
+     */
+    size_t submit(std::string name, const ExperimentConfig &cfg);
+
+    /** Slot of a previously submitted name, or npos. */
+    size_t find(std::string_view name) const;
+
+    /** Wait for slot idx and return its experiment. */
+    Experiment &get(size_t idx);
+
+    /** Wait for the named job and return its experiment. */
+    Experiment &get(std::string_view name);
+
+    /** Wait for slot idx and return the full result record. */
+    const ExperimentResult &result(size_t idx);
+
+    /** Block until every submitted job has finished. */
+    void waitAll();
+
+    /**
+     * All results, in submission order (waits for completion). The
+     * ordering guarantee is what makes downstream output independent
+     * of the thread count.
+     */
+    const std::deque<ExperimentResult> &results();
+
+    size_t size() const { return slots.size(); }
+    unsigned jobs() const { return pool.threads(); }
+
+  private:
+    util::ThreadPool pool;
+    // deque: stable element addresses while workers fill slots.
+    std::deque<ExperimentResult> slots;
+    std::vector<std::future<void>> pending;
+};
+
+} // namespace mpos::core
+
+#endif // MPOS_CORE_RUNNER_HH

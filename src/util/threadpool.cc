@@ -1,0 +1,57 @@
+#include "util/threadpool.hh"
+
+#include <cstdlib>
+
+namespace mpos::util
+{
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    if (const char *v = std::getenv("MPOS_JOBS")) {
+        const long n = std::strtol(v, nullptr, 10);
+        return n >= 1 ? unsigned(n) : 1u;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1u;
+}
+
+ThreadPool::ThreadPool(unsigned nthreads)
+{
+    if (nthreads == 0)
+        nthreads = defaultThreads();
+    workers.reserve(nthreads);
+    for (unsigned i = 0; i < nthreads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(m);
+        stopping = true;
+    }
+    cv.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(m);
+            cv.wait(lock,
+                    [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping, and nothing left to drain
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        task(); // exceptions are captured by the packaged_task
+    }
+}
+
+} // namespace mpos::util

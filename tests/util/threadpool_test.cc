@@ -1,0 +1,100 @@
+/** @file Host thread-pool tests: future delivery, FIFO draining,
+ *  exception propagation, degenerate single-thread operation, and the
+ *  MPOS_JOBS sizing knob. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "util/threadpool.hh"
+
+using mpos::util::ThreadPool;
+
+TEST(ThreadPool, DeliversResultsThroughFutures)
+{
+    ThreadPool pool(4);
+    std::vector<std::future<int>> futs;
+    for (int i = 0; i < 64; ++i)
+        futs.push_back(pool.submit([i] { return i * i; }));
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(futs[size_t(i)].get(), i * i);
+}
+
+TEST(ThreadPool, SingleThreadRunsInSubmissionOrder)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threads(), 1u);
+    std::vector<int> order;
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 16; ++i)
+        futs.push_back(pool.submit([i, &order] { order.push_back(i); }));
+    for (auto &f : futs)
+        f.get();
+    ASSERT_EQ(order.size(), 16u);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[size_t(i)], i); // FIFO on one worker
+}
+
+TEST(ThreadPool, PropagatesExceptions)
+{
+    ThreadPool pool(2);
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    auto good = pool.submit([] { return 42; });
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    EXPECT_EQ(good.get(), 42); // pool survives a throwing task
+}
+
+TEST(ThreadPool, RunsTasksConcurrently)
+{
+    // All four tasks block until all four have started; this can only
+    // complete if four workers really run at once (even on one CPU,
+    // the OS interleaves blocked threads).
+    ThreadPool pool(4);
+    std::mutex m;
+    std::condition_variable cv;
+    int started = 0;
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 4; ++i) {
+        futs.push_back(pool.submit([&] {
+            std::unique_lock<std::mutex> lock(m);
+            ++started;
+            cv.notify_all();
+            cv.wait(lock, [&] { return started == 4; });
+        }));
+    }
+    for (auto &f : futs)
+        f.get();
+    EXPECT_EQ(started, 4);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 32; ++i)
+            pool.submit([&ran] { ++ran; });
+        // No get(): destruction must still run everything queued.
+    }
+    EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, DefaultThreadsHonorsMposJobs)
+{
+    setenv("MPOS_JOBS", "3", 1);
+    EXPECT_EQ(ThreadPool::defaultThreads(), 3u);
+    ThreadPool pool; // nthreads = 0 -> env knob
+    EXPECT_EQ(pool.threads(), 3u);
+
+    setenv("MPOS_JOBS", "0", 1);
+    EXPECT_EQ(ThreadPool::defaultThreads(), 1u); // clamped up
+
+    unsetenv("MPOS_JOBS");
+    EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+}
