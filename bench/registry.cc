@@ -1,7 +1,10 @@
 #include "bench/registry.hh"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstring>
+#include <filesystem>
 
 #include "bench/analyses.hh"
 
@@ -152,6 +155,53 @@ struct AnalysisRecord
     double wallSeconds = 0;
 };
 
+/**
+ * Redirect stdout into a temp file for the duration of one analysis
+ * so its exact printed output can be stored as a golden file. The
+ * captured text is re-printed to the real stdout afterwards, so a
+ * --golden-dir run still shows everything.
+ */
+class StdoutCapture
+{
+  public:
+    StdoutCapture()
+    {
+        std::fflush(stdout);
+        tmp = std::tmpfile();
+        savedFd = dup(fileno(stdout));
+        if (!tmp || savedFd < 0 ||
+            dup2(fileno(tmp), fileno(stdout)) < 0) {
+            std::fprintf(stderr,
+                         "mpos_bench: stdout capture failed\n");
+            std::exit(2);
+        }
+    }
+
+    /** Restore stdout and return (and echo) everything captured. */
+    std::string
+    finish()
+    {
+        std::fflush(stdout);
+        dup2(savedFd, fileno(stdout));
+        close(savedFd);
+        std::string text;
+        std::rewind(tmp);
+        char buf[4096];
+        size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), tmp)) > 0)
+            text.append(buf, n);
+        std::fclose(tmp);
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        std::fflush(stdout);
+        return text;
+    }
+
+  private:
+    FILE *tmp = nullptr;
+    int savedFd = -1;
+};
+
+
 /** Minimal JSON string escape (names/errors are plain ASCII). */
 std::string
 jsonEscape(const std::string &s)
@@ -167,6 +217,41 @@ jsonEscape(const std::string &s)
         out += c;
     }
     return out;
+}
+
+/** Write one analysis's captured output as a golden JSON file. */
+void
+writeGolden(const std::string &dir, const char *name, bool ok,
+            const std::string &output)
+{
+    const std::string path = dir + "/" + name + ".json";
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "mpos_bench: cannot write %s\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    std::fprintf(f, "{\n  \"analysis\": \"%s\",\n  \"status\": \"%s\","
+                    "\n  \"output\": [\n",
+                 name, ok ? "ok" : "error");
+    std::string line;
+    std::vector<std::string> lines;
+    for (char c : output) {
+        if (c == '\n') {
+            lines.push_back(line);
+            line.clear();
+        } else {
+            line += c;
+        }
+    }
+    if (!line.empty())
+        lines.push_back(line);
+    for (size_t i = 0; i < lines.size(); ++i) {
+        std::fprintf(f, "    \"%s\"%s\n", jsonEscape(lines[i]).c_str(),
+                     i + 1 < lines.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
 }
 
 void
@@ -206,10 +291,12 @@ writeJson(const std::string &path, bool smoke, unsigned jobs,
             f,
             "    {\"name\": \"%s\", \"workload\": \"%s\", "
             "\"cpus\": %u, \"measure_cycles\": %llu, "
-            "\"wall_seconds\": %.3f, \"ok\": %s}%s\n",
+            "\"wall_seconds\": %.3f, \"invariant_checks\": %llu, "
+            "\"ok\": %s}%s\n",
             jsonEscape(r.name).c_str(),
             workload::workloadName(r.cfg.kind), r.cfg.machine.numCpus,
             (unsigned long long)r.cfg.measureCycles, r.wallSeconds,
+            (unsigned long long)r.invariantChecks,
             ok && r.exp ? "true" : "false",
             i + 1 < runner.size() ? "," : "");
     }
@@ -250,9 +337,15 @@ usage()
         "MPOS_CYCLES/MPOS_WARMUP to small\n"
         "                  values unless already set; exit 1 if any "
         "analysis throws\n"
+        "  --check         run with the coherence/TLB/monitor "
+        "invariant checkers on\n"
+        "                  (slower; any violation aborts)\n"
+        "  --golden-dir D  write each analysis's exact output to "
+        "D/<name>.json\n"
+        "                  (the golden-regression corpus)\n"
         "  --help          this text\n\n"
         "Environment: MPOS_CYCLES, MPOS_WARMUP, MPOS_SEED, "
-        "MPOS_JOBS.\n");
+        "MPOS_JOBS, MPOS_CHECK.\n");
 }
 
 } // namespace
@@ -261,9 +354,11 @@ int
 benchMain(int argc, char **argv)
 {
     std::string jsonPath = "mpos_bench_results.json";
+    std::string goldenDir;
     std::vector<std::string> only;
     bool smoke = false;
     bool list = false;
+    bool check = false;
     unsigned jobs = 0;
 
     for (int i = 1; i < argc; ++i) {
@@ -278,10 +373,14 @@ benchMain(int argc, char **argv)
         };
         if (arg == "--smoke") {
             smoke = true;
+        } else if (arg == "--check") {
+            check = true;
         } else if (arg == "--list") {
             list = true;
         } else if (arg == "--json") {
             jsonPath = value("--json");
+        } else if (arg == "--golden-dir") {
+            goldenDir = value("--golden-dir");
         } else if (arg == "--only") {
             only.push_back(value("--only"));
         } else if (arg == "--jobs") {
@@ -308,6 +407,13 @@ benchMain(int argc, char **argv)
         setenv("MPOS_CYCLES", "300000", 0);
         setenv("MPOS_WARMUP", "150000", 0);
     }
+    if (check) {
+        // Before any Machine is constructed: every machine in every
+        // job gets the invariant checkers.
+        setenv("MPOS_CHECK", "1", 1);
+    }
+    if (!goldenDir.empty())
+        std::filesystem::create_directories(goldenDir);
 
     std::vector<const BenchEntry *> sel;
     if (only.empty()) {
@@ -360,6 +466,9 @@ benchMain(int argc, char **argv)
         AnalysisRecord rec;
         rec.name = e->name;
         const auto a0 = std::chrono::steady_clock::now();
+        std::unique_ptr<StdoutCapture> capture;
+        if (!goldenDir.empty())
+            capture = std::make_unique<StdoutCapture>();
         try {
             e->run(ctx);
         } catch (const std::exception &ex) {
@@ -369,6 +478,8 @@ benchMain(int argc, char **argv)
             rec.ok = false;
             rec.error = "unknown exception";
         }
+        if (capture)
+            writeGolden(goldenDir, e->name, rec.ok, capture->finish());
         rec.wallSeconds = secondsSince(a0);
         if (!rec.ok) {
             std::fprintf(stderr, "[mpos_bench] FAILED %s: %s\n",

@@ -23,6 +23,31 @@ Experiment::Experiment(const ExperimentConfig &config)
     k = std::make_unique<kernel::Kernel>(*mach, cfg.kernelCfg);
     wl = workload::Workload::create(cfg.kind, *k, cfg.options);
 
+    if (sim::Checker *chk = mach->checker()) {
+        // The checker's TLB oracle: every entry used for translation
+        // must agree with the kernel's page tables, and TLB-writable
+        // implies PTE-writable and not pending a COW break.
+        kernel::Kernel *kp = k.get();
+        chk->setMappingValidator(
+            [kp](sim::Pid pid, sim::Addr vpage, sim::Addr ppage,
+                 bool writable) -> const char * {
+                if (pid < 0 || uint32_t(pid) >= kp->maxProcs())
+                    return "pid names no process slot";
+                const kernel::Pte *pte =
+                    kp->process(pid).findPte(vpage);
+                if (!pte)
+                    return "no page-table entry for the vpage";
+                if (!pte->present)
+                    return "page-table entry is not present";
+                if (pte->ppage != ppage)
+                    return "maps a different physical page";
+                if (writable && !(pte->writable && !pte->cow))
+                    return "writable in the TLB but read-only or COW "
+                           "in the page table";
+                return nullptr;
+            });
+    }
+
     classifier = std::make_unique<MissClassifier>(
         cfg.machine.numCpus, cfg.machine.memBytes,
         cfg.machine.lineBytes);
@@ -67,6 +92,11 @@ Experiment::run()
     const sim::Cycle start = mach->now();
     mach->run(cfg.measureCycles);
     measuredCycles = mach->now() - start;
+
+    // Final whole-machine sweep: every resident line, every cache's
+    // packed-tag integrity, every TLB entry against the page tables.
+    if (sim::Checker *chk = mach->checker())
+        chk->checkAll(*mach);
 }
 
 sim::CycleAccount

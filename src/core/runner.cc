@@ -49,10 +49,21 @@ ExperimentRunner::submit(std::string name,
                      slot->name.c_str());
         auto exp = std::make_unique<Experiment>(slot->cfg);
         exp->run();
+        if (const sim::Checker *chk = exp->machine().checker())
+            slot->invariantChecks = chk->stats().total();
         slot->exp = std::move(exp);
         slot->wallSeconds = secondsSince(t0);
-        std::fprintf(stderr, "[runner] %s: done in %.1fs\n",
-                     slot->name.c_str(), slot->wallSeconds);
+        if (slot->invariantChecks) {
+            std::fprintf(stderr,
+                         "[runner] %s: done in %.1fs (%llu invariant "
+                         "checks, 0 violations)\n",
+                         slot->name.c_str(), slot->wallSeconds,
+                         static_cast<unsigned long long>(
+                             slot->invariantChecks));
+        } else {
+            std::fprintf(stderr, "[runner] %s: done in %.1fs\n",
+                         slot->name.c_str(), slot->wallSeconds);
+        }
     }));
     return idx;
 }

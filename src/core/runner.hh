@@ -34,6 +34,8 @@ struct ExperimentResult
     ExperimentConfig cfg;
     std::unique_ptr<Experiment> exp; ///< Set once the job finishes.
     double wallSeconds = 0;          ///< Host time: build + warm + run.
+    /** Invariant checks performed (0 unless checking was enabled). */
+    uint64_t invariantChecks = 0;
 };
 
 /** Schedules ExperimentConfig jobs over a host thread pool. */

@@ -174,4 +174,45 @@ Cache::residentLines() const
     return n;
 }
 
+uint32_t
+Cache::checkIntegrity(
+    const std::function<void(const std::string &)> &report) const
+{
+    uint32_t bad = 0;
+    auto fail = [&](uint64_t set, uint32_t way, const std::string &what) {
+        ++bad;
+        report(label + ": set " + std::to_string(set) + " way " +
+               std::to_string(way) + ": " + what);
+    };
+
+    for (uint64_t set = 0; set < numSets; ++set) {
+        const Way *base = &ways[set * assoc_];
+        for (uint32_t i = 0; i < assoc_; ++i) {
+            const Way &w = base[i];
+            if (!w.valid()) {
+                // invalidate()/reset() clear the whole packed word; a
+                // surviving dirty bit or tag means a stray write.
+                if (w.tv != 0)
+                    fail(set, i, "invalid way with non-zero packed word");
+                continue;
+            }
+            if ((w.tv & (lineBytes_ - 1) & ~uint64_t(3)) != 0)
+                fail(set, i, "tag not line-aligned");
+            if (setIndex(w.tag()) != set)
+                fail(set, i, "resident line maps to a different set");
+            if (w.lru >= assoc_)
+                fail(set, i, "LRU rank out of range");
+            for (uint32_t j = i + 1; j < assoc_; ++j) {
+                if (!base[j].valid())
+                    continue;
+                if (base[j].tag() == w.tag())
+                    fail(set, j, "line resident in two ways");
+                if (base[j].lru == w.lru)
+                    fail(set, j, "duplicate LRU rank");
+            }
+        }
+    }
+    return bad;
+}
+
 } // namespace mpos::sim

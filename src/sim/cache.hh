@@ -13,6 +13,7 @@
 #define MPOS_SIM_CACHE_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -113,6 +114,28 @@ class Cache
 
     /** Drop everything (power-on state). */
     void reset();
+
+    /** Call fn(lineAddr, dirty) for every resident line. */
+    template <typename Fn>
+    void
+    forEachResident(Fn &&fn) const
+    {
+        for (const auto &w : ways) {
+            if (w.valid())
+                fn(w.tag(), w.dirty());
+        }
+    }
+
+    /**
+     * Structural self-check of the packed tag array: every valid way's
+     * packed word is line-aligned and lives in the set its line maps
+     * to, no line is resident twice in one set, invalidated ways are
+     * fully cleared, and the LRU ranks of a set's valid ways are
+     * distinct and in range. Calls report(description) once per
+     * violation; returns the violation count.
+     */
+    uint32_t checkIntegrity(
+        const std::function<void(const std::string &)> &report) const;
 
     uint64_t capacityBytes() const { return uint64_t(numSets) * assoc_ *
                                             lineBytes_; }

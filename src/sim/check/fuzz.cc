@@ -1,0 +1,539 @@
+#include "sim/check/fuzz.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/check/checker.hh"
+#include "sim/machine.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace mpos::sim
+{
+
+namespace
+{
+
+/** Pids the generator draws from (validator rejects anything else). */
+constexpr Pid maxFuzzPid = 8;
+
+/** Device address base for uncached traffic (beyond memBytes). */
+constexpr Addr deviceBase = 0x40000000;
+
+/** One monitor event flattened for bit-exact comparison. */
+struct Event
+{
+    enum Kind : uint8_t
+    {
+        Bus, Evict, InvalSharing, InvalRealloc, FlushPage, OsEnter,
+        OsExit, CtxSwitch,
+    };
+
+    uint8_t kind = 0;
+    Cycle cycle = 0;
+    CpuId cpu = 0;
+    Addr addr = 0;
+    uint64_t a = 0; ///< op / kind / pid-from, per event kind
+    uint64_t b = 0; ///< packed context / pid-to
+
+    bool operator==(const Event &) const = default;
+};
+
+uint64_t
+packCtx(const MonitorContext &ctx)
+{
+    return uint64_t(uint8_t(ctx.mode)) | (uint64_t(uint8_t(ctx.op)) << 8) |
+           (uint64_t(ctx.routine) << 16) |
+           (uint64_t(uint32_t(ctx.pid)) << 32);
+}
+
+std::string
+describeEvent(const Event &e)
+{
+    std::ostringstream os;
+    static const char *names[] = {"bus", "evict", "invalSharing",
+                                  "invalRealloc", "flushPage", "osEnter",
+                                  "osExit", "ctxSwitch"};
+    os << names[e.kind] << " cycle=" << e.cycle << " cpu=" << e.cpu
+       << " addr=0x" << std::hex << e.addr << std::dec << " a=" << e.a
+       << " b=" << e.b;
+    return os.str();
+}
+
+/** MonitorObserver that flattens the whole stream into a vector. */
+class EventRecorder : public MonitorObserver
+{
+  public:
+    std::vector<Event> events;
+
+    void
+    busTransaction(const BusRecord &r) override
+    {
+        events.push_back({Event::Bus, r.cycle, r.cpu, r.lineAddr,
+                          uint64_t(uint8_t(r.op)) |
+                              (uint64_t(uint8_t(r.cache)) << 8),
+                          packCtx(r.ctx)});
+    }
+
+    void
+    evict(CpuId cpu, CacheKind kind, Addr line,
+          const MonitorContext &by) override
+    {
+        events.push_back({Event::Evict, 0, cpu, line,
+                          uint64_t(uint8_t(kind)), packCtx(by)});
+    }
+
+    void
+    invalSharing(CpuId cpu, CacheKind kind, Addr line) override
+    {
+        events.push_back({Event::InvalSharing, 0, cpu, line,
+                          uint64_t(uint8_t(kind)), 0});
+    }
+
+    void
+    invalPageRealloc(CpuId cpu, Addr line) override
+    {
+        events.push_back({Event::InvalRealloc, 0, cpu, line, 0, 0});
+    }
+
+    void
+    flushPage(CpuId cpu, Addr page, uint32_t bytes) override
+    {
+        events.push_back({Event::FlushPage, 0, cpu, page, bytes, 0});
+    }
+
+    void
+    osEnter(Cycle cycle, CpuId cpu, OsOp op) override
+    {
+        events.push_back({Event::OsEnter, cycle, cpu, 0,
+                          uint64_t(uint8_t(op)), 0});
+    }
+
+    void
+    osExit(Cycle cycle, CpuId cpu, OsOp op) override
+    {
+        events.push_back({Event::OsExit, cycle, cpu, 0,
+                          uint64_t(uint8_t(op)), 0});
+    }
+
+    void
+    contextSwitch(Cycle cycle, CpuId cpu, Pid from, Pid to) override
+    {
+        events.push_back({Event::CtxSwitch, cycle, cpu, 0,
+                          uint64_t(uint32_t(from)),
+                          uint64_t(uint32_t(to))});
+    }
+};
+
+/**
+ * Executor interpreting the fuzz scripts: OS enter/exit markers drive
+ * the monitor context, lock markers drive the sync transport, TLB
+ * faults install the identity mapping, and a dry script idles with
+ * Think items so time keeps advancing.
+ */
+class ScriptedExecutor : public Executor
+{
+  public:
+    explicit ScriptedExecutor(Machine &machine) : m(machine) {}
+
+    void
+    refill(CpuId cpu) override
+    {
+        m.cpu(cpu).push(ScriptItem::think(64));
+    }
+
+    void
+    marker(CpuId cpu, const ScriptItem &item) override
+    {
+        Cpu &c = m.cpu(cpu);
+        switch (item.marker) {
+          case MarkerOp::OsEnter:
+            m.monitor().osEnter(m.now(), cpu, OsOp(item.addr));
+            c.ctx.mode = ExecMode::Kernel;
+            c.ctx.op = OsOp(item.addr);
+            break;
+          case MarkerOp::OsExit:
+            m.monitor().osExit(m.now(), cpu, c.ctx.op);
+            c.ctx.mode = ExecMode::User;
+            c.ctx.op = OsOp::None;
+            break;
+          case MarkerOp::LockAcquire: {
+            const LockEvent ev = item.arg2 ? LockEvent::AcquireFail
+                                           : LockEvent::AcquireSuccess;
+            const Cycle cost =
+                m.sync().access(cpu, uint32_t(item.addr), ev);
+            m.charge(cpu, cost, true);
+            break;
+          }
+          case MarkerOp::LockRelease: {
+            const Cycle cost = m.sync().access(cpu, uint32_t(item.addr),
+                                               LockEvent::Release);
+            m.charge(cpu, cost, true);
+            break;
+          }
+          case MarkerOp::Resched:
+            m.monitor().contextSwitch(m.now(), cpu, c.ctx.pid,
+                                      Pid(item.addr));
+            c.ctx.pid = Pid(item.addr);
+            break;
+          case MarkerOp::InvalICache:
+            m.memory().flushICachesForPage(0);
+            break;
+          default:
+            break;
+        }
+    }
+
+    void
+    fault(CpuId cpu, Addr vaddr, bool, bool) override
+    {
+        // Identity page table: vpage maps to the same-numbered ppage,
+        // always writable. The faulting item retries and hits.
+        Cpu &c = m.cpu(cpu);
+        const Addr vpage = vaddr / m.config().pageBytes;
+        c.tlb.insert(c.ctx.pid, vpage, vpage, true);
+        m.charge(cpu, 20, false); // nominal refill cost
+    }
+
+    void pollEvents(CpuId, Cycle) override {}
+
+  private:
+    Machine &m;
+};
+
+/** Final machine state flattened for bit-exact comparison. */
+struct StateSnapshot
+{
+    Cycle now = 0;
+    uint64_t busTx = 0;
+    std::vector<uint64_t> perCpu;
+    /** Per (pool line, cpu): coh state | L1 | L2 | I-cache bits. */
+    std::vector<uint8_t> lines;
+
+    bool operator==(const StateSnapshot &) const = default;
+};
+
+StateSnapshot
+capture(const Machine &m, const std::vector<Addr> &pool)
+{
+    StateSnapshot s;
+    s.now = m.now();
+    s.busTx = m.memory().busTransactions();
+    for (CpuId c = 0; c < m.numCpus(); ++c) {
+        const Cpu &cpu = m.cpu(c);
+        s.perCpu.push_back(cpu.busyUntil);
+        for (unsigned mode = 0; mode < 3; ++mode) {
+            s.perCpu.push_back(cpu.account.total[mode]);
+            s.perCpu.push_back(cpu.account.stall[mode]);
+        }
+        s.perCpu.push_back(cpu.tlb.hits);
+        s.perCpu.push_back(cpu.tlb.misses);
+        s.perCpu.push_back(m.sync().stallCycles(c));
+    }
+    for (Addr line : pool) {
+        for (CpuId c = 0; c < m.numCpus(); ++c) {
+            const CpuCaches &h = m.memory().caches(c);
+            s.lines.push_back(
+                uint8_t(uint8_t(h.getState(line)) |
+                        (uint8_t(h.l1d.contains(line)) << 2) |
+                        (uint8_t(h.l2d.contains(line)) << 3) |
+                        (uint8_t(h.icache.contains(line)) << 4)));
+        }
+    }
+    return s;
+}
+
+std::vector<Addr>
+buildPool(util::Rng &rng, const FuzzOptions &opt,
+          const MachineConfig &cfg)
+{
+    std::vector<Addr> pool;
+    pool.reserve(opt.poolLines);
+    const uint64_t lines = cfg.memBytes / cfg.lineBytes;
+    for (uint32_t i = 0; i < opt.poolLines; ++i)
+        pool.push_back(rng.below(lines) * cfg.lineBytes);
+    return pool;
+}
+
+/** The page-table oracle for the identity mapping the fuzzer uses. */
+const char *
+identityValidator(Pid pid, Addr vpage, Addr ppage, bool writable)
+{
+    if (pid < 0 || pid >= maxFuzzPid)
+        return "pid outside the fuzz range";
+    if (ppage != vpage)
+        return "not the identity mapping";
+    if (!writable)
+        return "identity mappings are always writable";
+    return nullptr;
+}
+
+} // namespace
+
+MachineConfig
+FuzzOptions::machineConfig() const
+{
+    MachineConfig cfg;
+    cfg.numCpus = numCpus;
+    cfg.icacheBytes = 4096;
+    cfg.l1dBytes = 2048;
+    cfg.l2dBytes = 4096;
+    cfg.memBytes = 1ULL * 1024 * 1024;
+    cfg.tlbEntries = 16;
+    cfg.busOccupancy = 2; // exercise bus queueing in both cores
+    cfg.check = true;
+    return cfg;
+}
+
+std::vector<std::vector<ScriptItem>>
+buildFuzzScripts(uint64_t seed, const FuzzOptions &opt)
+{
+    const MachineConfig cfg = opt.machineConfig();
+    util::Rng rng(seed ^ 0xf02277a5f9a3e1cdULL);
+    const std::vector<Addr> pool = buildPool(rng, opt, cfg);
+    const uint64_t codeLines = cfg.memBytes / cfg.lineBytes / 2;
+
+    std::vector<std::vector<ScriptItem>> scripts(opt.numCpus);
+    for (uint32_t c = 0; c < opt.numCpus; ++c) {
+        std::vector<ScriptItem> &s = scripts[c];
+        s.reserve(opt.scriptLen);
+        bool inOs = false;
+        std::vector<uint32_t> held;
+        while (s.size() < opt.scriptLen) {
+            const uint64_t r = rng.below(100);
+            if (r < 45) {
+                // Shared-pool data reference; some through the TLB.
+                const Addr a =
+                    pool[rng.below(pool.size())] + rng.below(4) * 4;
+                const bool store = rng.chance(0.4);
+                const AddrSpace sp = rng.chance(0.3)
+                                         ? AddrSpace::Virtual
+                                         : AddrSpace::Physical;
+                s.push_back(store ? ScriptItem::store(a, sp)
+                                  : ScriptItem::load(a, sp));
+            } else if (r < 60) {
+                // Instruction fetch; 1 in 4 from the data pool so
+                // fetches hit dirty data copies and downgrade them.
+                const Addr line =
+                    rng.chance(0.25)
+                        ? pool[rng.below(pool.size())]
+                        : (codeLines + rng.below(codeLines)) *
+                              cfg.lineBytes;
+                s.push_back(ScriptItem::ifetch(line));
+            } else if (r < 68) {
+                s.push_back(ScriptItem::think(rng.range(1, 30)));
+            } else if (r < 74) {
+                // Lock acquire: a few failed polls, then success.
+                const uint32_t id = uint32_t(rng.below(opt.numLocks));
+                const uint32_t polls = uint32_t(rng.below(3));
+                for (uint32_t p = 0; p < polls; ++p)
+                    s.push_back(
+                        ScriptItem::mark(MarkerOp::LockAcquire, id, 1));
+                s.push_back(
+                    ScriptItem::mark(MarkerOp::LockAcquire, id, 0));
+                held.push_back(id);
+            } else if (r < 78) {
+                if (held.empty())
+                    continue;
+                s.push_back(ScriptItem::mark(MarkerOp::LockRelease,
+                                             held.back()));
+                held.pop_back();
+            } else if (r < 86) {
+                // OS enter/exit, strictly alternating per CPU.
+                if (inOs) {
+                    s.push_back(ScriptItem::mark(MarkerOp::OsExit));
+                } else {
+                    const OsOp op =
+                        OsOp(rng.range(uint64_t(OsOp::UtlbFault),
+                                       uint64_t(OsOp::Interrupt)));
+                    s.push_back(ScriptItem::mark(MarkerOp::OsEnter,
+                                                 uint64_t(op)));
+                }
+                inOs = !inOs;
+            } else if (r < 89) {
+                const Addr a = deviceBase + rng.below(64) * 8;
+                s.push_back(rng.chance(0.5)
+                                ? ScriptItem::uncachedLoad(a)
+                                : ScriptItem::uncachedStore(a));
+            } else if (r < 92) {
+                // Cache-bypassing block op on the shared pool.
+                const Addr a = pool[rng.below(pool.size())];
+                const bool store = rng.chance(0.5);
+                s.push_back({store ? ItemKind::BypassStore
+                                   : ItemKind::BypassLoad,
+                             AddrSpace::Physical, MarkerOp::PathDone, a,
+                             0});
+            } else if (r < 94) {
+                s.push_back(ScriptItem::mark(
+                    MarkerOp::Resched, rng.below(uint64_t(maxFuzzPid))));
+            } else if (r < 95) {
+                s.push_back(ScriptItem::mark(MarkerOp::InvalICache));
+            } else {
+                // Prefetched reference: bus-visible, no CPU stall.
+                const Addr a = pool[rng.below(pool.size())];
+                s.push_back({rng.chance(0.5) ? ItemKind::PrefetchStore
+                                             : ItemKind::PrefetchLoad,
+                             AddrSpace::Physical, MarkerOp::PathDone, a,
+                             0});
+            }
+        }
+    }
+    return scripts;
+}
+
+namespace
+{
+
+/** One machine run; fills events/state/violations for comparison. */
+void
+runOne(uint64_t seed, const FuzzOptions &opt, uint32_t prefix_len,
+       bool slow, std::vector<Event> &events, StateSnapshot &state,
+       std::vector<std::string> &violations, uint64_t &checks)
+{
+    MachineConfig cfg = opt.machineConfig();
+    cfg.slowSim = slow;
+
+    std::vector<std::vector<ScriptItem>> scripts =
+        buildFuzzScripts(seed, opt);
+    if (prefix_len > 0) {
+        for (auto &s : scripts)
+            if (s.size() > prefix_len)
+                s.resize(prefix_len);
+    }
+
+    // The pool is the generator's first draw; rebuild it the same way
+    // for the state snapshot.
+    util::Rng rng(seed ^ 0xf02277a5f9a3e1cdULL);
+    const std::vector<Addr> pool = buildPool(rng, opt, cfg);
+
+    Machine m(cfg, opt.numLocks);
+    Checker *chk = m.checker();
+    chk->setAbortOnViolation(false);
+    chk->setMappingValidator(identityValidator);
+
+    ScriptedExecutor exec(m);
+    m.setExecutor(&exec);
+
+    EventRecorder rec;
+    m.monitor().attach(&rec);
+
+    for (CpuId c = 0; c < m.numCpus(); ++c) {
+        Cpu &cpu = m.cpu(c);
+        cpu.ctx.mode = ExecMode::User;
+        cpu.ctx.op = OsOp::None;
+        cpu.ctx.pid = Pid(c % maxFuzzPid);
+        cpu.pushSeq(scripts[c]);
+    }
+
+    m.run(opt.runCycles);
+    chk->checkAll(m);
+
+    events = std::move(rec.events);
+    state = capture(m, pool);
+    violations = chk->violations();
+    checks = chk->stats().total();
+}
+
+} // namespace
+
+FuzzOutcome
+runDifferential(uint64_t seed, const FuzzOptions &opt,
+                uint32_t prefix_len)
+{
+    std::vector<Event> fastEv, slowEv;
+    StateSnapshot fastState, slowState;
+    std::vector<std::string> fastViol, slowViol;
+    uint64_t fastChecks = 0, slowChecks = 0;
+
+    runOne(seed, opt, prefix_len, false, fastEv, fastState, fastViol,
+           fastChecks);
+    runOne(seed, opt, prefix_len, true, slowEv, slowState, slowViol,
+           slowChecks);
+
+    FuzzOutcome out;
+    out.eventsCompared = fastEv.size();
+    out.checksPerformed = fastChecks + slowChecks;
+    out.violations = fastViol;
+    out.violations.insert(out.violations.end(), slowViol.begin(),
+                          slowViol.end());
+
+    std::ostringstream detail;
+    if (!out.violations.empty()) {
+        out.ok = false;
+        detail << out.violations.size() << " invariant violation(s), "
+               << "first: " << out.violations.front();
+    } else if (fastEv != slowEv) {
+        out.ok = false;
+        const size_t n = std::min(fastEv.size(), slowEv.size());
+        size_t i = 0;
+        while (i < n && fastEv[i] == slowEv[i])
+            ++i;
+        detail << "event streams diverge at index " << i << " (fast "
+               << fastEv.size() << " events, slow " << slowEv.size()
+               << "): fast="
+               << (i < fastEv.size() ? describeEvent(fastEv[i])
+                                     : std::string("<end>"))
+               << " slow="
+               << (i < slowEv.size() ? describeEvent(slowEv[i])
+                                     : std::string("<end>"));
+    } else if (!(fastState == slowState)) {
+        out.ok = false;
+        detail << "final machine state differs between fast and "
+                  "reference runs (identical event streams)";
+    }
+    out.detail = detail.str();
+    return out;
+}
+
+uint64_t
+minimizeFailingPrefix(uint64_t n,
+                      const std::function<bool(uint64_t)> &fails)
+{
+    uint64_t lo = 1, hi = n;
+    while (lo < hi) {
+        const uint64_t mid = lo + (hi - lo) / 2;
+        if (fails(mid))
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    return lo;
+}
+
+FuzzMatrixResult
+runFuzzMatrix(uint64_t first_seed, uint32_t num_seeds,
+              const std::vector<uint32_t> &cpu_counts,
+              const FuzzOptions &base,
+              const std::function<void(uint64_t, uint32_t,
+                                       const FuzzOutcome &)> &progress)
+{
+    FuzzMatrixResult result;
+    for (uint32_t cpus : cpu_counts) {
+        FuzzOptions opt = base;
+        opt.numCpus = cpus;
+        for (uint64_t s = first_seed; s < first_seed + num_seeds; ++s) {
+            const FuzzOutcome out = runDifferential(s, opt);
+            ++result.runs;
+            result.eventsCompared += out.eventsCompared;
+            result.checksPerformed += out.checksPerformed;
+            if (!out.ok) {
+                FuzzFailure f;
+                f.seed = s;
+                f.numCpus = cpus;
+                f.minimalPrefix = uint32_t(minimizeFailingPrefix(
+                    opt.scriptLen, [&](uint64_t len) {
+                        return !runDifferential(s, opt, uint32_t(len))
+                                    .ok;
+                    }));
+                f.detail =
+                    runDifferential(s, opt, f.minimalPrefix).detail;
+                result.failures.push_back(std::move(f));
+            }
+            if (progress)
+                progress(s, cpus, out);
+        }
+    }
+    return result;
+}
+
+} // namespace mpos::sim

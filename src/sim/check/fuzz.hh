@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Differential fuzz harness for the simulation core.
+ *
+ * PR 1 replaced the one-tick-at-a-time scheduler and full snoop walks
+ * with a cycle-skipping scheduler and a snoop filter, arguing the fast
+ * paths are observably identical. The fuzzer turns that argument into
+ * an executable property: seeded random scripts -- shared-pool data
+ * references, instruction fetches overlapping the data pool, lock
+ * contention, OS enter/exit markers, uncached and cache-bypassing
+ * traffic, TLB faults and I-cache flushes -- run through BOTH cores
+ * with the invariant checkers on, and the harness asserts bit-identical
+ * monitor event streams and final machine state (cycle accounts, cache
+ * contents, coherence states, TLB counters, sync stalls).
+ *
+ * A failing seed is automatically minimized by binary-searching the
+ * shortest failing script prefix, so a regression lands as a short
+ * reproducible trace instead of a 4000-item haystack.
+ */
+
+#ifndef MPOS_SIM_CHECK_FUZZ_HH
+#define MPOS_SIM_CHECK_FUZZ_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mpos::sim
+{
+
+/** Shape of one fuzz run. Defaults give dense coherence churn. */
+struct FuzzOptions
+{
+    uint32_t numCpus = 4;
+    uint32_t scriptLen = 4000; ///< Script items generated per CPU.
+    Cycle runCycles = 60000;   ///< Cycles each machine is advanced.
+    uint32_t numLocks = 8;
+    uint32_t poolLines = 96;   ///< Hot shared pool of line addresses.
+
+    /**
+     * Machine shrunk so the pool thrashes every structure: small
+     * caches force evictions and inclusion churn, a small TLB forces
+     * refill faults.
+     */
+    MachineConfig machineConfig() const;
+};
+
+/** Result of one differential run. */
+struct FuzzOutcome
+{
+    bool ok = true;
+    /** Human-readable description of the first divergence, if any. */
+    std::string detail;
+    /** Invariant violations recorded by either run's checker. */
+    std::vector<std::string> violations;
+    /** Monitor events compared (same in both runs when ok). */
+    uint64_t eventsCompared = 0;
+    /** Checker work performed across both runs (CheckStats::total). */
+    uint64_t checksPerformed = 0;
+};
+
+/**
+ * Generate the per-CPU scripts for a seed. Exposed so tests can assert
+ * generator properties (marker pairing, address ranges) directly.
+ */
+std::vector<std::vector<ScriptItem>>
+buildFuzzScripts(uint64_t seed, const FuzzOptions &opt);
+
+/**
+ * Run one seed through the fast and reference cores with checkers on
+ * and compare everything. prefix_len > 0 truncates every CPU's script
+ * to its first prefix_len items (the minimizer's knob); 0 = full.
+ */
+FuzzOutcome runDifferential(uint64_t seed, const FuzzOptions &opt,
+                            uint32_t prefix_len = 0);
+
+/**
+ * Smallest k in [1, n] with fails(k), assuming fails(n) holds, by
+ * binary search (monotonicity is heuristic for script prefixes, but a
+ * non-minimal answer is still a valid failing repro).
+ */
+uint64_t minimizeFailingPrefix(
+    uint64_t n, const std::function<bool(uint64_t)> &fails);
+
+/** One failure from a fuzz matrix, already minimized. */
+struct FuzzFailure
+{
+    uint64_t seed = 0;
+    uint32_t numCpus = 0;
+    uint32_t minimalPrefix = 0; ///< Shortest failing script prefix.
+    std::string detail;
+};
+
+/** Aggregate result of a seed x CPU-count sweep. */
+struct FuzzMatrixResult
+{
+    uint32_t runs = 0;
+    uint64_t eventsCompared = 0;
+    uint64_t checksPerformed = 0;
+    std::vector<FuzzFailure> failures;
+
+    bool ok() const { return failures.empty(); }
+};
+
+/**
+ * Sweep seeds [first_seed, first_seed + num_seeds) over the given CPU
+ * counts; failing runs are minimized before being reported. progress,
+ * if non-null, is called after every run.
+ */
+FuzzMatrixResult runFuzzMatrix(
+    uint64_t first_seed, uint32_t num_seeds,
+    const std::vector<uint32_t> &cpu_counts, const FuzzOptions &base,
+    const std::function<void(uint64_t seed, uint32_t cpus,
+                             const FuzzOutcome &)> &progress = nullptr);
+
+} // namespace mpos::sim
+
+#endif // MPOS_SIM_CHECK_FUZZ_HH

@@ -19,6 +19,16 @@ Machine::Machine(const MachineConfig &config, uint32_t num_locks)
     cpus.reserve(cfg.numCpus);
     for (CpuId c = 0; c < cfg.numCpus; ++c)
         cpus.emplace_back(c, cfg);
+
+    if (cfg.check || checkForced()) {
+        chk = std::make_unique<Checker>(cfg);
+        chk->attachMemory(&mem);
+        mem.setChecker(chk.get());
+        syncTransport.setChecker(chk.get());
+        // As a monitor observer the checker sees the full event stream
+        // (and keeps listening() true, so records are always built).
+        mon.attach(chk.get());
+    }
 }
 
 CycleAccount

@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/check/checker.hh"
 #include "sim/cpu.hh"
 #include "sim/memsys.hh"
 #include "sim/monitor.hh"
@@ -56,8 +57,17 @@ class Machine
 
     Monitor &monitor() { return mon; }
     MemorySystem &memory() { return mem; }
+    const MemorySystem &memory() const { return mem; }
     SyncTransport &sync() { return syncTransport; }
+    const SyncTransport &sync() const { return syncTransport; }
     const MachineConfig &config() const { return cfg; }
+
+    /**
+     * The invariant checker, or null when checking is off
+     * (MachineConfig::check / MPOS_CHECK select it at construction).
+     */
+    Checker *checker() { return chk.get(); }
+    const Checker *checker() const { return chk.get(); }
 
     /**
      * Charge extra cycles to a CPU's current mode (used by the kernel
@@ -107,6 +117,8 @@ class Machine
             exec->fault(c.id, vaddr, is_store, true);
             return false;
         }
+        if (chk)
+            chk->checkTlbEntry(c.id, *e);
         pa = (e->ppage << pageShift) | (vaddr & pageMask);
         return true;
     }
@@ -124,6 +136,8 @@ class Machine
      *  cycle, so one less indirection matters. */
     std::vector<Cpu> cpus;
     Executor *exec = nullptr;
+    /** Invariant checker; allocated only when checking is enabled. */
+    std::unique_ptr<Checker> chk;
     Cycle currentCycle = 0;
     /** Reference mode: tick one cycle at a time (no cycle skipping). */
     bool slowSim = false;

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "sim/check/checker.hh"
 #include "util/logging.hh"
 
 namespace mpos::sim
@@ -45,6 +46,12 @@ MemorySystem::MemorySystem(const MachineConfig &config, Monitor &monitor)
     hier.reserve(cfg.numCpus);
     for (CpuId c = 0; c < cfg.numCpus; ++c)
         hier.emplace_back(c, cfg);
+}
+
+void
+MemorySystem::checkLineEvent(Addr line)
+{
+    checker->onLineEvent(line);
 }
 
 Cycle
@@ -154,6 +161,8 @@ MemorySystem::l2Fill(CpuId cpu, Addr line, Coh st, Cycle now,
         h.l1d.invalidate(v.lineAddr);
         if (mon.listening())
             mon.evict(cpu, CacheKind::Data, v.lineAddr, ctx);
+        if (checker)
+            checker->onLineEvent(v.lineAddr);
     }
     setCohState(h, line, st);
 }
@@ -188,6 +197,8 @@ MemorySystem::dataAccessSlow(CpuId cpu, Addr addr, bool is_write,
             }
             setCohState(h, line, Coh::Modified);
         }
+        if (checker)
+            checker->onLineEvent(line);
         return res;
     }
 
@@ -205,10 +216,15 @@ MemorySystem::dataAccessSlow(CpuId cpu, Addr addr, bool is_write,
         record(now + delay, cpu, line, BusOp::Read, CacheKind::Data,
                ctx);
     }
-    l2Fill(cpu, line, newState, now, ctx);
+    // now + delay: the victim writeback drains from the buffer after
+    // the fill transaction holds the bus, so its record must not
+    // claim an earlier bus slot than the fill's.
+    l2Fill(cpu, line, newState, now + delay, ctx);
     h.l1d.fill(line);
     res.cycles += cfg.busMissStall + delay;
     res.busAccess = true;
+    if (checker)
+        checker->onLineEvent(line);
     return res;
 }
 
@@ -231,6 +247,8 @@ MemorySystem::ifetchMiss(CpuId cpu, Addr line, Cycle now,
         mon.evict(cpu, CacheKind::Instr, v.lineAddr, ctx);
     res.cycles += cfg.busMissStall + delay;
     res.busAccess = true;
+    if (checker)
+        checker->onLineEvent(line); // fetch may have downgraded D-copies
     return res;
 }
 
@@ -261,6 +279,8 @@ MemorySystem::bypassAccess(CpuId cpu, Addr addr, bool is_write,
         snoopRead(cpu, line);
     record(now + delay, cpu, line,
            is_write ? BusOp::ReadEx : BusOp::Read, CacheKind::Data, ctx);
+    if (checker)
+        checker->onLineEvent(line);
     return {1 + cfg.busMissStall + delay, true};
 }
 

@@ -25,6 +25,8 @@
 namespace mpos::sim
 {
 
+class Checker;
+
 /** MESI line states, tracked at the L2. */
 enum class Coh : uint8_t { Invalid, Shared, Exclusive, Modified };
 
@@ -109,8 +111,11 @@ class MemorySystem
             if (st != Coh::Shared) {
                 // Silent E -> M upgrade; M stays M. Shared needs the
                 // bus and falls through to the slow path.
-                if (st != Coh::Modified)
+                if (st != Coh::Modified) {
                     setCohState(h, line, Coh::Modified);
+                    if (checker)
+                        checkLineEvent(line);
+                }
                 return {1, false};
             }
         }
@@ -166,7 +171,14 @@ class MemorySystem
 
     const MachineConfig &config() const { return cfg; }
 
+    /** Attach the invariant checker (null = disabled). */
+    void setChecker(Checker *c) { checker = c; }
+
   private:
+    /** Out-of-line checker trampoline so the inline hit path only
+     *  needs the forward-declared Checker and one null test. */
+    void checkLineEvent(Addr line);
+
     /** dataAccess() when the L1 cannot satisfy the reference alone. */
     AccessResult dataAccessSlow(CpuId cpu, Addr addr, bool is_write,
                                 Cycle now, const MonitorContext &ctx);
@@ -221,6 +233,8 @@ class MemorySystem
     uint64_t txTotal = 0;
     /** Reference mode: full snoop walks, no filter shortcut. */
     bool slowSim = false;
+    /** Invariant checker; null unless checking is enabled. */
+    Checker *checker = nullptr;
 };
 
 } // namespace mpos::sim

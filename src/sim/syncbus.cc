@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/check/checker.hh"
 #include "util/logging.hh"
 
 namespace mpos::sim
@@ -72,6 +73,9 @@ SyncTransport::access(CpuId cpu, uint32_t lock_id, LockEvent ev)
         ? Cycle(cops) * cfg.busMissStall
         : Cycle(uops) * cfg.syncBusOpCycles;
     stall[cpu] += cost;
+    if (checker)
+        checker->onSyncEvent(cpu, lock_id, numLocks(),
+                             cachedAt[lock_id]);
     return cost;
 }
 

@@ -26,6 +26,8 @@
 namespace mpos::sim
 {
 
+class Checker;
+
 /** What happened at a lock, as reported by the kernel lock layer. */
 enum class LockEvent : uint8_t
 {
@@ -71,6 +73,15 @@ class SyncTransport
 
     uint32_t numLocks() const { return uint32_t(perLock.size()); }
 
+    /** Attach the invariant checker (null = disabled). */
+    void setChecker(Checker *c) { checker = c; }
+
+    /** Bitmask of CPUs caching lock_id's line (for the checker). */
+    uint32_t cachedAtMask(uint32_t lock_id) const
+    {
+        return cachedAt[lock_id];
+    }
+
   private:
     /** Bus ops this event needs under the uncached sync-bus protocol. */
     uint32_t uncachedOpsFor(LockEvent ev) const;
@@ -85,6 +96,8 @@ class SyncTransport
     std::vector<Cycle> stall;
     uint64_t uncachedOpsTotal = 0;
     uint64_t cachedOpsTotal = 0;
+    /** Invariant checker; null unless checking is enabled. */
+    Checker *checker = nullptr;
 };
 
 } // namespace mpos::sim

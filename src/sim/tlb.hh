@@ -76,6 +76,9 @@ class Tlb
     uint32_t size() const { return uint32_t(entries.size()); }
     uint32_t residentEntries() const;
 
+    /** Raw entry slot (valid or not), for the invariant checker. */
+    const TlbEntry &entryAt(uint32_t i) const { return entries[i]; }
+
     uint64_t hits = 0;
     uint64_t misses = 0;
 

@@ -65,6 +65,14 @@ slowSimForced()
     return forced;
 }
 
+/** True if MPOS_CHECK is set: force the invariant checkers on. */
+inline bool
+checkForced()
+{
+    static const bool forced = std::getenv("MPOS_CHECK") != nullptr;
+    return forced;
+}
+
 /** Bus transaction kinds. */
 enum class BusOp : uint8_t
 {
@@ -123,6 +131,15 @@ struct MachineConfig
      * Also forced globally by the MPOS_SLOW_SIM environment variable.
      */
     bool slowSim = false;
+
+    /**
+     * Compile the runtime invariant checkers in (SWMR, snoop-filter
+     * soundness, tag/state consistency, TLB/page-table agreement,
+     * monitor stream well-formedness). Zero-cost when false: every
+     * hook is a single null-pointer test. Also forced globally by the
+     * MPOS_CHECK environment variable.
+     */
+    bool check = false;
 
     uint64_t numLines() const { return memBytes / lineBytes; }
     uint64_t numPages() const { return memBytes / pageBytes; }

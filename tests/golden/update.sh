@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Regenerate the committed golden corpus in tests/golden/ from a fresh
+# mpos_bench --smoke run (same pinned configuration as check.sh).
+# Review the resulting diff before committing: every changed line is a
+# claimed intentional change to a paper figure/table.
+#
+# Usage: update.sh <mpos_bench binary>
+
+set -eu
+
+bench="${1:?usage: update.sh <mpos_bench binary>}"
+golden="$(cd "$(dirname "$0")" && pwd)"
+
+export MPOS_CYCLES=300000
+export MPOS_WARMUP=150000
+export MPOS_SEED=7
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+"$bench" --smoke --check --golden-dir "$tmp/fresh" \
+    --json "$tmp/results.json" > /dev/null
+
+# Replace the corpus wholesale so removed analyses don't leave stale
+# golden files behind.
+rm -f "$golden"/*.json
+cp "$tmp/fresh"/*.json "$golden"/
+
+echo "golden corpus updated: $(ls "$golden"/*.json | wc -l) files in" \
+     "$golden"

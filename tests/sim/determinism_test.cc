@@ -35,6 +35,19 @@ smallConfig(workload::WorkloadKind kind, bool slow)
     return cfg;
 }
 
+core::ExperimentConfig
+matrixConfig(uint64_t seed, uint32_t num_cpus, bool slow)
+{
+    core::ExperimentConfig cfg =
+        smallConfig(workload::WorkloadKind::Pmake, slow);
+    // Shorter runs: the matrix multiplies this by seeds x CPU counts.
+    cfg.warmupCycles = 100000;
+    cfg.measureCycles = 400000;
+    cfg.options.seed = seed;
+    cfg.machine.numCpus = num_cpus;
+    return cfg;
+}
+
 void
 expectSameCounts(const MissCounts &fast, const MissCounts &slow)
 {
@@ -91,4 +104,46 @@ TEST(Determinism, MultpgmFastMatchesReference)
 TEST(Determinism, OracleFastMatchesReference)
 {
     runBothAndCompare(workload::WorkloadKind::Oracle);
+}
+
+/**
+ * Fast-vs-reference equivalence must hold for every machine shape and
+ * every RNG stream, not just the default: sweep RNG seeds x CPU
+ * counts, comparing the two schedulers at each point.
+ */
+TEST(Determinism, SeedAndCpuCountMatrix)
+{
+    for (uint64_t seed : {5u, 7u, 11u}) {
+        for (uint32_t cpus : {1u, 2u, 4u}) {
+            SCOPED_TRACE("seed " + std::to_string(seed) + " cpus " +
+                         std::to_string(cpus));
+            core::Experiment fast(matrixConfig(seed, cpus, false));
+            fast.run();
+            core::Experiment slow(matrixConfig(seed, cpus, true));
+            slow.run();
+
+            EXPECT_EQ(fast.machine().now(), slow.machine().now());
+            EXPECT_EQ(fast.machine().memory().busTransactions(),
+                      slow.machine().memory().busTransactions());
+            expectSameCounts(fast.misses(), slow.misses());
+            expectSameAccount(fast.account(), slow.account());
+            EXPECT_EQ(fast.elapsed(), slow.elapsed());
+        }
+    }
+}
+
+/** Different seeds must actually change the simulated history (the
+ *  matrix above would be vacuous if the seed were ignored). */
+TEST(Determinism, SeedChangesTheSimulatedHistory)
+{
+    core::Experiment a(matrixConfig(5, 4, false));
+    a.run();
+    core::Experiment b(matrixConfig(11, 4, false));
+    b.run();
+    const bool differs =
+        a.machine().memory().busTransactions() !=
+            b.machine().memory().busTransactions() ||
+        a.account().all() != b.account().all() ||
+        a.misses().total() != b.misses().total();
+    EXPECT_TRUE(differs);
 }

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * mpos_fuzz: the differential fuzz driver.
+ *
+ * Sweeps a seed x CPU-count matrix through both simulation cores with
+ * the invariant checkers on and compares monitor event streams and
+ * final machine state bit for bit. Exit status 0 means every run
+ * matched; 1 means at least one diverged, and each failure is printed
+ * with its minimized script-prefix repro.
+ *
+ * Usage: mpos_fuzz [--seeds N] [--first-seed S] [--cpus a,b,c]
+ *                  [--script-len N] [--cycles N] [--quiet]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/check/fuzz.hh"
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --seeds N       seeds per CPU count (default 64)\n"
+        "  --first-seed S  first seed (default 1)\n"
+        "  --cpus a,b,c    CPU counts to sweep (default 1,2,4)\n"
+        "  --script-len N  script items per CPU (default 4000)\n"
+        "  --cycles N      cycles per machine run (default 60000)\n"
+        "  --quiet         only print the summary\n",
+        argv0);
+}
+
+std::vector<uint32_t>
+parseCpuList(const char *s)
+{
+    std::vector<uint32_t> cpus;
+    for (const char *p = s; *p;) {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(p, &end, 10);
+        if (end == p || v == 0 || v > 8) {
+            std::fprintf(stderr, "bad CPU list '%s'\n", s);
+            std::exit(2);
+        }
+        cpus.push_back(uint32_t(v));
+        p = (*end == ',') ? end + 1 : end;
+    }
+    return cpus;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint32_t numSeeds = 64;
+    uint64_t firstSeed = 1;
+    std::vector<uint32_t> cpus = {1, 2, 4};
+    mpos::sim::FuzzOptions opt;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const auto arg = [&](const char *name) -> const char * {
+            if (std::strcmp(argv[i], name) != 0)
+                return nullptr;
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", name);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (const char *v = arg("--seeds")) {
+            numSeeds = uint32_t(std::strtoul(v, nullptr, 10));
+        } else if (const char *v = arg("--first-seed")) {
+            firstSeed = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = arg("--cpus")) {
+            cpus = parseCpuList(v);
+        } else if (const char *v = arg("--script-len")) {
+            opt.scriptLen = uint32_t(std::strtoul(v, nullptr, 10));
+        } else if (const char *v = arg("--cycles")) {
+            opt.runCycles = std::strtoull(v, nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--quiet")) {
+            quiet = true;
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    uint32_t done = 0;
+    const uint32_t total = numSeeds * uint32_t(cpus.size());
+    const auto progress = [&](uint64_t seed, uint32_t ncpus,
+                              const mpos::sim::FuzzOutcome &out) {
+        ++done;
+        if (!out.ok) {
+            std::fprintf(stderr,
+                         "[fuzz] FAIL seed=%llu cpus=%u: %s\n",
+                         (unsigned long long)seed, ncpus,
+                         out.detail.c_str());
+        } else if (!quiet && done % 16 == 0) {
+            std::fprintf(stderr, "[fuzz] %u/%u runs ok\n", done,
+                         total);
+        }
+    };
+
+    const mpos::sim::FuzzMatrixResult res = mpos::sim::runFuzzMatrix(
+        firstSeed, numSeeds, cpus, opt, progress);
+
+    std::printf("mpos_fuzz: %u runs, %llu monitor events compared, "
+                "%llu invariant checks, %zu failure(s)\n",
+                res.runs, (unsigned long long)res.eventsCompared,
+                (unsigned long long)res.checksPerformed,
+                res.failures.size());
+    for (const mpos::sim::FuzzFailure &f : res.failures) {
+        std::printf("  seed %llu cpus %u: minimal failing prefix %u "
+                    "items\n    repro: mpos_fuzz --seeds 1 "
+                    "--first-seed %llu --cpus %u --script-len %u\n"
+                    "    %s\n",
+                    (unsigned long long)f.seed, f.numCpus,
+                    f.minimalPrefix, (unsigned long long)f.seed,
+                    f.numCpus, f.minimalPrefix, f.detail.c_str());
+    }
+    return res.ok() ? 0 : 1;
+}

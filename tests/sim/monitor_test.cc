@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit tests for the Monitor event hub: observer attach/detach and
+ * listening() bookkeeping, fan-out of every event kind to multiple
+ * observers in attach order, and the always-on transaction counters
+ * that advance with or without a record being built.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/monitor.hh"
+
+using namespace mpos::sim;
+
+namespace
+{
+
+/** Observer that logs every callback into a shared trace. */
+class TraceObserver : public MonitorObserver
+{
+  public:
+    TraceObserver(std::string tag, std::vector<std::string> &out)
+        : name(std::move(tag)), trace(out)
+    {
+    }
+
+    void
+    busTransaction(const BusRecord &rec) override
+    {
+        trace.push_back(name + ":bus@" + std::to_string(rec.cycle));
+    }
+
+    void
+    evict(CpuId cpu, CacheKind, Addr line, const MonitorContext &)
+        override
+    {
+        trace.push_back(name + ":evict" + std::to_string(cpu) + "@" +
+                        std::to_string(line));
+    }
+
+    void
+    invalSharing(CpuId cpu, CacheKind, Addr) override
+    {
+        trace.push_back(name + ":inval" + std::to_string(cpu));
+    }
+
+    void
+    invalPageRealloc(CpuId cpu, Addr) override
+    {
+        trace.push_back(name + ":realloc" + std::to_string(cpu));
+    }
+
+    void
+    flushPage(CpuId cpu, Addr page, uint32_t bytes) override
+    {
+        trace.push_back(name + ":flush" + std::to_string(cpu) + "@" +
+                        std::to_string(page) + "+" +
+                        std::to_string(bytes));
+    }
+
+    void
+    osEnter(Cycle, CpuId cpu, OsOp) override
+    {
+        trace.push_back(name + ":osEnter" + std::to_string(cpu));
+    }
+
+    void
+    osExit(Cycle, CpuId cpu, OsOp) override
+    {
+        trace.push_back(name + ":osExit" + std::to_string(cpu));
+    }
+
+    void
+    contextSwitch(Cycle, CpuId cpu, Pid from, Pid to) override
+    {
+        trace.push_back(name + ":ctx" + std::to_string(cpu) + ":" +
+                        std::to_string(from) + ">" +
+                        std::to_string(to));
+    }
+
+  private:
+    std::string name;
+    std::vector<std::string> &trace;
+};
+
+BusRecord
+record(Cycle cycle, ExecMode mode)
+{
+    BusRecord r;
+    r.cycle = cycle;
+    r.cpu = 0;
+    r.lineAddr = 0x40;
+    r.op = BusOp::Read;
+    r.ctx.mode = mode;
+    r.ctx.op = mode == ExecMode::User ? OsOp::None : OsOp::IoSyscall;
+    r.ctx.pid = 0;
+    return r;
+}
+
+} // namespace
+
+TEST(Monitor, ListeningTracksAttachDetach)
+{
+    Monitor mon;
+    std::vector<std::string> trace;
+    TraceObserver a("a", trace), b("b", trace);
+
+    EXPECT_FALSE(mon.listening());
+    mon.attach(&a);
+    EXPECT_TRUE(mon.listening());
+    mon.attach(&b);
+    mon.detach(&a);
+    EXPECT_TRUE(mon.listening());
+    mon.detach(&b);
+    EXPECT_FALSE(mon.listening());
+}
+
+TEST(Monitor, DetachStopsDelivery)
+{
+    Monitor mon;
+    std::vector<std::string> trace;
+    TraceObserver a("a", trace), b("b", trace);
+    mon.attach(&a);
+    mon.attach(&b);
+
+    mon.busTransaction(record(10, ExecMode::User));
+    EXPECT_EQ(trace.size(), 2u);
+
+    mon.detach(&a);
+    mon.busTransaction(record(20, ExecMode::User));
+    ASSERT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace.back(), "b:bus@20");
+}
+
+TEST(Monitor, FanOutInAttachOrderForEveryEventKind)
+{
+    Monitor mon;
+    std::vector<std::string> trace;
+    TraceObserver a("a", trace), b("b", trace);
+    mon.attach(&a);
+    mon.attach(&b);
+
+    MonitorContext ctx;
+    mon.busTransaction(record(5, ExecMode::Kernel));
+    mon.evict(1, CacheKind::Data, 0x80, ctx);
+    mon.invalSharing(2, CacheKind::Data, 0x90);
+    mon.invalPageRealloc(3, 0xa0);
+    mon.flushPage(1, 0x1000, 4096);
+    mon.osEnter(100, 0, OsOp::IoSyscall);
+    mon.osExit(200, 0, OsOp::IoSyscall);
+    mon.contextSwitch(300, 2, 1, 4);
+
+    const std::vector<std::string> expected = {
+        "a:bus@5",        "b:bus@5",
+        "a:evict1@128",   "b:evict1@128",
+        "a:inval2",       "b:inval2",
+        "a:realloc3",     "b:realloc3",
+        "a:flush1@4096+4096", "b:flush1@4096+4096",
+        "a:osEnter0",     "b:osEnter0",
+        "a:osExit0",      "b:osExit0",
+        "a:ctx2:1>4",     "b:ctx2:1>4",
+    };
+    EXPECT_EQ(trace, expected);
+}
+
+TEST(Monitor, TransactionCountersAlwaysAdvance)
+{
+    Monitor mon;
+    // No observer attached: countTransaction is the warmup fast path.
+    mon.countTransaction(ExecMode::User);
+    mon.countTransaction(ExecMode::Kernel);
+    mon.countTransaction(ExecMode::Idle);
+    EXPECT_EQ(mon.transactions(), 3u);
+    EXPECT_EQ(mon.osTransactions(), 2u); // Kernel + Idle are "OS"
+
+    // Full records advance the same counters.
+    mon.busTransaction(record(1, ExecMode::User));
+    mon.busTransaction(record(2, ExecMode::Kernel));
+    EXPECT_EQ(mon.transactions(), 5u);
+    EXPECT_EQ(mon.osTransactions(), 3u);
+}
+
+TEST(Monitor, NonBusEventsDoNotCount)
+{
+    Monitor mon;
+    MonitorContext ctx;
+    mon.evict(0, CacheKind::Data, 0x40, ctx);
+    mon.osEnter(10, 0, OsOp::Interrupt);
+    mon.osExit(20, 0, OsOp::Interrupt);
+    EXPECT_EQ(mon.transactions(), 0u);
+    EXPECT_EQ(mon.osTransactions(), 0u);
+}
