@@ -20,6 +20,32 @@ BenchContext::BenchContext(unsigned jobs)
 {
 }
 
+BenchContext::BenchContext(const core::RunnerOptions &opt)
+    : runner_(opt)
+{
+}
+
+void
+BenchContext::submitJob(const std::string &name,
+                        core::ExperimentConfig cfg)
+{
+    if (!faultJob_.empty() && name == faultJob_) {
+        // Guaranteed failure: pick the first seed whose fault plan
+        // carries a synthetic watchdog trip inside this job's run.
+        cfg.machine.faultHorizon =
+            cfg.warmupCycles + cfg.measureCycles;
+        cfg.machine.faultSeed = sim::FaultPlan::firstTrippingSeed(
+            1, cfg.machine.faultHorizon);
+        std::fprintf(stderr,
+                     "[bench] fault-job %s: fault seed %llu, horizon "
+                     "%llu\n",
+                     name.c_str(),
+                     (unsigned long long)cfg.machine.faultSeed,
+                     (unsigned long long)cfg.machine.faultHorizon);
+    }
+    runner_.submit(name, cfg);
+}
+
 std::string
 standardJobName(workload::WorkloadKind kind)
 {
@@ -38,7 +64,7 @@ BenchContext::prepareStandard(workload::WorkloadKind kind)
     // run every other analysis reads.
     auto cfg = standardConfig(kind);
     cfg.collectResim = true;
-    runner_.submit(name, cfg);
+    submitJob(name, cfg);
 }
 
 core::Experiment &
@@ -54,7 +80,7 @@ BenchContext::submit(const std::string &name,
 {
     if (runner_.find(name) != core::ExperimentRunner::npos)
         return;
-    runner_.submit(name, cfg);
+    submitJob(name, cfg);
 }
 
 core::Experiment &
@@ -279,12 +305,7 @@ writeJson(const std::string &path, bool smoke, unsigned jobs,
     std::fprintf(f, "  \"jobs\": [\n");
     double simSeconds = 0;
     for (size_t i = 0; i < runner.size(); ++i) {
-        bool ok = true;
-        try {
-            runner.result(i);
-        } catch (...) {
-            ok = false;
-        }
+        // result() never throws: failures are recorded in the slot.
         const auto &r = runner.result(i);
         simSeconds += r.wallSeconds;
         std::fprintf(
@@ -292,12 +313,14 @@ writeJson(const std::string &path, bool smoke, unsigned jobs,
             "    {\"name\": \"%s\", \"workload\": \"%s\", "
             "\"cpus\": %u, \"measure_cycles\": %llu, "
             "\"wall_seconds\": %.3f, \"invariant_checks\": %llu, "
-            "\"ok\": %s}%s\n",
+            "\"status\": \"%s\", \"attempts\": %u, "
+            "\"error\": \"%s\", \"ok\": %s}%s\n",
             jsonEscape(r.name).c_str(),
             workload::workloadName(r.cfg.kind), r.cfg.machine.numCpus,
             (unsigned long long)r.cfg.measureCycles, r.wallSeconds,
             (unsigned long long)r.invariantChecks,
-            ok && r.exp ? "true" : "false",
+            core::jobStatusName(r.status), r.attempts,
+            jsonEscape(r.error).c_str(), r.ok() ? "true" : "false",
             i + 1 < runner.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
@@ -343,9 +366,24 @@ usage()
         "  --golden-dir D  write each analysis's exact output to "
         "D/<name>.json\n"
         "                  (the golden-regression corpus)\n"
+        "  --keep-going    on an analysis failure, keep running the "
+        "remaining analyses\n"
+        "                  (default: stop after the first failure; "
+        "either way the JSON\n"
+        "                  report is written and the exit code is "
+        "non-zero)\n"
+        "  --job-timeout S per-attempt wall-clock budget for each "
+        "simulation job\n"
+        "  --retries N     attempts per job; retries reseed "
+        "deterministically\n"
+        "  --fault-job J   inject a guaranteed watchdog trip into job "
+        "J (e.g.\n"
+        "                  std/pmake) to exercise the failure paths\n"
         "  --help          this text\n\n"
         "Environment: MPOS_CYCLES, MPOS_WARMUP, MPOS_SEED, "
-        "MPOS_JOBS, MPOS_CHECK.\n");
+        "MPOS_JOBS, MPOS_CHECK,\n"
+        "MPOS_WATCHDOG (forward-progress budget in cycles), "
+        "MPOS_FAULTS (fault seed).\n");
 }
 
 } // namespace
@@ -355,11 +393,15 @@ benchMain(int argc, char **argv)
 {
     std::string jsonPath = "mpos_bench_results.json";
     std::string goldenDir;
+    std::string faultJob;
     std::vector<std::string> only;
     bool smoke = false;
     bool list = false;
     bool check = false;
+    bool keepGoing = false;
     unsigned jobs = 0;
+    uint32_t retries = 1;
+    double jobTimeout = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -385,6 +427,15 @@ benchMain(int argc, char **argv)
             only.push_back(value("--only"));
         } else if (arg == "--jobs") {
             jobs = unsigned(std::strtoul(value("--jobs"), nullptr, 10));
+        } else if (arg == "--keep-going") {
+            keepGoing = true;
+        } else if (arg == "--job-timeout") {
+            jobTimeout = std::strtod(value("--job-timeout"), nullptr);
+        } else if (arg == "--retries") {
+            retries = uint32_t(
+                std::strtoul(value("--retries"), nullptr, 10));
+        } else if (arg == "--fault-job") {
+            faultJob = value("--fault-job");
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -433,7 +484,13 @@ benchMain(int argc, char **argv)
         }
     }
 
-    BenchContext ctx(jobs);
+    core::RunnerOptions ropt;
+    ropt.jobs = jobs;
+    ropt.maxAttempts = retries ? retries : 1;
+    ropt.jobTimeoutSec = jobTimeout;
+    BenchContext ctx(ropt);
+    if (!faultJob.empty())
+        ctx.setFaultJob(faultJob);
     core::banner("mpos_bench: the paper's figures/tables from shared "
                  "parallel runs");
     std::printf("Config: measure %llu cycles/CPU after %llu warmup, "
@@ -481,11 +538,18 @@ benchMain(int argc, char **argv)
         if (capture)
             writeGolden(goldenDir, e->name, rec.ok, capture->finish());
         rec.wallSeconds = secondsSince(a0);
-        if (!rec.ok) {
+        const bool failed_now = !rec.ok;
+        if (failed_now) {
             std::fprintf(stderr, "[mpos_bench] FAILED %s: %s\n",
                          e->name, rec.error.c_str());
         }
         records.push_back(std::move(rec));
+        if (failed_now && !keepGoing) {
+            std::fprintf(stderr,
+                         "[mpos_bench] stopping after first failure "
+                         "(use --keep-going to finish the rest)\n");
+            break;
+        }
     }
 
     const double totalWall = secondsSince(t0);
@@ -495,13 +559,37 @@ benchMain(int argc, char **argv)
     size_t failed = 0;
     for (const auto &r : records)
         failed += !r.ok;
+    size_t failedJobs = ctx.runner().failedCount();
+    if (!faultJob.empty() &&
+        ctx.runner().find(faultJob) == core::ExperimentRunner::npos) {
+        // A fault job that never matched a submitted name would make
+        // the sabotage a silent no-op; fail loudly instead.
+        std::fprintf(stderr,
+                     "[mpos_bench] --fault-job %s matched no submitted "
+                     "job\n",
+                     faultJob.c_str());
+        ++failedJobs;
+    }
+    if (ctx.runner().failedCount()) {
+        for (const auto &r : ctx.runner().results()) {
+            if (!r.ok()) {
+                std::fprintf(stderr,
+                             "[mpos_bench] job %s: %s after %u "
+                             "attempt(s): %s\n",
+                             r.name.c_str(),
+                             core::jobStatusName(r.status), r.attempts,
+                             r.error.c_str());
+            }
+        }
+    }
     std::fprintf(stderr,
                  "[mpos_bench] %zu analyses (%zu failed), %zu "
-                 "simulation jobs, %.1fs wall on %u threads; results "
-                 "in %s\n",
+                 "simulation jobs (%zu failed), %.1fs wall on %u "
+                 "threads; results in %s\n",
                  records.size(), failed, ctx.runner().size(),
-                 totalWall, ctx.runner().jobs(), jsonPath.c_str());
-    return failed ? 1 : 0;
+                 failedJobs, totalWall, ctx.runner().jobs(),
+                 jsonPath.c_str());
+    return failed || failedJobs ? 1 : 0;
 }
 
 int

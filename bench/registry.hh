@@ -37,6 +37,18 @@ class BenchContext
     /** @param jobs Worker threads; 0 means MPOS_JOBS/default. */
     explicit BenchContext(unsigned jobs = 0);
 
+    /** Full resilience policy (timeouts, retries). */
+    explicit BenchContext(const core::RunnerOptions &opt);
+
+    /**
+     * Arrange for the named job to fail: when it is submitted, its
+     * config gets a fault seed guaranteed (via
+     * sim::FaultPlan::firstTrippingSeed) to trip the watchdog within
+     * the run. For exercising --keep-going and the failure paths of
+     * the JSON report.
+     */
+    void setFaultJob(const std::string &name) { faultJob_ = name; }
+
     /** Queue the standard run for a workload without waiting. */
     void prepareStandard(workload::WorkloadKind kind);
 
@@ -53,7 +65,11 @@ class BenchContext
     core::ExperimentRunner &runner() { return runner_; }
 
   private:
+    void submitJob(const std::string &name,
+                   core::ExperimentConfig cfg);
+
     core::ExperimentRunner runner_;
+    std::string faultJob_; ///< Job to sabotage; empty = none.
 };
 
 /// @name Standard-workload requirement bits (allWorkloads order)

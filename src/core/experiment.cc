@@ -1,9 +1,52 @@
 #include "core/experiment.hh"
 
+#include <algorithm>
+#include <chrono>
+
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace mpos::core
 {
+
+namespace
+{
+
+/**
+ * Run the machine for @a cycles with an optional host wall-clock
+ * deadline. Machine::run(a); run(b) is equivalent to run(a + b), so
+ * slicing never perturbs simulated events -- the timeout is pure
+ * host-side policy, checked between slices (overshoot is bounded by
+ * one slice).
+ */
+void
+runWithDeadline(sim::Machine &m, sim::Cycle cycles, double budget_s,
+                std::chrono::steady_clock::time_point deadline,
+                sim::Cycle done_before, sim::Cycle total_cycles)
+{
+    if (budget_s <= 0) {
+        m.run(cycles);
+        return;
+    }
+    const sim::Cycle slice = std::max<sim::Cycle>(cycles / 64, 1);
+    sim::Cycle left = cycles;
+    while (left) {
+        const sim::Cycle step = std::min(slice, left);
+        m.run(step);
+        left -= step;
+        if (left && std::chrono::steady_clock::now() >= deadline) {
+            util::raise(util::ErrCode::Timeout,
+                        "experiment timed out after %.3f s "
+                        "(%llu of %llu cycles)",
+                        budget_s,
+                        static_cast<unsigned long long>(
+                            done_before + cycles - left),
+                        static_cast<unsigned long long>(total_cycles));
+        }
+    }
+}
+
+} // namespace
 
 Experiment::Experiment(const ExperimentConfig &config)
     : cfg(config)
@@ -68,7 +111,14 @@ Experiment::run()
         util::panic("Experiment::run called twice");
     ran = true;
 
-    mach->run(cfg.warmupCycles);
+    const sim::Cycle total = cfg.warmupCycles + cfg.measureCycles;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(cfg.timeoutSeconds));
+
+    runWithDeadline(*mach, cfg.warmupCycles, cfg.timeoutSeconds,
+                    deadline, 0, total);
 
     // Snapshot warm state, then attach the measurement apparatus.
     baseAccount = mach->totalAccount();
@@ -90,7 +140,8 @@ Experiment::run()
     k->setLockListener(locks.get());
 
     const sim::Cycle start = mach->now();
-    mach->run(cfg.measureCycles);
+    runWithDeadline(*mach, cfg.measureCycles, cfg.timeoutSeconds,
+                    deadline, cfg.warmupCycles, total);
     measuredCycles = mach->now() - start;
 
     // Final whole-machine sweep: every resident line, every cache's

@@ -44,6 +44,15 @@ struct ExperimentConfig
     bool collectResim = false; ///< Record the Figure 6 replay stream.
 
     /**
+     * Host wall-clock budget for run() in seconds; 0 disables. The
+     * budget is checked between simulation slices (never inside the
+     * deterministic core), and exceeding it raises
+     * util::SimError(Timeout) so a batch runner can record the loss
+     * and move on.
+     */
+    double timeoutSeconds = 0;
+
+    /**
      * When true (default), kernelCfg.userPoolPages is replaced by the
      * workload's recommended pool size.
      */

@@ -1,7 +1,9 @@
 #include "core/runner.hh"
 
 #include <chrono>
+#include <thread>
 
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace mpos::core
@@ -18,10 +20,43 @@ secondsSince(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
+/**
+ * Run one attempt of a job into its slot. Returns true on success;
+ * on failure records status + error text and returns false.
+ */
+bool
+runAttempt(ExperimentResult *slot, const ExperimentConfig &cfg)
+{
+    try {
+        auto exp = std::make_unique<Experiment>(cfg);
+        exp->run();
+        if (const sim::Checker *chk = exp->machine().checker())
+            slot->invariantChecks = chk->stats().total();
+        slot->exp = std::move(exp);
+        slot->status = JobStatus::Ok;
+        slot->error.clear();
+        return true;
+    } catch (const util::SimError &e) {
+        slot->status = e.code() == util::ErrCode::Timeout
+                           ? JobStatus::TimedOut
+                           : JobStatus::Failed;
+        slot->error = e.what();
+    } catch (const std::exception &e) {
+        slot->status = JobStatus::Failed;
+        slot->error = e.what();
+    }
+    return false;
+}
+
 } // namespace
 
 ExperimentRunner::ExperimentRunner(unsigned jobs)
-    : pool(jobs)
+    : ExperimentRunner(RunnerOptions{jobs, 1, 0, 25})
+{
+}
+
+ExperimentRunner::ExperimentRunner(const RunnerOptions &opt)
+    : opts(opt), pool(opt.jobs)
 {
 }
 
@@ -39,20 +74,60 @@ ExperimentRunner::submit(std::string name,
                          const ExperimentConfig &cfg)
 {
     if (find(name) != npos)
-        util::panic("duplicate experiment job '%s'", name.c_str());
+        util::raise(util::ErrCode::BadConfig,
+                    "duplicate experiment job '%s'", name.c_str());
     const size_t idx = slots.size();
-    slots.push_back(ExperimentResult{std::move(name), cfg, nullptr, 0});
+    ExperimentResult fresh;
+    fresh.name = std::move(name);
+    fresh.cfg = cfg;
+    slots.push_back(std::move(fresh));
     ExperimentResult *slot = &slots.back();
-    pending.push_back(pool.submit([slot] {
+    const RunnerOptions opt = opts;
+    pending.push_back(pool.submit([slot, opt] {
         const auto t0 = std::chrono::steady_clock::now();
         std::fprintf(stderr, "[runner] %s: start\n",
                      slot->name.c_str());
-        auto exp = std::make_unique<Experiment>(slot->cfg);
-        exp->run();
-        if (const sim::Checker *chk = exp->machine().checker())
-            slot->invariantChecks = chk->stats().total();
-        slot->exp = std::move(exp);
+        const uint32_t tries = opt.maxAttempts ? opt.maxAttempts : 1;
+        for (uint32_t attempt = 1; attempt <= tries; ++attempt) {
+            ExperimentConfig cfg = slot->cfg;
+            cfg.timeoutSeconds = opt.jobTimeoutSec;
+            if (attempt > 1) {
+                if (opt.retryBackoffMs) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(opt.retryBackoffMs));
+                }
+                // Deterministic reseed: bump the workload seed (and
+                // the fault seed, when a campaign is active) so the
+                // retry explores a different schedule instead of
+                // replaying the same failure.
+                cfg.options.seed += attempt - 1;
+                if (cfg.machine.faultSeed)
+                    cfg.machine.faultSeed += attempt - 1;
+                std::fprintf(stderr,
+                             "[runner] %s: retry %u/%u "
+                             "(seed %llu)\n",
+                             slot->name.c_str(), attempt, tries,
+                             static_cast<unsigned long long>(
+                                 cfg.options.seed));
+            }
+            slot->attempts = attempt;
+            if (runAttempt(slot, cfg))
+                break;
+            std::fprintf(stderr,
+                         "[runner] %s: attempt %u/%u %s: %s\n",
+                         slot->name.c_str(), attempt, tries,
+                         jobStatusName(slot->status),
+                         slot->error.c_str());
+        }
         slot->wallSeconds = secondsSince(t0);
+        if (!slot->ok()) {
+            std::fprintf(stderr,
+                         "[runner] %s: gave up after %u attempt(s) "
+                         "in %.1fs\n",
+                         slot->name.c_str(), slot->attempts,
+                         slot->wallSeconds);
+            return;
+        }
         if (slot->invariantChecks) {
             std::fprintf(stderr,
                          "[runner] %s: done in %.1fs (%llu invariant "
@@ -83,7 +158,10 @@ ExperimentRunner::get(size_t idx)
 {
     const ExperimentResult &r = result(idx);
     if (!r.exp)
-        util::panic("experiment job '%s' failed", r.name.c_str());
+        util::raise(util::ErrCode::JobFailed,
+                    "experiment job '%s' %s after %u attempt(s): %s",
+                    r.name.c_str(), jobStatusName(r.status),
+                    r.attempts, r.error.c_str());
     return *r.exp;
 }
 
@@ -92,7 +170,8 @@ ExperimentRunner::get(std::string_view name)
 {
     const size_t idx = find(name);
     if (idx == npos)
-        util::panic("unknown experiment job '%.*s'",
+        util::raise(util::ErrCode::BadConfig,
+                    "unknown experiment job '%.*s'",
                     int(name.size()), name.data());
     return get(idx);
 }
@@ -101,9 +180,10 @@ const ExperimentResult &
 ExperimentRunner::result(size_t idx)
 {
     if (idx >= slots.size())
-        util::panic("experiment slot %zu out of range", idx);
+        util::raise(util::ErrCode::BadConfig,
+                    "experiment slot %zu out of range", idx);
     if (pending[idx].valid())
-        pending[idx].get(); // rethrows if the job failed
+        pending[idx].get(); // worker never throws; this only waits
     return slots[idx];
 }
 
@@ -119,6 +199,16 @@ ExperimentRunner::results()
 {
     waitAll();
     return slots;
+}
+
+size_t
+ExperimentRunner::failedCount()
+{
+    size_t n = 0;
+    for (const ExperimentResult &r : results())
+        if (!r.ok())
+            ++n;
+    return n;
 }
 
 } // namespace mpos::core

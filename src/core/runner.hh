@@ -10,6 +10,13 @@
  * results are retrieved in submission order -- so everything built on
  * top produces byte-identical output no matter how many host threads
  * were used.
+ *
+ * Jobs are allowed to fail: a util::SimError (resource exhaustion,
+ * watchdog trip, timeout) is caught in the worker and recorded in the
+ * job's ExperimentResult (status/error/attempts) instead of tearing
+ * down the sweep. RunnerOptions adds a per-attempt wall-clock budget
+ * and bounded retry-with-reseed; surviving jobs are untouched, so
+ * their output stays byte-identical whether or not a sibling failed.
  */
 
 #ifndef MPOS_CORE_RUNNER_HH
@@ -27,15 +34,50 @@
 namespace mpos::core
 {
 
+/** Final disposition of one runner job. */
+enum class JobStatus : uint8_t
+{
+    Pending,  ///< Not finished yet (or never ran).
+    Ok,       ///< Experiment completed; exp is set.
+    Failed,   ///< Every attempt raised a non-timeout error.
+    TimedOut, ///< Last attempt exceeded the per-job wall budget.
+};
+
+inline const char *
+jobStatusName(JobStatus s)
+{
+    switch (s) {
+    case JobStatus::Pending: return "pending";
+    case JobStatus::Ok: return "ok";
+    case JobStatus::Failed: return "failed";
+    case JobStatus::TimedOut: return "timed-out";
+    }
+    return "unknown";
+}
+
 /** One completed (or in-flight) experiment job. */
 struct ExperimentResult
 {
     std::string name;
     ExperimentConfig cfg;
-    std::unique_ptr<Experiment> exp; ///< Set once the job finishes.
-    double wallSeconds = 0;          ///< Host time: build + warm + run.
+    std::unique_ptr<Experiment> exp; ///< Set once the job succeeds.
+    double wallSeconds = 0;          ///< Host time across all attempts.
     /** Invariant checks performed (0 unless checking was enabled). */
     uint64_t invariantChecks = 0;
+    JobStatus status = JobStatus::Pending;
+    std::string error;     ///< Last SimError/exception text if not Ok.
+    uint32_t attempts = 0; ///< Attempts consumed (>= 1 once settled).
+
+    bool ok() const { return status == JobStatus::Ok; }
+};
+
+/** Scheduling and resilience policy for a runner. */
+struct RunnerOptions
+{
+    unsigned jobs = 0;        ///< Worker threads; 0 = MPOS_JOBS.
+    uint32_t maxAttempts = 1; ///< Per-job tries; retries reseed.
+    double jobTimeoutSec = 0; ///< Per-attempt wall budget; 0 = none.
+    unsigned retryBackoffMs = 25; ///< Host sleep before each retry.
 };
 
 /** Schedules ExperimentConfig jobs over a host thread pool. */
@@ -46,6 +88,8 @@ class ExperimentRunner
 
     /** @param jobs Worker threads; 0 means MPOS_JOBS/default. */
     explicit ExperimentRunner(unsigned jobs = 0);
+
+    explicit ExperimentRunner(const RunnerOptions &opt);
 
     /** Waits for all outstanding jobs. */
     ~ExperimentRunner();
@@ -59,13 +103,19 @@ class ExperimentRunner
     /** Slot of a previously submitted name, or npos. */
     size_t find(std::string_view name) const;
 
-    /** Wait for slot idx and return its experiment. */
+    /**
+     * Wait for slot idx and return its experiment. Raises
+     * util::SimError(JobFailed) if the job did not produce one.
+     */
     Experiment &get(size_t idx);
 
     /** Wait for the named job and return its experiment. */
     Experiment &get(std::string_view name);
 
-    /** Wait for slot idx and return the full result record. */
+    /**
+     * Wait for slot idx and return the full result record. Never
+     * throws for a failed job: inspect status/error/attempts.
+     */
     const ExperimentResult &result(size_t idx);
 
     /** Block until every submitted job has finished. */
@@ -81,7 +131,11 @@ class ExperimentRunner
     size_t size() const { return slots.size(); }
     unsigned jobs() const { return pool.threads(); }
 
+    /** Number of settled jobs that did not end Ok (waits for all). */
+    size_t failedCount();
+
   private:
+    RunnerOptions opts;
     util::ThreadPool pool;
     // deque: stable element addresses while workers fill slots.
     std::deque<ExperimentResult> slots;

@@ -1,7 +1,9 @@
 #include "kernel/kernel.hh"
 
 #include <bit>
+#include <cstdio>
 
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace mpos::kernel
@@ -19,8 +21,11 @@ Kernel::Kernel(sim::Machine &machine, const KernelConfig &config)
 {
     const uint32_t ncpu = m.numCpus();
     if (m.sync().numLocks() < numKernelLocks + cfg.maxUserLocks)
-        util::fatal("machine sync transport has too few lock slots "
-                    "(%u needed)", numKernelLocks + cfg.maxUserLocks);
+        util::raise(util::ErrCode::BadConfig,
+                    "machine sync transport has too few lock slots "
+                    "(%u needed, %u present)",
+                    numKernelLocks + cfg.maxUserLocks,
+                    m.sync().numLocks());
 
     procs.reserve(cfg.layout.maxProcs);
     for (uint32_t i = 0; i < cfg.layout.maxProcs; ++i) {
@@ -48,8 +53,43 @@ Kernel::Kernel(sim::Machine &machine, const KernelConfig &config)
         nextClockAt[c] = m.config().clockTickCycles + c * 997;
 
     m.setExecutor(this);
+    fp = m.faults();
+    if (sim::Watchdog *w = m.watchdog()) {
+        // The sim layer has no lock vocabulary; the kernel supplies
+        // the lock-table half of the watchdog's diagnostic dump.
+        w->setDiagnosticProvider([this] { return describeSyncState(); });
+    }
     for (uint32_t c = 0; c < ncpu; ++c)
         enterIdle(c);
+}
+
+std::string
+Kernel::describeSyncState() const
+{
+    char buf[160];
+    std::string out = "  locks:\n";
+    for (uint32_t id = 0; id < locks.size(); ++id) {
+        const LockState &l = locks[id];
+        if (l.heldByCpu < 0 && !l.spinMask && !l.napWaiters)
+            continue;
+        // Kernel locks are held by CPUs, user locks by processes.
+        std::snprintf(buf, sizeof buf,
+                      "    %s: held_by=%s%d spinners=0x%x nap=%u\n",
+                      lockName(id, nUserLocks).c_str(),
+                      id < numKernelLocks ? "cpu" : "pid",
+                      int(l.heldByCpu), l.spinMask, l.napWaiters);
+        out += buf;
+    }
+    for (uint32_t c = 0; c < m.numCpus(); ++c) {
+        const Pid pid = curProc[c];
+        std::snprintf(buf, sizeof buf, "    cpu%u: pid=%d%s%s\n", c,
+                      int(pid), pid != sim::invalidPid ? " name=" : "",
+                      pid != sim::invalidPid
+                          ? procs[uint32_t(pid)]->name.c_str()
+                          : "");
+        out += buf;
+    }
+    return out;
 }
 
 uint32_t
@@ -68,6 +108,10 @@ Pid
 Kernel::spawn(std::unique_ptr<AppBehavior> behavior, uint32_t image_id,
               const std::string &name)
 {
+    if (fp && fp->fireSlotAlloc())
+        util::raise(util::ErrCode::ResourceExhausted,
+                    "fault injection: forced process-slot exhaustion "
+                    "at spawn('%s')", name.c_str());
     for (auto &pp : procs) {
         if (pp->state != ProcState::Free)
             continue;
@@ -83,18 +127,28 @@ Kernel::spawn(std::unique_ptr<AppBehavior> behavior, uint32_t image_id,
         rqSkips.push_back(0);
         return p.pid;
     }
-    util::fatal("no free process slots");
+    util::raise(util::ErrCode::ResourceExhausted,
+                "no free process slots for spawn('%s') (maxProcs %u)",
+                name.c_str(), uint32_t(procs.size()));
 }
 
 Addr
 Kernel::shmAlloc(uint64_t bytes)
 {
+    if (fp && fp->fireShmAlloc())
+        util::raise(util::ErrCode::ResourceExhausted,
+                    "fault injection: forced shmAlloc exhaustion "
+                    "(%llu bytes requested)",
+                    (unsigned long long)bytes);
     const Addr base = sharedBrk;
     const uint64_t pages =
         (bytes + cfg.layout.pageBytes - 1) / cfg.layout.pageBytes;
     for (uint64_t i = 0; i < pages; ++i) {
         if (freePages.empty())
-            util::fatal("out of physical memory in shmAlloc");
+            util::raise(util::ErrCode::ResourceExhausted,
+                        "out of physical memory in shmAlloc "
+                        "(%llu bytes requested)",
+                        (unsigned long long)bytes);
         const Addr vpage = sharedBrk / cfg.layout.pageBytes;
         sharedMap[vpage] = freePages.back();
         freePages.pop_back();
@@ -106,8 +160,14 @@ Kernel::shmAlloc(uint64_t bytes)
 uint32_t
 Kernel::allocUserLock()
 {
+    if (fp && fp->fireUserLockAlloc())
+        util::raise(util::ErrCode::ResourceExhausted,
+                    "fault injection: forced user-lock-slot "
+                    "exhaustion");
     if (nUserLocks >= cfg.maxUserLocks)
-        util::fatal("out of user lock slots");
+        util::raise(util::ErrCode::ResourceExhausted,
+                    "out of user lock slots (max %u)",
+                    cfg.maxUserLocks);
     return numKernelLocks + nUserLocks++;
 }
 
@@ -126,6 +186,36 @@ Kernel::registerTty(Cycle mean_gap_cycles)
 // ---------------------------------------------------------------------
 // Executor interface
 // ---------------------------------------------------------------------
+
+namespace
+{
+
+/**
+ * Largest cut <= target at which the kept prefix holds no user locks:
+ * injected truncation must perturb behavior without breaking the
+ * acquire/release pairing invariants the kernel panics on. Falls back
+ * to the full length when no safe cut exists.
+ */
+size_t
+safeTruncatePoint(const std::vector<ScriptItem> &s, size_t target)
+{
+    size_t cut = 0;
+    int held = 0;
+    for (size_t i = 0; i < s.size() && i < target; ++i) {
+        const ScriptItem &it = s[i];
+        if (it.kind == sim::ItemKind::Marker) {
+            if (it.marker == MarkerOp::UserLockAcquire)
+                ++held;
+            else if (it.marker == MarkerOp::UserLockRelease)
+                --held;
+        }
+        if (held == 0)
+            cut = i + 1;
+    }
+    return cut ? cut : s.size();
+}
+
+} // namespace
 
 void
 Kernel::refill(CpuId cpu)
@@ -148,6 +238,14 @@ Kernel::refill(CpuId cpu)
         if (chunkBuf.empty())
             util::panic("behavior of %s produced an empty chunk",
                         p.name.c_str());
+        if (fp) {
+            // Injected workload truncation: only user chunks are cut
+            // (kernel paths carry lock/OS markers whose balance the
+            // machine depends on), and only at lock-balanced points.
+            const auto keep = size_t(fp->truncatedLen(chunkBuf.size()));
+            if (keep < chunkBuf.size())
+                chunkBuf.resize(safeTruncatePoint(chunkBuf, keep));
+        }
         c.pushSeq(chunkBuf);
         return;
     }
@@ -362,6 +460,12 @@ Kernel::onLockAcquire(CpuId cpu, uint32_t lock_id)
         const Cycle cost =
             m.sync().access(cpu, lock_id, LockEvent::AcquireSuccess);
         m.charge(cpu, cost, true);
+        // Injected hold-time perturbation: stretch the critical
+        // section of the targeted locks.
+        if (fp) {
+            if (const Cycle extra = fp->holdExtra(lock_id))
+                m.charge(cpu, extra, true);
+        }
         if (lockListener)
             lockListener->lockEvent(now, cpu, lock_id,
                                     LockEvent::AcquireSuccess, waiters);
@@ -420,6 +524,10 @@ Kernel::onUserLockAcquire(CpuId cpu, uint32_t lock_id, uint32_t spins)
         const Cycle cost =
             m.sync().access(cpu, lock_id, LockEvent::AcquireSuccess);
         m.charge(cpu, cost, true);
+        if (fp) {
+            if (const Cycle extra = fp->holdExtra(lock_id))
+                m.charge(cpu, extra, true);
+        }
         if (lockListener)
             lockListener->lockEvent(now, cpu, lock_id,
                                     LockEvent::AcquireSuccess, waiters);

@@ -181,6 +181,12 @@ class Kernel : public sim::Executor
     const OsOpCounts &osOpCounts() const { return opCounts; }
     const LockState &lockState(uint32_t id) const { return locks[id]; }
     uint32_t numLocks() const { return uint32_t(locks.size()); }
+    /**
+     * Human-readable lock table and per-CPU process state, for the
+     * watchdog's diagnostic dump (installed as its provider at
+     * construction when the machine has a watchdog).
+     */
+    std::string describeSyncState() const;
     uint32_t numUserLocks() const { return nUserLocks; }
     uint64_t freePageCount() const { return freePages.size(); }
     uint64_t diskRequests() const { return disk.requests; }
@@ -282,6 +288,8 @@ class Kernel : public sim::Executor
     KernelLayout map;
     KernelClient *client = nullptr;
     LockListener *lockListener = nullptr;
+    /** Fault-injection plan; null unless the machine has one. */
+    sim::FaultPlan *fp = nullptr;
     util::Rng rng;
 
     /** Scratch buffer reused by refill() for user chunk generation. */

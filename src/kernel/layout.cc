@@ -1,5 +1,6 @@
 #include "kernel/layout.hh"
 
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace mpos::kernel
@@ -46,7 +47,9 @@ KernelLayout::KernelLayout(const LayoutConfig &config)
     : cfg(config)
 {
     if (cfg.maxProcs > 256)
-        util::fatal("layout supports at most 256 process slots");
+        util::raise(util::ErrCode::BadConfig,
+                    "layout supports at most 256 process slots (got %u)",
+                    cfg.maxProcs);
     buildText();
     buildData();
 }
@@ -297,7 +300,11 @@ KernelLayout::buildData()
     userPoolCount = cfg.memBytes / cfg.pageBytes - userPoolFirst;
 
     if (dataLimit >= cfg.memBytes)
-        util::fatal("kernel image does not fit in physical memory");
+        util::raise(util::ErrCode::BadConfig,
+                    "kernel image does not fit in physical memory "
+                    "(%llu of %llu bytes)",
+                    (unsigned long long)dataLimit,
+                    (unsigned long long)cfg.memBytes);
 }
 
 RoutineId
@@ -305,7 +312,8 @@ KernelLayout::routine(const std::string &name) const
 {
     const auto it = byName.find(name);
     if (it == byName.end())
-        util::fatal("unknown kernel routine '%s'", name.c_str());
+        util::raise(util::ErrCode::BadConfig,
+                    "unknown kernel routine '%s'", name.c_str());
     return it->second;
 }
 

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace mpos::kernel
@@ -215,7 +216,8 @@ Kernel::allocPage(Script &s, CpuId cpu)
     if (freePages.size() < cfg.freeLowWater)
         reclaimPages(s, cpu);
     if (freePages.empty())
-        util::fatal("out of physical memory: workload exceeds the "
+        util::raise(util::ErrCode::ResourceExhausted,
+                    "out of physical memory: workload exceeds the "
                     "configured user page pool");
     const uint64_t ppage = freePages.back();
     freePages.pop_back();
@@ -763,6 +765,10 @@ void
 Kernel::bodyFork(Script &s, CpuId cpu, Process &parent)
 {
     Process *childp = nullptr;
+    if (fp && fp->fireSlotAlloc())
+        util::raise(util::ErrCode::ResourceExhausted,
+                    "fault injection: forced process-slot exhaustion "
+                    "at fork of pid %d", int(parent.pid));
     for (auto &pp : procs) {
         if (pp->state == ProcState::Free) {
             childp = pp.get();
@@ -770,7 +776,9 @@ Kernel::bodyFork(Script &s, CpuId cpu, Process &parent)
         }
     }
     if (!childp)
-        util::fatal("fork: out of process slots");
+        util::raise(util::ErrCode::ResourceExhausted,
+                    "fork: out of process slots (maxProcs %u)",
+                    uint32_t(procs.size()));
     Process &child = *childp;
     child.resetForReuse();
     // Stale translations from the slot's previous occupant.
@@ -830,10 +838,12 @@ Kernel::bodyFork(Script &s, CpuId cpu, Process &parent)
     child.state = ProcState::Blocked; // makeReady flips it below
 
     if (!client)
-        util::fatal("fork with no kernel client installed");
+        util::raise(util::ErrCode::BadConfig,
+                    "fork with no kernel client installed");
     client->onFork(parent, child);
     if (!child.behavior)
-        util::fatal("kernel client did not install a child behavior");
+        util::raise(util::ErrCode::BadConfig,
+                    "kernel client did not install a child behavior");
 
     emitLock(s, Runqlk);
     emitTextByName(s, "setrq");
@@ -847,7 +857,9 @@ void
 Kernel::bodyExec(Script &s, CpuId cpu, Process &p, uint32_t image_id)
 {
     if (image_id >= images.size())
-        util::fatal("exec: unknown image %u", image_id);
+        util::raise(util::ErrCode::BadConfig,
+                    "exec: unknown image %u (have %u)", image_id,
+                    uint32_t(images.size()));
     emitTextByName(s, "exec_sys");
 
     // Pathname lookup + argv copy-in.

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace mpos::sim
@@ -11,24 +12,29 @@ Cache::Cache(std::string name, uint64_t bytes, uint32_t assoc,
              uint32_t line_bytes)
     : label(std::move(name)), assoc_(assoc), lineBytes_(line_bytes)
 {
+    using util::ErrCode;
     if (assoc == 0 || line_bytes == 0 ||
         bytes % (uint64_t(assoc) * line_bytes) != 0) {
-        util::fatal("cache %s: capacity %llu not divisible by assoc %u "
+        util::raise(ErrCode::BadConfig,
+                    "cache %s: capacity %llu not divisible by assoc %u "
                     "x line %u", label.c_str(),
                     static_cast<unsigned long long>(bytes), assoc,
                     line_bytes);
     }
     if (!std::has_single_bit(line_bytes))
-        util::fatal("cache %s: line size %u not a power of two",
+        util::raise(ErrCode::BadConfig,
+                    "cache %s: line size %u not a power of two",
                     label.c_str(), line_bytes);
     if (line_bytes < 4)
-        util::fatal("cache %s: line size %u leaves no room for the "
+        util::raise(ErrCode::BadConfig,
+                    "cache %s: line size %u leaves no room for the "
                     "packed valid/dirty tag bits", label.c_str(),
                     line_bytes);
     lineShift_ = uint32_t(std::countr_zero(line_bytes));
     numSets = bytes / (uint64_t(assoc) * line_bytes);
     if (!std::has_single_bit(numSets))
-        util::fatal("cache %s: number of sets %llu not a power of two",
+        util::raise(ErrCode::BadConfig,
+                    "cache %s: number of sets %llu not a power of two",
                     label.c_str(),
                     static_cast<unsigned long long>(numSets));
     ways.resize(numSets * assoc_);

@@ -5,6 +5,7 @@
 
 #include "sim/check/checker.hh"
 #include "sim/machine.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -134,7 +135,11 @@ class EventRecorder : public MonitorObserver
 class ScriptedExecutor : public Executor
 {
   public:
-    explicit ScriptedExecutor(Machine &machine) : m(machine) {}
+    explicit ScriptedExecutor(Machine &machine,
+                              FaultPlan *faults = nullptr)
+        : m(machine), fp(faults)
+    {
+    }
 
     void
     refill(CpuId cpu) override
@@ -163,6 +168,14 @@ class ScriptedExecutor : public Executor
             const Cycle cost =
                 m.sync().access(cpu, uint32_t(item.addr), ev);
             m.charge(cpu, cost, true);
+            if (fp && !item.arg2) {
+                // Fault injection: stretch the hold of perturbed
+                // locks (the extra cycles model a slow critical
+                // section).
+                if (const Cycle extra =
+                        fp->holdExtra(uint32_t(item.addr)))
+                    m.charge(cpu, extra, true);
+            }
             break;
           }
           case MarkerOp::LockRelease: {
@@ -199,6 +212,7 @@ class ScriptedExecutor : public Executor
 
   private:
     Machine &m;
+    FaultPlan *fp; ///< Null outside fault-injection campaigns.
 };
 
 /** Final machine state flattened for bit-exact comparison. */
@@ -498,6 +512,93 @@ minimizeFailingPrefix(uint64_t n,
             lo = mid + 1;
     }
     return lo;
+}
+
+FaultRunRecord
+runFaulted(uint64_t seed, const FuzzOptions &opt)
+{
+    MachineConfig cfg = opt.machineConfig();
+    // The campaign exercises the failure paths, not the differential
+    // property; the checkers stay out of the way (a forced MPOS_CHECK
+    // still works, see below).
+    cfg.check = false;
+    cfg.faultSeed = seed ? seed : 1;
+    cfg.faultHorizon = opt.runCycles;
+    cfg.watchdogCycles = opt.runCycles;
+
+    FaultRunRecord rec;
+    rec.seed = cfg.faultSeed;
+    rec.numCpus = opt.numCpus;
+
+    std::vector<std::vector<ScriptItem>> scripts =
+        buildFuzzScripts(seed, opt);
+
+    Machine m(cfg, opt.numLocks);
+    FaultPlan *fp = m.faults();
+    rec.schedule = fp->describe();
+
+    if (Checker *chk = m.checker()) {
+        chk->setAbortOnViolation(false);
+        chk->setMappingValidator(identityValidator);
+    }
+
+    ScriptedExecutor exec(m, fp);
+    m.setExecutor(&exec);
+
+    for (CpuId c = 0; c < m.numCpus(); ++c) {
+        Cpu &cpu = m.cpu(c);
+        cpu.ctx.mode = ExecMode::User;
+        cpu.ctx.op = OsOp::None;
+        cpu.ctx.pid = Pid(c % maxFuzzPid);
+        std::vector<ScriptItem> &s = scripts[c];
+        // Scripted truncation: only ever drops a suffix, so no
+        // release-without-acquire can appear.
+        const auto keep = size_t(fp->truncatedLen(s.size()));
+        if (keep < s.size())
+            s.resize(keep);
+        cpu.pushSeq(s);
+    }
+
+    try {
+        m.run(opt.runCycles);
+    } catch (const util::SimError &e) {
+        rec.tripped = true;
+        rec.errorCode = e.codeName();
+        rec.diagnostic = e.what();
+    }
+    rec.faultsFired = fp->faultsFired();
+    return rec;
+}
+
+FaultCampaignResult
+runFaultCampaign(uint64_t first_seed, uint32_t num_seeds,
+                 const std::vector<uint32_t> &cpu_counts,
+                 const FuzzOptions &base,
+                 const std::function<void(const FaultRunRecord &)>
+                     &progress)
+{
+    FaultCampaignResult result;
+    for (uint32_t cpus : cpu_counts) {
+        FuzzOptions opt = base;
+        opt.numCpus = cpus;
+        for (uint64_t s = first_seed; s < first_seed + num_seeds;
+             ++s) {
+            FaultRunRecord a = runFaulted(s, opt);
+            const FaultRunRecord b = runFaulted(s, opt);
+            a.deterministic = a.schedule == b.schedule &&
+                              a.tripped == b.tripped &&
+                              a.errorCode == b.errorCode &&
+                              a.diagnostic == b.diagnostic &&
+                              a.faultsFired == b.faultsFired;
+            ++result.runs;
+            result.tripped += a.tripped ? 1 : 0;
+            result.faultsFired += a.faultsFired;
+            if (progress)
+                progress(a);
+            result.records.push_back(std::move(a));
+        }
+    }
+    return result;
 }
 
 FuzzMatrixResult

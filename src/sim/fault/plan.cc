@@ -1,0 +1,114 @@
+#include "sim/fault/plan.hh"
+
+#include <cstdio>
+
+#include "util/rng.hh"
+
+namespace mpos::sim
+{
+
+FaultPlan::FaultPlan(uint64_t seed, Cycle horizon)
+    : seed_(seed), horizon_(horizon)
+{
+    // Decorrelate from the workload generators, which are seeded with
+    // small integers too.
+    util::Rng rng(seed ^ 0xfa17a11edeed5eedULL);
+
+    if (rng.chance(0.5))
+        slotExhaustAfter = uint32_t(rng.range(1, 6));
+    if (rng.chance(0.35))
+        shmExhaustAfter = uint32_t(rng.range(1, 8));
+    if (rng.chance(0.35))
+        userLockExhaustAfter = uint32_t(rng.range(1, 4));
+    if (rng.chance(0.5)) {
+        perturbLockMask = uint32_t(rng.next());
+        lockHoldExtra = rng.range(20, 400);
+    }
+    if (rng.chance(0.5)) {
+        truncateEvery = uint32_t(rng.range(3, 9));
+        truncateKeepPct = uint32_t(rng.range(30, 90));
+    }
+    if (horizon_ >= 2 && rng.chance(0.5))
+        syntheticTripAt = rng.range(horizon_ / 2, horizon_ - 1);
+
+    // A plan with nothing scheduled would make its campaign run a
+    // no-op; guarantee at least one observable fault per seed.
+    if (!slotExhaustAfter && !shmExhaustAfter &&
+        !userLockExhaustAfter && !perturbLockMask && !truncateEvery &&
+        !syntheticTripAt && horizon_ >= 2)
+        syntheticTripAt = rng.range(horizon_ / 2, horizon_ - 1);
+}
+
+uint64_t
+FaultPlan::truncatedLen(uint64_t len)
+{
+    ++chunks;
+    if (!truncateEvery || len <= 1 || chunks % truncateEvery != 0)
+        return len;
+    ++fired;
+    const uint64_t keep = len * truncateKeepPct / 100;
+    return keep ? keep : 1;
+}
+
+std::string
+FaultPlan::describe() const
+{
+    char buf[512];
+    std::string out;
+    std::snprintf(buf, sizeof buf,
+                  "fault plan seed=%llu horizon=%llu\n",
+                  (unsigned long long)seed_,
+                  (unsigned long long)horizon_);
+    out += buf;
+    if (slotExhaustAfter) {
+        std::snprintf(buf, sizeof buf,
+                      "  slot-exhaust after %u allocations\n",
+                      slotExhaustAfter);
+        out += buf;
+    }
+    if (shmExhaustAfter) {
+        std::snprintf(buf, sizeof buf,
+                      "  shm-exhaust after %u allocations\n",
+                      shmExhaustAfter);
+        out += buf;
+    }
+    if (userLockExhaustAfter) {
+        std::snprintf(buf, sizeof buf,
+                      "  user-lock-exhaust after %u allocations\n",
+                      userLockExhaustAfter);
+        out += buf;
+    }
+    if (perturbLockMask) {
+        std::snprintf(buf, sizeof buf,
+                      "  lock-hold +%llu cycles, mask=0x%08x\n",
+                      (unsigned long long)lockHoldExtra,
+                      perturbLockMask);
+        out += buf;
+    }
+    if (truncateEvery) {
+        std::snprintf(buf, sizeof buf,
+                      "  truncate every %u-th chunk to %u%%\n",
+                      truncateEvery, truncateKeepPct);
+        out += buf;
+    }
+    if (syntheticTripAt) {
+        std::snprintf(buf, sizeof buf,
+                      "  synthetic watchdog trip at cycle %llu\n",
+                      (unsigned long long)syntheticTripAt);
+        out += buf;
+    }
+    return out;
+}
+
+uint64_t
+FaultPlan::firstTrippingSeed(uint64_t from, Cycle horizon)
+{
+    // chance(0.5) per seed: the expected search length is 2 and the
+    // loop is bounded in practice; the plan constructor is cheap.
+    for (uint64_t seed = from ? from : 1;; ++seed) {
+        if (FaultPlan(seed, horizon).syntheticTripAt)
+            return seed;
+    }
+}
+
+} // namespace mpos::sim

@@ -1,0 +1,198 @@
+#include "sim/fault/watchdog.hh"
+
+#include <cstdio>
+
+#include "sim/machine.hh"
+#include "util/error.hh"
+
+namespace mpos::sim
+{
+
+namespace
+{
+
+const char *
+modeName(ExecMode mode)
+{
+    switch (mode) {
+    case ExecMode::User: return "user";
+    case ExecMode::Kernel: return "kernel";
+    case ExecMode::Idle: return "idle";
+    }
+    return "?";
+}
+
+const char *
+busOpName(BusOp op)
+{
+    switch (op) {
+    case BusOp::Read: return "Read";
+    case BusOp::ReadEx: return "ReadEx";
+    case BusOp::Upgrade: return "Upgrade";
+    case BusOp::Writeback: return "Writeback";
+    case BusOp::UncachedRead: return "UncachedRead";
+    case BusOp::UncachedWrite: return "UncachedWrite";
+    }
+    return "?";
+}
+
+} // namespace
+
+Watchdog::Watchdog(const MachineConfig &config, Cycle budget_cycles)
+    : cfg(config), budgetCycles(budget_cycles)
+{
+}
+
+void
+Watchdog::poll(const Machine &m, Cycle now)
+{
+    if (progressed) {
+        progressed = false;
+        lastProgressCycle = now;
+    }
+    if (tripAt && now >= tripAt) {
+        // One-shot: a caller that catches the error and resumes the
+        // machine should not re-trip on the same schedule entry.
+        tripAt = 0;
+        throw util::SimError(
+            util::ErrCode::WatchdogTrip,
+            dump(m, now, "synthetic trip (fault injection)"));
+    }
+    if (now - lastProgressCycle >= budgetCycles)
+        throw util::SimError(util::ErrCode::WatchdogTrip,
+                             dump(m, now, "no forward progress"));
+}
+
+std::string
+Watchdog::dump(const Machine &m, Cycle now, const char *reason) const
+{
+    char buf[256];
+    std::string out;
+
+    std::snprintf(buf, sizeof buf,
+                  "watchdog: %s at cycle %llu (budget %llu, last "
+                  "progress at %llu)\n",
+                  reason, (unsigned long long)now,
+                  (unsigned long long)budgetCycles,
+                  (unsigned long long)lastProgressCycle);
+    out += buf;
+
+    for (CpuId c = 0; c < m.numCpus(); ++c) {
+        const Cpu &cpu = m.cpu(c);
+        std::snprintf(
+            buf, sizeof buf,
+            "  cpu%u: mode=%s op=%s routine=%u pid=%d "
+            "busyUntil=%llu intrDisable=%u queued=%llu\n",
+            c, modeName(cpu.ctx.mode), osOpName(cpu.ctx.op),
+            unsigned(cpu.ctx.routine), int(cpu.ctx.pid),
+            (unsigned long long)cpu.busyUntil,
+            unsigned(cpu.intrDisable),
+            (unsigned long long)cpu.script.size());
+        out += buf;
+    }
+
+    if (diagProvider)
+        out += diagProvider();
+
+    const uint64_t have = ringNext < ringSize ? ringNext : ringSize;
+    if (have) {
+        std::snprintf(buf, sizeof buf, "  last %llu monitor events:\n",
+                      (unsigned long long)have);
+        out += buf;
+        for (uint64_t i = ringNext - have; i < ringNext; ++i) {
+            const RingEvent &ev = ring[i % ringSize];
+            switch (ev.kind) {
+            case EvKind::Bus:
+                std::snprintf(
+                    buf, sizeof buf,
+                    "    %llu cpu%u bus %s %s line=0x%llx\n",
+                    (unsigned long long)ev.cycle, ev.cpu,
+                    busOpName(BusOp(ev.a)),
+                    CacheKind(ev.b) == CacheKind::Instr ? "I" : "D",
+                    (unsigned long long)ev.addr);
+                break;
+            case EvKind::Evict:
+                std::snprintf(
+                    buf, sizeof buf,
+                    "    %llu cpu%u evict %s line=0x%llx\n",
+                    (unsigned long long)ev.cycle, ev.cpu,
+                    CacheKind(ev.a) == CacheKind::Instr ? "I" : "D",
+                    (unsigned long long)ev.addr);
+                break;
+            case EvKind::InvalSharing:
+                std::snprintf(
+                    buf, sizeof buf,
+                    "    %llu cpu%u inval %s line=0x%llx\n",
+                    (unsigned long long)ev.cycle, ev.cpu,
+                    CacheKind(ev.a) == CacheKind::Instr ? "I" : "D",
+                    (unsigned long long)ev.addr);
+                break;
+            case EvKind::OsEnter:
+                std::snprintf(buf, sizeof buf,
+                              "    %llu cpu%u osEnter %s\n",
+                              (unsigned long long)ev.cycle, ev.cpu,
+                              osOpName(OsOp(ev.a)));
+                break;
+            case EvKind::OsExit:
+                std::snprintf(buf, sizeof buf,
+                              "    %llu cpu%u osExit %s\n",
+                              (unsigned long long)ev.cycle, ev.cpu,
+                              osOpName(OsOp(ev.a)));
+                break;
+            case EvKind::ContextSwitch:
+                std::snprintf(buf, sizeof buf,
+                              "    %llu cpu%u switch pid%d -> pid%d\n",
+                              (unsigned long long)ev.cycle, ev.cpu,
+                              int(int64_t(ev.a)), int(int64_t(ev.b)));
+                break;
+            }
+            out += buf;
+        }
+    }
+    return out;
+}
+
+void
+Watchdog::busTransaction(const BusRecord &rec)
+{
+    // A settled bus transaction means a reference completed somewhere;
+    // this also covers progress made inside kernel paths between the
+    // scheduler's explicit noteProgress() hooks.
+    progressed = true;
+    record({EvKind::Bus, rec.cycle, rec.cpu, rec.lineAddr,
+            uint64_t(rec.op), uint64_t(rec.cache)});
+}
+
+void
+Watchdog::evict(CpuId cpu, CacheKind kind, Addr line,
+                const MonitorContext &)
+{
+    record({EvKind::Evict, 0, cpu, line, uint64_t(kind), 0});
+}
+
+void
+Watchdog::invalSharing(CpuId cpu, CacheKind kind, Addr line)
+{
+    record({EvKind::InvalSharing, 0, cpu, line, uint64_t(kind), 0});
+}
+
+void
+Watchdog::osEnter(Cycle cycle, CpuId cpu, OsOp op)
+{
+    record({EvKind::OsEnter, cycle, cpu, 0, uint64_t(op), 0});
+}
+
+void
+Watchdog::osExit(Cycle cycle, CpuId cpu, OsOp op)
+{
+    record({EvKind::OsExit, cycle, cpu, 0, uint64_t(op), 0});
+}
+
+void
+Watchdog::contextSwitch(Cycle cycle, CpuId cpu, Pid from, Pid to)
+{
+    record({EvKind::ContextSwitch, cycle, cpu, 0, uint64_t(int64_t(from)),
+            uint64_t(int64_t(to))});
+}
+
+} // namespace mpos::sim

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace mpos::sim
@@ -15,7 +16,8 @@ Machine::Machine(const MachineConfig &config, uint32_t num_locks)
       slowSim(cfg.slowSim || slowSimForced())
 {
     if (!std::has_single_bit(cfg.pageBytes))
-        util::fatal("page size %u not a power of two", cfg.pageBytes);
+        util::raise(util::ErrCode::BadConfig,
+                    "page size %u not a power of two", cfg.pageBytes);
     cpus.reserve(cfg.numCpus);
     for (CpuId c = 0; c < cfg.numCpus; ++c)
         cpus.emplace_back(c, cfg);
@@ -28,6 +30,29 @@ Machine::Machine(const MachineConfig &config, uint32_t num_locks)
         // As a monitor observer the checker sees the full event stream
         // (and keeps listening() true, so records are always built).
         mon.attach(chk.get());
+    }
+
+    const uint64_t fault_seed =
+        cfg.faultSeed ? cfg.faultSeed : faultForcedSeed();
+    Cycle wd_cycles =
+        cfg.watchdogCycles ? cfg.watchdogCycles : watchdogForcedCycles();
+    if (fault_seed) {
+        plan = std::make_unique<FaultPlan>(fault_seed, cfg.faultHorizon);
+        // Faulted runs want their hangs diagnosed, not waited out: a
+        // default budget far above any legitimate reference-free
+        // stretch (Think bursts are tens to hundreds of cycles).
+        if (!wd_cycles)
+            wd_cycles = 1000000;
+    }
+    if (wd_cycles) {
+        wd = std::make_unique<Watchdog>(cfg, wd_cycles);
+        wdp = wd.get();
+        syncTransport.setWatchdog(wdp);
+        // Observer role: bus settles count as progress and feed the
+        // last-events ring in the diagnostic dump.
+        mon.attach(wdp);
+        if (plan && plan->syntheticTripAt)
+            wd->forceTripAt(plan->syntheticTripAt);
     }
 }
 
@@ -77,6 +102,8 @@ Machine::step(Cpu &c, Cycle now)
         c.script.pop_front();
         const AccessResult r = mem.ifetchAccess(c.id, pa, now, c.ctx);
         c.charge(lineExecCycles, r.cycles - lineExecCycles);
+        if (wdp)
+            wdp->noteProgress();
         return true;
       }
 
@@ -92,6 +119,8 @@ Machine::step(Cpu &c, Cycle now)
         const AccessResult r =
             mem.dataAccess(c.id, pa, is_store, now, c.ctx);
         c.charge(1, r.cycles - 1);
+        if (wdp)
+            wdp->noteProgress();
         return true;
       }
 
@@ -107,6 +136,8 @@ Machine::step(Cpu &c, Cycle now)
         const AccessResult r =
             mem.bypassAccess(c.id, pa, is_store, now, c.ctx);
         c.charge(1, r.cycles - 1);
+        if (wdp)
+            wdp->noteProgress();
         return true;
       }
 
@@ -124,6 +155,8 @@ Machine::step(Cpu &c, Cycle now)
         c.script.pop_front();
         mem.dataAccess(c.id, pa, is_store, now, c.ctx);
         c.charge(1, 0);
+        if (wdp)
+            wdp->noteProgress();
         return true;
       }
 
@@ -134,6 +167,8 @@ Machine::step(Cpu &c, Cycle now)
         const AccessResult r =
             mem.uncachedAccess(c.id, item.addr, is_store, now, c.ctx);
         c.charge(1, r.cycles - 1);
+        if (wdp)
+            wdp->noteProgress();
         return true;
       }
     }
@@ -194,6 +229,9 @@ Machine::runFast(Cycle target)
         // marker chain that left busyUntil behind still advances one
         // tick at a time, exactly as the reference loop does).
         currentCycle = next > currentCycle ? next : currentCycle + 1;
+
+        if (wdp)
+            wdp->poll(*this, currentCycle);
     }
 }
 
@@ -209,6 +247,9 @@ Machine::runReference(Cycle target)
             activate(c);
         }
         ++currentCycle;
+
+        if (wdp)
+            wdp->poll(*this, currentCycle);
     }
 }
 
@@ -216,7 +257,8 @@ void
 Machine::run(Cycle cycles)
 {
     if (!exec)
-        util::fatal("Machine::run called with no executor installed");
+        util::raise(util::ErrCode::BadConfig,
+                    "Machine::run called with no executor installed");
 
     const Cycle target = currentCycle + cycles;
     if (slowSim)

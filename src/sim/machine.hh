@@ -24,6 +24,8 @@
 
 #include "sim/check/checker.hh"
 #include "sim/cpu.hh"
+#include "sim/fault/plan.hh"
+#include "sim/fault/watchdog.hh"
 #include "sim/memsys.hh"
 #include "sim/monitor.hh"
 #include "sim/syncbus.hh"
@@ -68,6 +70,21 @@ class Machine
      */
     Checker *checker() { return chk.get(); }
     const Checker *checker() const { return chk.get(); }
+
+    /**
+     * The forward-progress watchdog, or null when off
+     * (MachineConfig::watchdogCycles / MPOS_WATCHDOG select it, and
+     * fault injection auto-enables it with a default budget).
+     */
+    Watchdog *watchdog() { return wdp; }
+    const Watchdog *watchdog() const { return wdp; }
+
+    /**
+     * The fault-injection plan, or null when off
+     * (MachineConfig::faultSeed / MPOS_FAULTS select it).
+     */
+    FaultPlan *faults() { return plan.get(); }
+    const FaultPlan *faults() const { return plan.get(); }
 
     /**
      * Charge extra cycles to a CPU's current mode (used by the kernel
@@ -138,6 +155,12 @@ class Machine
     Executor *exec = nullptr;
     /** Invariant checker; allocated only when checking is enabled. */
     std::unique_ptr<Checker> chk;
+    /** Forward-progress watchdog; allocated only when enabled. */
+    std::unique_ptr<Watchdog> wd;
+    /** Raw alias of wd used as the hot-path null gate. */
+    Watchdog *wdp = nullptr;
+    /** Fault-injection schedule; allocated only when enabled. */
+    std::unique_ptr<FaultPlan> plan;
     Cycle currentCycle = 0;
     /** Reference mode: tick one cycle at a time (no cycle skipping). */
     bool slowSim = false;

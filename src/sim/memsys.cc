@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "sim/check/checker.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace mpos::sim
@@ -21,7 +22,8 @@ CpuCaches::CpuCaches(CpuId id, const MachineConfig &cfg)
       memBytes(cfg.memBytes)
 {
     if (!std::has_single_bit(cfg.lineBytes))
-        util::fatal("line size %u not a power of two", cfg.lineBytes);
+        util::raise(util::ErrCode::BadConfig,
+                    "line size %u not a power of two", cfg.lineBytes);
 }
 
 void
@@ -41,7 +43,8 @@ MemorySystem::MemorySystem(const MachineConfig &config, Monitor &monitor)
       slowSim(cfg.slowSim || slowSimForced())
 {
     if (cfg.numCpus > 8)
-        util::fatal("snoop filter supports at most 8 CPUs, got %u",
+        util::raise(util::ErrCode::BadConfig,
+                    "snoop filter supports at most 8 CPUs, got %u",
                     cfg.numCpus);
     hier.reserve(cfg.numCpus);
     for (CpuId c = 0; c < cfg.numCpus; ++c)

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "sim/check/checker.hh"
+#include "sim/fault/watchdog.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace mpos::sim
@@ -14,7 +16,9 @@ SyncTransport::SyncTransport(const MachineConfig &config,
       stall(cfg.numCpus, 0)
 {
     if (cfg.numCpus > 32)
-        util::fatal("SyncTransport supports at most 32 CPUs");
+        util::raise(util::ErrCode::BadConfig,
+                    "SyncTransport supports at most 32 CPUs (got %u)",
+                    cfg.numCpus);
 }
 
 uint32_t
@@ -73,6 +77,10 @@ SyncTransport::access(CpuId cpu, uint32_t lock_id, LockEvent ev)
         ? Cycle(cops) * cfg.busMissStall
         : Cycle(uops) * cfg.syncBusOpCycles;
     stall[cpu] += cost;
+    // A successful hand-off is forward progress; a failed poll is the
+    // very spinning the watchdog exists to catch.
+    if (wd && ev != LockEvent::AcquireFail)
+        wd->noteProgress();
     if (checker)
         checker->onSyncEvent(cpu, lock_id, numLocks(),
                              cachedAt[lock_id]);

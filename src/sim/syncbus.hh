@@ -27,6 +27,7 @@ namespace mpos::sim
 {
 
 class Checker;
+class Watchdog;
 
 /** What happened at a lock, as reported by the kernel lock layer. */
 enum class LockEvent : uint8_t
@@ -76,6 +77,9 @@ class SyncTransport
     /** Attach the invariant checker (null = disabled). */
     void setChecker(Checker *c) { checker = c; }
 
+    /** Attach the forward-progress watchdog (null = disabled). */
+    void setWatchdog(Watchdog *w) { wd = w; }
+
     /** Bitmask of CPUs caching lock_id's line (for the checker). */
     uint32_t cachedAtMask(uint32_t lock_id) const
     {
@@ -98,6 +102,8 @@ class SyncTransport
     uint64_t cachedOpsTotal = 0;
     /** Invariant checker; null unless checking is enabled. */
     Checker *checker = nullptr;
+    /** Forward-progress watchdog; null unless enabled. */
+    Watchdog *wd = nullptr;
 };
 
 } // namespace mpos::sim

@@ -73,6 +73,28 @@ checkForced()
     return forced;
 }
 
+/** MPOS_WATCHDOG: forced forward-progress budget in cycles (0 = off). */
+inline Cycle
+watchdogForcedCycles()
+{
+    static const Cycle cycles = [] {
+        const char *v = std::getenv("MPOS_WATCHDOG");
+        return v ? Cycle(std::strtoull(v, nullptr, 10)) : Cycle(0);
+    }();
+    return cycles;
+}
+
+/** MPOS_FAULTS: forced fault-injection seed (0 = off). */
+inline uint64_t
+faultForcedSeed()
+{
+    static const uint64_t seed = [] {
+        const char *v = std::getenv("MPOS_FAULTS");
+        return v ? std::strtoull(v, nullptr, 10) : uint64_t(0);
+    }();
+    return seed;
+}
+
 /** Bus transaction kinds. */
 enum class BusOp : uint8_t
 {
@@ -140,6 +162,33 @@ struct MachineConfig
      * MPOS_CHECK environment variable.
      */
     bool check = false;
+
+    /**
+     * Forward-progress watchdog budget: if no CPU retires a memory
+     * reference and no sync-transport acquire/release settles for this
+     * many cycles, the run throws util::SimError(WatchdogTrip) with a
+     * structured diagnostic dump (per-CPU context, lock table, last
+     * monitor events) instead of spinning forever. Zero-cost when 0
+     * (every hook is one null-pointer test, the checker discipline).
+     * Also forced globally by MPOS_WATCHDOG=<cycles>. The budget must
+     * exceed the longest legitimate reference-free stretch (Think
+     * bursts, spin backoff); the idle loop fetches instructions and
+     * so never trips it.
+     */
+    Cycle watchdogCycles = 0;
+
+    /**
+     * Deterministic fault-injection seed: nonzero builds a FaultPlan
+     * whose whole schedule (forced slot exhaustion, script truncation,
+     * lock-hold perturbation, synthetic watchdog trips) derives from
+     * this seed alone -- no wall clock -- so the same seed reproduces
+     * the same faults and the same diagnostics. Zero disables
+     * injection. Also forced globally by MPOS_FAULTS=<seed>. Enabling
+     * faults auto-enables the watchdog if watchdogCycles is 0.
+     */
+    uint64_t faultSeed = 0;
+    /** Cycle window within which a planned synthetic trip lands. */
+    Cycle faultHorizon = 400000;
 
     uint64_t numLines() const { return memBytes / lineBytes; }
     uint64_t numPages() const { return memBytes / pageBytes; }

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstdio>
 
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace mpos::util
@@ -13,7 +14,10 @@ LinearHistogram::LinearHistogram(uint64_t bucket_width, uint32_t num_buckets)
     : width(bucket_width), counts(num_buckets + 1, 0)
 {
     if (bucket_width == 0 || num_buckets == 0)
-        panic("LinearHistogram: degenerate geometry");
+        raise(ErrCode::BadConfig,
+              "LinearHistogram: degenerate geometry (width %llu x %u "
+              "buckets)",
+              (unsigned long long)bucket_width, num_buckets);
 }
 
 void
@@ -60,7 +64,8 @@ void
 LinearHistogram::merge(const LinearHistogram &other)
 {
     if (other.width != width || other.counts.size() != counts.size())
-        panic("LinearHistogram::merge: geometry mismatch");
+        raise(ErrCode::BadConfig,
+              "LinearHistogram::merge: geometry mismatch");
     for (size_t i = 0; i < counts.size(); ++i)
         counts[i] += other.counts[i];
     total += other.total;
@@ -71,7 +76,9 @@ Log2Histogram::Log2Histogram(uint32_t num_buckets)
     : counts(num_buckets, 0)
 {
     if (num_buckets < 2)
-        panic("Log2Histogram: need at least two buckets");
+        raise(ErrCode::BadConfig,
+              "Log2Histogram: need at least two buckets (got %u)",
+              num_buckets);
 }
 
 void
@@ -118,7 +125,8 @@ void
 Log2Histogram::merge(const Log2Histogram &other)
 {
     if (other.counts.size() != counts.size())
-        panic("Log2Histogram::merge: geometry mismatch");
+        raise(ErrCode::BadConfig,
+              "Log2Histogram::merge: geometry mismatch");
     for (size_t i = 0; i < counts.size(); ++i)
         counts[i] += other.counts[i];
     total += other.total;

@@ -50,7 +50,19 @@ ThreadPool::workerLoop()
             task = std::move(queue.front());
             queue.pop_front();
         }
-        task(); // exceptions are captured by the packaged_task
+        // submit() routes the callable through a packaged_task, which
+        // captures anything it throws into the future -- but a worker
+        // must survive even a task that escapes that net (e.g. a bare
+        // callable queued by a future extension, or a throwing task
+        // destructor). A dead worker would silently shrink the pool
+        // and strand queued jobs.
+        try {
+            task();
+        } catch (...) {
+            // Swallow: the submitter's future already holds the
+            // exception if one was deliverable; there is nobody else
+            // to hand it to from a detached worker.
+        }
     }
 }
 

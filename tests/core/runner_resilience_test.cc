@@ -1,0 +1,167 @@
+/** @file ExperimentRunner resilience tests.
+ *
+ *  A failing job must not take the sweep down with it: its loss is
+ *  recorded (status/error/attempts), siblings are untouched and stay
+ *  byte-identical, a retry with a reseed can recover, and a per-job
+ *  wall-clock budget turns a runaway run into a typed timeout.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/runner.hh"
+#include "sim/fault/plan.hh"
+#include "util/error.hh"
+
+using namespace mpos;
+using namespace mpos::core;
+using mpos::util::ErrCode;
+using mpos::util::SimError;
+using workload::WorkloadKind;
+
+namespace
+{
+
+ExperimentConfig
+quickConfig(WorkloadKind kind, sim::Cycle cycles, uint64_t seed = 7)
+{
+    ExperimentConfig cfg;
+    cfg.kind = kind;
+    cfg.warmupCycles = 300000;
+    cfg.measureCycles = cycles;
+    cfg.options.seed = seed;
+    return cfg;
+}
+
+/** Arm cfg with a fault seed guaranteed to trip inside the run. */
+void
+armGuaranteedTrip(ExperimentConfig &cfg, uint64_t first_seed = 1)
+{
+    cfg.machine.faultHorizon = cfg.warmupCycles + cfg.measureCycles;
+    cfg.machine.faultSeed = sim::FaultPlan::firstTrippingSeed(
+        first_seed, cfg.machine.faultHorizon);
+}
+
+/** Digest of one experiment, for byte-identical comparisons. */
+std::string
+digest(Experiment &e)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "elapsed=%llu total=%llu cs=%llu",
+                  (unsigned long long)e.elapsed(),
+                  (unsigned long long)e.misses().total(),
+                  (unsigned long long)e.kern().contextSwitches());
+    return buf;
+}
+
+} // namespace
+
+TEST(RunnerResilience, JobFailureSurfacesStatusNotException)
+{
+    ExperimentRunner r(1);
+    auto bad = quickConfig(WorkloadKind::Pmake, 400000);
+    armGuaranteedTrip(bad);
+    r.submit("doomed", bad);
+
+    const ExperimentResult &res = r.result(0); // must not throw
+    EXPECT_EQ(res.status, JobStatus::Failed);
+    EXPECT_FALSE(res.ok());
+    EXPECT_EQ(res.exp, nullptr);
+    EXPECT_EQ(res.attempts, 1u);
+    EXPECT_NE(res.error.find("watchdog-trip"), std::string::npos)
+        << res.error;
+
+    // get() on a failed job raises a typed error, not a crash.
+    try {
+        r.get("doomed");
+        FAIL() << "get() on a failed job must throw";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.code(), ErrCode::JobFailed);
+    }
+}
+
+TEST(RunnerResilience, SiblingJobsSurviveAndStayByteIdentical)
+{
+    // A reference runner with only the good job...
+    ExperimentRunner clean(1);
+    clean.submit("good", quickConfig(WorkloadKind::Multpgm, 400000));
+    const std::string golden = digest(clean.get("good"));
+
+    // ...and a mixed runner where a sibling dies mid-sweep.
+    ExperimentRunner mixed(2);
+    auto bad = quickConfig(WorkloadKind::Pmake, 400000);
+    armGuaranteedTrip(bad);
+    mixed.submit("doomed", bad);
+    mixed.submit("good", quickConfig(WorkloadKind::Multpgm, 400000));
+
+    EXPECT_FALSE(mixed.result(0).ok());
+    EXPECT_TRUE(mixed.result(1).ok());
+    EXPECT_EQ(digest(mixed.get("good")), golden);
+    EXPECT_EQ(mixed.failedCount(), 1u);
+}
+
+TEST(RunnerResilience, RetryWithReseedRecovers)
+{
+    // Find S whose plan trips but whose successor S+1 only schedules
+    // benign faults (no exhaustion, no synthetic trip), so attempt 2
+    // -- which bumps the fault seed to S+1 -- succeeds.
+    auto cfg = quickConfig(WorkloadKind::Pmake, 400000);
+    const sim::Cycle horizon =
+        cfg.warmupCycles + cfg.measureCycles;
+    uint64_t seed = 0;
+    for (uint64_t s = 1; s < 4000; ++s) {
+        const sim::FaultPlan trip(s, horizon);
+        if (!trip.syntheticTripAt)
+            continue;
+        const sim::FaultPlan next(s + 1, horizon);
+        if (next.syntheticTripAt || next.slotExhaustAfter ||
+            next.shmExhaustAfter || next.userLockExhaustAfter)
+            continue;
+        seed = s;
+        break;
+    }
+    ASSERT_NE(seed, 0u) << "no trip-then-benign seed pair in 1..3999";
+
+    cfg.machine.faultHorizon = horizon;
+    cfg.machine.faultSeed = seed;
+
+    RunnerOptions opt;
+    opt.jobs = 1;
+    opt.maxAttempts = 3;
+    opt.retryBackoffMs = 1;
+    ExperimentRunner r(opt);
+    r.submit("flaky", cfg);
+
+    const ExperimentResult &res = r.result(0);
+    EXPECT_EQ(res.status, JobStatus::Ok) << res.error;
+    EXPECT_EQ(res.attempts, 2u);
+    EXPECT_NE(res.exp, nullptr);
+}
+
+TEST(RunnerResilience, TimeoutReportedAsTypedStatus)
+{
+    RunnerOptions opt;
+    opt.jobs = 1;
+    opt.jobTimeoutSec = 0.01; // far less than a 3M-cycle run needs
+    ExperimentRunner r(opt);
+    r.submit("slow", quickConfig(WorkloadKind::Pmake, 3000000));
+
+    const ExperimentResult &res = r.result(0);
+    EXPECT_EQ(res.status, JobStatus::TimedOut);
+    EXPECT_NE(res.error.find("timeout"), std::string::npos)
+        << res.error;
+    EXPECT_EQ(res.exp, nullptr);
+}
+
+TEST(RunnerResilience, DuplicateSubmitRaisesBadConfig)
+{
+    ExperimentRunner r(1);
+    r.submit("dup", quickConfig(WorkloadKind::Oracle, 200000));
+    try {
+        r.submit("dup", quickConfig(WorkloadKind::Oracle, 200000));
+        FAIL() << "duplicate submit must throw";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.code(), ErrCode::BadConfig);
+    }
+}

@@ -1,0 +1,153 @@
+/** @file FaultPlan schedule and fault-injection campaign tests.
+ *
+ *  The injection layer's contract is determinism: every decision is
+ *  drawn at construction from the seed, runtime firing is pure
+ *  counting, and a whole campaign run -- including the diagnostics of
+ *  the runs it kills -- replays byte-identically from the same seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernel/kernel.hh"
+#include "sim/check/fuzz.hh"
+#include "sim/fault/plan.hh"
+#include "sim/machine.hh"
+#include "util/error.hh"
+
+using namespace mpos;
+using namespace mpos::sim;
+using mpos::util::ErrCode;
+using mpos::util::SimError;
+
+TEST(FaultPlan, ScheduleIsDeterministic)
+{
+    for (uint64_t seed = 1; seed <= 32; ++seed) {
+        FaultPlan a(seed, 400000);
+        FaultPlan b(seed, 400000);
+        EXPECT_EQ(a.slotExhaustAfter, b.slotExhaustAfter);
+        EXPECT_EQ(a.shmExhaustAfter, b.shmExhaustAfter);
+        EXPECT_EQ(a.userLockExhaustAfter, b.userLockExhaustAfter);
+        EXPECT_EQ(a.perturbLockMask, b.perturbLockMask);
+        EXPECT_EQ(a.lockHoldExtra, b.lockHoldExtra);
+        EXPECT_EQ(a.truncateEvery, b.truncateEvery);
+        EXPECT_EQ(a.truncateKeepPct, b.truncateKeepPct);
+        EXPECT_EQ(a.syntheticTripAt, b.syntheticTripAt);
+        EXPECT_EQ(a.describe(), b.describe());
+    }
+}
+
+TEST(FaultPlan, AlwaysSchedulesSomeFault)
+{
+    // An all-quiet plan would make a fault campaign silently vacuous;
+    // the constructor forces a synthetic trip when nothing else drew.
+    for (uint64_t seed = 1; seed <= 64; ++seed) {
+        FaultPlan p(seed, 400000);
+        const bool active =
+            p.slotExhaustAfter || p.shmExhaustAfter ||
+            p.userLockExhaustAfter || p.perturbLockMask ||
+            p.truncateEvery || p.syntheticTripAt;
+        EXPECT_TRUE(active) << "seed " << seed;
+    }
+}
+
+TEST(FaultPlan, TruncatedLenBoundedAndDeterministic)
+{
+    FaultPlan a(11, 400000);
+    FaultPlan b(11, 400000);
+    for (int i = 0; i < 200; ++i) {
+        const uint64_t len = 1 + (i * 37) % 300;
+        const uint64_t ka = a.truncatedLen(len);
+        EXPECT_GE(ka, 1u);
+        EXPECT_LE(ka, len);
+        EXPECT_EQ(ka, b.truncatedLen(len));
+    }
+}
+
+TEST(FaultPlan, FireCountersMatchSchedule)
+{
+    // Find a seed with slot exhaustion scheduled and check the Nth
+    // call (exactly the Nth) fires.
+    for (uint64_t seed = 1; seed < 200; ++seed) {
+        FaultPlan p(seed, 400000);
+        if (!p.slotExhaustAfter)
+            continue;
+        for (uint32_t i = 1; i < p.slotExhaustAfter; ++i)
+            EXPECT_FALSE(p.fireSlotAlloc());
+        EXPECT_TRUE(p.fireSlotAlloc());
+        EXPECT_FALSE(p.fireSlotAlloc()); // one-shot
+        EXPECT_GE(p.faultsFired(), 1u);
+        return;
+    }
+    FAIL() << "no seed with slot exhaustion in 1..199";
+}
+
+TEST(FaultPlan, FirstTrippingSeedTrips)
+{
+    const uint64_t s = FaultPlan::firstTrippingSeed(1, 60000);
+    FaultPlan p(s, 60000);
+    EXPECT_GT(p.syntheticTripAt, 0u);
+    EXPECT_LT(p.syntheticTripAt, 60000u);
+    // Stable: same arguments, same answer.
+    EXPECT_EQ(s, FaultPlan::firstTrippingSeed(1, 60000));
+}
+
+TEST(FaultPlan, KernelSlotExhaustionInjection)
+{
+    // Find a seed whose very first process-slot allocation fails.
+    uint64_t seed = 0;
+    for (uint64_t s = 1; s < 500; ++s) {
+        if (FaultPlan(s, 400000).slotExhaustAfter == 1) {
+            seed = s;
+            break;
+        }
+    }
+    ASSERT_NE(seed, 0u) << "no slotExhaustAfter==1 seed in 1..499";
+
+    MachineConfig mcfg;
+    mcfg.numCpus = 2;
+    mcfg.faultSeed = seed;
+    Machine m(mcfg, 128);
+    ASSERT_NE(m.faults(), nullptr);
+    kernel::KernelConfig kcfg;
+    kcfg.layout.maxProcs = 16;
+    kcfg.userPoolPages = 600;
+    kernel::Kernel k(m, kcfg);
+    const uint32_t img = k.registerImage("app", 32 * 1024);
+
+    struct Noop : kernel::AppBehavior
+    {
+        void chunk(kernel::Process &, kernel::UserScript &s) override
+        {
+            s.think(32);
+        }
+    };
+    try {
+        k.spawn(std::make_unique<Noop>(), img, "victim");
+        FAIL() << "injected slot exhaustion did not fire";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.code(), ErrCode::ResourceExhausted);
+        EXPECT_NE(std::string(e.what()).find("fault injection"),
+                  std::string::npos);
+    }
+}
+
+TEST(FaultCampaign, DeterministicAcrossDoubleRun)
+{
+    FuzzOptions opt;
+    opt.scriptLen = 400;
+    opt.runCycles = 12000;
+    const uint64_t first = FaultPlan::firstTrippingSeed(1, 12000);
+    const FaultCampaignResult res =
+        runFaultCampaign(first, 2, {1, 2}, opt);
+    EXPECT_EQ(res.runs, 4u);
+    EXPECT_GT(res.tripped, 0u); // the first seed is guaranteed to trip
+    EXPECT_TRUE(res.ok());      // every record replayed identically
+    for (const FaultRunRecord &r : res.records) {
+        EXPECT_TRUE(r.deterministic);
+        EXPECT_FALSE(r.schedule.empty());
+        if (r.tripped) {
+            EXPECT_EQ(r.errorCode, "watchdog-trip");
+            EXPECT_FALSE(r.diagnostic.empty());
+        }
+    }
+}

@@ -8,8 +8,16 @@
  * matched; 1 means at least one diverged, and each failure is printed
  * with its minimized script-prefix repro.
  *
+ * With --faults the driver switches to the fault-injection campaign:
+ * every seed gets a deterministic FaultPlan (truncated scripts,
+ * stretched lock holds, a synthetic watchdog trip) and the property
+ * checked is reproducibility -- the same seed must produce the same
+ * fault schedule and, when the run dies, byte-identical diagnostics
+ * across a double run.
+ *
  * Usage: mpos_fuzz [--seeds N] [--first-seed S] [--cpus a,b,c]
  *                  [--script-len N] [--cycles N] [--quiet]
+ *                  [--faults] [--dump-dir D]
  */
 
 #include <cstdio>
@@ -34,8 +42,70 @@ usage(const char *argv0)
         "  --cpus a,b,c    CPU counts to sweep (default 1,2,4)\n"
         "  --script-len N  script items per CPU (default 4000)\n"
         "  --cycles N      cycles per machine run (default 60000)\n"
-        "  --quiet         only print the summary\n",
+        "  --quiet         only print the summary\n"
+        "  --faults        run the fault-injection campaign instead "
+        "of the\n"
+        "                  differential matrix\n"
+        "  --dump-dir D    (--faults) write each run's schedule and "
+        "diagnostic\n"
+        "                  to D/fault_seed<S>_cpus<N>.txt\n",
         argv0);
+}
+
+/** Run the --faults campaign; returns the process exit code. */
+int
+faultCampaignMain(uint64_t first_seed, uint32_t num_seeds,
+                  const std::vector<uint32_t> &cpus,
+                  const mpos::sim::FuzzOptions &opt, bool quiet,
+                  const std::string &dump_dir)
+{
+    using mpos::sim::FaultRunRecord;
+
+    const auto progress = [&](const FaultRunRecord &r) {
+        if (!r.deterministic) {
+            std::fprintf(stderr,
+                         "[fuzz] NONDETERMINISTIC seed=%llu cpus=%u\n",
+                         (unsigned long long)r.seed, r.numCpus);
+        } else if (!quiet) {
+            std::fprintf(stderr,
+                         "[fuzz] seed=%llu cpus=%u: %llu fault(s) "
+                         "fired%s%s\n",
+                         (unsigned long long)r.seed, r.numCpus,
+                         (unsigned long long)r.faultsFired,
+                         r.tripped ? ", died: " : "",
+                         r.tripped ? r.errorCode.c_str() : "");
+        }
+        if (!dump_dir.empty()) {
+            const std::string path =
+                dump_dir + "/fault_seed" + std::to_string(r.seed) +
+                "_cpus" + std::to_string(r.numCpus) + ".txt";
+            if (FILE *f = std::fopen(path.c_str(), "w")) {
+                std::fprintf(f, "%s", r.schedule.c_str());
+                if (r.tripped) {
+                    std::fprintf(f, "error: %s\n%s\n",
+                                 r.errorCode.c_str(),
+                                 r.diagnostic.c_str());
+                }
+                std::fclose(f);
+            } else {
+                std::fprintf(stderr, "[fuzz] cannot write %s\n",
+                             path.c_str());
+            }
+        }
+    };
+
+    const mpos::sim::FaultCampaignResult res =
+        mpos::sim::runFaultCampaign(first_seed, num_seeds, cpus, opt,
+                                    progress);
+
+    uint32_t nondet = 0;
+    for (const FaultRunRecord &r : res.records)
+        nondet += r.deterministic ? 0 : 1;
+    std::printf("mpos_fuzz --faults: %u runs, %u tripped, %llu "
+                "fault(s) fired, %u non-deterministic\n",
+                res.runs, res.tripped,
+                (unsigned long long)res.faultsFired, nondet);
+    return res.ok() ? 0 : 1;
 }
 
 std::vector<uint32_t>
@@ -65,6 +135,8 @@ main(int argc, char **argv)
     std::vector<uint32_t> cpus = {1, 2, 4};
     mpos::sim::FuzzOptions opt;
     bool quiet = false;
+    bool faults = false;
+    std::string dumpDir;
 
     for (int i = 1; i < argc; ++i) {
         const auto arg = [&](const char *name) -> const char * {
@@ -86,13 +158,21 @@ main(int argc, char **argv)
             opt.scriptLen = uint32_t(std::strtoul(v, nullptr, 10));
         } else if (const char *v = arg("--cycles")) {
             opt.runCycles = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = arg("--dump-dir")) {
+            dumpDir = v;
         } else if (!std::strcmp(argv[i], "--quiet")) {
             quiet = true;
+        } else if (!std::strcmp(argv[i], "--faults")) {
+            faults = true;
         } else {
             usage(argv[0]);
             return 2;
         }
     }
+
+    if (faults)
+        return faultCampaignMain(firstSeed, numSeeds, cpus, opt,
+                                 quiet, dumpDir);
 
     uint32_t done = 0;
     const uint32_t total = numSeeds * uint32_t(cpus.size());

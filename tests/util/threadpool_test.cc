@@ -73,6 +73,33 @@ TEST(ThreadPool, RunsTasksConcurrently)
     EXPECT_EQ(started, 4);
 }
 
+TEST(ThreadPool, ThrowingJobKeepsWorkerAndOrderAlive)
+{
+    // One worker, a throwing job in the middle of the queue: the
+    // exception must land in the thrower's future only, the worker
+    // must survive to run everything behind it, and the later
+    // futures' submission-order slots must be intact.
+    ThreadPool pool(1);
+    std::vector<std::future<int>> futs;
+    for (int i = 0; i < 4; ++i)
+        futs.push_back(pool.submit([i] { return i; }));
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("mid-queue boom"); });
+    for (int i = 4; i < 8; ++i)
+        futs.push_back(pool.submit([i] { return i; }));
+
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(futs[size_t(i)].get(), i);
+    try {
+        bad.get();
+        FAIL() << "throwing job lost its exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "mid-queue boom");
+    }
+    // The pool is still a working pool.
+    EXPECT_EQ(pool.submit([] { return 99; }).get(), 99);
+}
+
 TEST(ThreadPool, DestructorDrainsQueue)
 {
     std::atomic<int> ran{0};
