@@ -7,6 +7,8 @@
 #include <filesystem>
 
 #include "bench/analyses.hh"
+#include "sim/trace/trace.hh"
+#include "util/json.hh"
 
 namespace mpos::bench
 {
@@ -25,10 +27,30 @@ BenchContext::BenchContext(const core::RunnerOptions &opt)
 {
 }
 
+std::string
+obsFileBase(const std::string &dir, const std::string &job)
+{
+    std::string base;
+    for (char c : job)
+        base += (c == '/' || c == ' ') ? '_' : c;
+    return dir + "/" + base;
+}
+
 void
 BenchContext::submitJob(const std::string &name,
                         core::ExperimentConfig cfg)
 {
+    if (obs_.trace) {
+        cfg.machine.trace = true;
+        cfg.machine.traceFile = obsFileBase(obs_.dir, name) + ".trace";
+        // Streaming mode: the file holds everything, so the in-memory
+        // ring (also serving the watchdog dump) can stay small.
+        cfg.machine.traceRingEntries = 64 * 1024;
+    }
+    if (obs_.metrics)
+        cfg.machine.metrics = true;
+    if (obs_.profile)
+        cfg.machine.profile = true;
     if (!faultJob_.empty() && name == faultJob_) {
         // Guaranteed failure: pick the first seed whose fault plan
         // carries a synthetic watchdog trip inside this job's run.
@@ -228,22 +250,10 @@ class StdoutCapture
 };
 
 
-/** Minimal JSON string escape (names/errors are plain ASCII). */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        if (c == '\n') {
-            out += "\\n";
-            continue;
-        }
-        out += c;
-    }
-    return out;
-}
+// Full RFC 8259 escaping: error strings routinely carry watchdog
+// dumps with tabs and other control characters the old ad-hoc
+// escaper passed through raw, corrupting the report.
+using util::jsonEscape;
 
 /** Write one analysis's captured output as a golden JSON file. */
 void
@@ -280,9 +290,71 @@ writeGolden(const std::string &dir, const char *name, bool ok,
     std::fclose(f);
 }
 
+/** Per-job metrics windows as a JSON object (already indented). */
+void
+writeJobMetrics(FILE *f, const sim::trace::Metrics &mx)
+{
+    std::fprintf(f, ", \"metrics\": {\"window_cycles\": %llu, ",
+                 (unsigned long long)mx.windowCycles());
+    std::fprintf(f, "\"phases\": [");
+    const auto &phases = mx.phases();
+    for (size_t i = 0; i < phases.size(); ++i) {
+        std::fprintf(f, "{\"name\": \"%s\", \"start_cycle\": %llu}%s",
+                     jsonEscape(phases[i].name).c_str(),
+                     (unsigned long long)phases[i].startCycle,
+                     i + 1 < phases.size() ? ", " : "");
+    }
+    std::fprintf(f, "], \"windows\": [");
+    const auto &ws = mx.windows();
+    for (size_t i = 0; i < ws.size(); ++i) {
+        const auto &w = ws[i];
+        std::fprintf(
+            f,
+            "{\"start_cycle\": %llu, \"bus_total\": %llu, "
+            "\"os_bus_ops\": %llu, \"i_fills\": %llu, "
+            "\"d_fills\": %llu, \"inval_sharing\": %llu, "
+            "\"inval_realloc\": %llu, \"evictions\": %llu, "
+            "\"os_enters\": %llu, \"lock_acquires\": %llu, "
+            "\"lock_handoffs\": %llu, \"lock_fails\": %llu}%s",
+            (unsigned long long)w.startCycle,
+            (unsigned long long)w.busTotal(),
+            (unsigned long long)w.osBusOps,
+            (unsigned long long)w.iFills,
+            (unsigned long long)w.dFills,
+            (unsigned long long)w.invalSharing,
+            (unsigned long long)w.invalRealloc,
+            (unsigned long long)w.evictions,
+            (unsigned long long)w.osEnters,
+            (unsigned long long)w.lockAcquires,
+            (unsigned long long)w.lockHandoffs,
+            (unsigned long long)w.lockFails,
+            i + 1 < ws.size() ? ", " : "");
+    }
+    std::fprintf(f, "]}");
+}
+
+/** Per-job profile summary (the full folded profile goes to a file). */
+void
+writeJobProfile(FILE *f, const sim::trace::Profiler &pf)
+{
+    const auto entries = pf.entries();
+    uint64_t busTx = 0;
+    uint64_t stall = 0;
+    for (const auto &e : entries) {
+        busTx += e.busTx;
+        stall += e.stallEst;
+    }
+    std::fprintf(f,
+                 ", \"profile\": {\"total_cycles\": %llu, "
+                 "\"keys\": %zu, \"bus_tx\": %llu, "
+                 "\"stall_estimate\": %llu}",
+                 (unsigned long long)pf.totalCycles(), entries.size(),
+                 (unsigned long long)busTx, (unsigned long long)stall);
+}
+
 void
 writeJson(const std::string &path, bool smoke, unsigned jobs,
-          core::ExperimentRunner &runner,
+          const ObsOptions &obs, core::ExperimentRunner &runner,
           const std::vector<AnalysisRecord> &analyses,
           double totalWall)
 {
@@ -296,32 +368,66 @@ writeJson(const std::string &path, bool smoke, unsigned jobs,
     std::fprintf(f,
                  "  \"config\": {\"measure_cycles\": %llu, "
                  "\"warmup_cycles\": %llu, \"seed\": %llu, "
-                 "\"jobs\": %u, \"smoke\": %s},\n",
+                 "\"jobs\": %u, \"smoke\": %s, \"trace\": %s, "
+                 "\"metrics\": %s, \"profile\": %s},\n",
                  (unsigned long long)envOr("MPOS_CYCLES", 20000000),
                  (unsigned long long)envOr("MPOS_WARMUP", 8000000),
                  (unsigned long long)envOr("MPOS_SEED", 7), jobs,
-                 smoke ? "true" : "false");
+                 smoke ? "true" : "false", obs.trace ? "true" : "false",
+                 obs.metrics ? "true" : "false",
+                 obs.profile ? "true" : "false");
 
     std::fprintf(f, "  \"jobs\": [\n");
     double simSeconds = 0;
+    uint64_t monitorEvents = 0;
     for (size_t i = 0; i < runner.size(); ++i) {
         // result() never throws: failures are recorded in the slot.
         const auto &r = runner.result(i);
         simSeconds += r.wallSeconds;
+        monitorEvents += r.monitorTransactions;
+        // Host self-profiling: how fast the simulator chewed through
+        // monitor-visible events, per job.
+        const double evps =
+            r.wallSeconds > 0
+                ? double(r.monitorTransactions) / r.wallSeconds
+                : 0.0;
         std::fprintf(
             f,
             "    {\"name\": \"%s\", \"workload\": \"%s\", "
             "\"cpus\": %u, \"measure_cycles\": %llu, "
             "\"wall_seconds\": %.3f, \"invariant_checks\": %llu, "
+            "\"monitor_events\": %llu, \"events_per_second\": %.0f, "
             "\"status\": \"%s\", \"attempts\": %u, "
-            "\"error\": \"%s\", \"ok\": %s}%s\n",
+            "\"error\": \"%s\", \"ok\": %s",
             jsonEscape(r.name).c_str(),
             workload::workloadName(r.cfg.kind), r.cfg.machine.numCpus,
             (unsigned long long)r.cfg.measureCycles, r.wallSeconds,
             (unsigned long long)r.invariantChecks,
+            (unsigned long long)r.monitorTransactions, evps,
             core::jobStatusName(r.status), r.attempts,
-            jsonEscape(r.error).c_str(), r.ok() ? "true" : "false",
-            i + 1 < runner.size() ? "," : "");
+            jsonEscape(r.error).c_str(), r.ok() ? "true" : "false");
+        if (r.ok() && r.exp) {
+            if (const sim::trace::Metrics *mx =
+                    r.exp->machine().metrics())
+                writeJobMetrics(f, *mx);
+            if (const sim::trace::Profiler *pf =
+                    r.exp->machine().profiler())
+                writeJobProfile(f, *pf);
+            if (const sim::trace::Tracer *tr =
+                    r.exp->machine().tracer()) {
+                if (obs.trace) {
+                    std::fprintf(
+                        f,
+                        ", \"trace_file\": \"%s\", "
+                        "\"trace_events\": %llu",
+                        jsonEscape(obsFileBase(obs.dir, r.name) +
+                                   ".trace")
+                            .c_str(),
+                        (unsigned long long)tr->totalEvents());
+                }
+            }
+        }
+        std::fprintf(f, "}%s\n", i + 1 < runner.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
 
@@ -337,8 +443,13 @@ writeJson(const std::string &path, bool smoke, unsigned jobs,
     }
     std::fprintf(f, "  ],\n");
     std::fprintf(f,
+                 "  \"monitor_events_total\": %llu,\n"
+                 "  \"events_per_second\": %.0f,\n"
                  "  \"simulation_seconds\": %.3f,\n"
                  "  \"total_wall_seconds\": %.3f\n}\n",
+                 (unsigned long long)monitorEvents,
+                 simSeconds > 0 ? double(monitorEvents) / simSeconds
+                                : 0.0,
                  simSeconds, totalWall);
     std::fclose(f);
 }
@@ -379,6 +490,18 @@ usage()
         "  --fault-job J   inject a guaranteed watchdog trip into job "
         "J (e.g.\n"
         "                  std/pmake) to exercise the failure paths\n"
+        "  --trace         export a binary monitor trace per job (plus "
+        "a JSONL\n"
+        "                  conversion) into the --obs-dir\n"
+        "  --metrics       time-sliced metrics windows per job, "
+        "embedded in the\n"
+        "                  JSON report\n"
+        "  --profile       kernel-routine profiler per job; collapsed "
+        "stacks\n"
+        "                  (flamegraph format) written to --obs-dir\n"
+        "  --obs-dir D     output directory for traces/profiles "
+        "(default\n"
+        "                  mpos_bench_obs)\n"
         "  --help          this text\n\n"
         "Environment: MPOS_CYCLES, MPOS_WARMUP, MPOS_SEED, "
         "MPOS_JOBS, MPOS_CHECK,\n"
@@ -402,6 +525,8 @@ benchMain(int argc, char **argv)
     unsigned jobs = 0;
     uint32_t retries = 1;
     double jobTimeout = 0;
+    ObsOptions obs;
+    obs.dir = "mpos_bench_obs";
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -436,6 +561,14 @@ benchMain(int argc, char **argv)
                 std::strtoul(value("--retries"), nullptr, 10));
         } else if (arg == "--fault-job") {
             faultJob = value("--fault-job");
+        } else if (arg == "--trace") {
+            obs.trace = true;
+        } else if (arg == "--metrics") {
+            obs.metrics = true;
+        } else if (arg == "--profile") {
+            obs.profile = true;
+        } else if (arg == "--obs-dir") {
+            obs.dir = value("--obs-dir");
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -465,6 +598,8 @@ benchMain(int argc, char **argv)
     }
     if (!goldenDir.empty())
         std::filesystem::create_directories(goldenDir);
+    if (obs.any())
+        std::filesystem::create_directories(obs.dir);
 
     std::vector<const BenchEntry *> sel;
     if (only.empty()) {
@@ -491,6 +626,8 @@ benchMain(int argc, char **argv)
     BenchContext ctx(ropt);
     if (!faultJob.empty())
         ctx.setFaultJob(faultJob);
+    if (obs.any())
+        ctx.setObservability(obs);
     core::banner("mpos_bench: the paper's figures/tables from shared "
                  "parallel runs");
     std::printf("Config: measure %llu cycles/CPU after %llu warmup, "
@@ -552,8 +689,48 @@ benchMain(int argc, char **argv)
         }
     }
 
+    // Observability post-pass: convert each job's binary trace to
+    // JSONL and write its collapsed (flamegraph) profile.
+    size_t obsFailures = 0;
+    if (obs.any()) {
+        for (const auto &r : ctx.runner().results()) {
+            if (!r.ok() || !r.exp)
+                continue;
+            const std::string base = obsFileBase(obs.dir, r.name);
+            if (obs.trace) {
+                std::string err;
+                if (!sim::trace::convertToJsonl(base + ".trace",
+                                                base + ".jsonl",
+                                                &err)) {
+                    std::fprintf(stderr,
+                                 "[mpos_bench] trace conversion %s: "
+                                 "%s\n",
+                                 r.name.c_str(), err.c_str());
+                    ++obsFailures;
+                }
+            }
+            if (obs.profile) {
+                if (const sim::trace::Profiler *pf =
+                        r.exp->machine().profiler()) {
+                    const std::string folded = base + ".folded";
+                    FILE *ff = std::fopen(folded.c_str(), "w");
+                    if (!ff) {
+                        std::fprintf(stderr,
+                                     "[mpos_bench] cannot write %s\n",
+                                     folded.c_str());
+                        ++obsFailures;
+                    } else {
+                        const std::string text = pf->collapsed();
+                        std::fwrite(text.data(), 1, text.size(), ff);
+                        std::fclose(ff);
+                    }
+                }
+            }
+        }
+    }
+
     const double totalWall = secondsSince(t0);
-    writeJson(jsonPath, smoke, ctx.runner().jobs(), ctx.runner(),
+    writeJson(jsonPath, smoke, ctx.runner().jobs(), obs, ctx.runner(),
               records, totalWall);
 
     size_t failed = 0;
@@ -589,7 +766,7 @@ benchMain(int argc, char **argv)
                  records.size(), failed, ctx.runner().size(),
                  failedJobs, totalWall, ctx.runner().jobs(),
                  jsonPath.c_str());
-    return failed || failedJobs ? 1 : 0;
+    return failed || failedJobs || obsFailures ? 1 : 0;
 }
 
 int

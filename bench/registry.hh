@@ -30,6 +30,20 @@
 namespace mpos::bench
 {
 
+/** Observability switches applied to every simulation job. */
+struct ObsOptions
+{
+    bool trace = false;   ///< Binary trace per job (--trace).
+    bool metrics = false; ///< Time-sliced metrics (--metrics).
+    bool profile = false; ///< Routine profiler (--profile).
+    std::string dir;      ///< Output directory for traces/profiles.
+
+    bool any() const { return trace || metrics || profile; }
+};
+
+/** Obs-output path stem for a job ("std/pmake" -> dir/std_pmake). */
+std::string obsFileBase(const std::string &dir, const std::string &job);
+
 /** Shared state handed to every analysis. */
 class BenchContext
 {
@@ -48,6 +62,14 @@ class BenchContext
      * the JSON report.
      */
     void setFaultJob(const std::string &name) { faultJob_ = name; }
+
+    /**
+     * Enable the observability layer on every subsequently submitted
+     * job: per-job binary traces under o.dir, the time-sliced metrics
+     * engine, and/or the routine profiler.
+     */
+    void setObservability(const ObsOptions &o) { obs_ = o; }
+    const ObsOptions &observability() const { return obs_; }
 
     /** Queue the standard run for a workload without waiting. */
     void prepareStandard(workload::WorkloadKind kind);
@@ -70,6 +92,7 @@ class BenchContext
 
     core::ExperimentRunner runner_;
     std::string faultJob_; ///< Job to sabotage; empty = none.
+    ObsOptions obs_;       ///< Applied to every submitted job.
 };
 
 /// @name Standard-workload requirement bits (allWorkloads order)

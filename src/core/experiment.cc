@@ -117,6 +117,9 @@ Experiment::run()
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
             std::chrono::duration<double>(cfg.timeoutSeconds));
 
+    if (sim::trace::Metrics *mx = mach->metrics())
+        mx->markPhase(mach->now(), "warmup");
+
     runWithDeadline(*mach, cfg.warmupCycles, cfg.timeoutSeconds,
                     deadline, 0, total);
 
@@ -134,15 +137,36 @@ Experiment::run()
             classifier->addSink(resimRec.get());
             mach->monitor().attach(resimRec.get());
         }
+        if (sim::trace::Profiler *pf = mach->profiler()) {
+            profSink.pf = pf;
+            classifier->addSink(&profSink);
+        }
         mach->monitor().attach(classifier.get());
         mach->monitor().attach(inv.get());
     }
     k->setLockListener(locks.get());
 
+    // The observability layer measures the measurement phase: the
+    // profiler's cycle attribution restarts here (its miss feed only
+    // starts now anyway), and the metrics timeline gets the boundary.
+    if (sim::trace::Metrics *mx = mach->metrics())
+        mx->markPhase(mach->now(), "measure");
+    if (sim::trace::Profiler *pf = mach->profiler())
+        pf->resetCycles(mach->now());
+
     const sim::Cycle start = mach->now();
     runWithDeadline(*mach, cfg.measureCycles, cfg.timeoutSeconds,
                     deadline, cfg.warmupCycles, total);
     measuredCycles = mach->now() - start;
+
+    // Close the observability outputs at the measurement edge so
+    // window arrays, profile spans and the trace file are complete.
+    if (sim::trace::Metrics *mx = mach->metrics())
+        mx->finish(mach->now());
+    if (sim::trace::Profiler *pf = mach->profiler())
+        pf->finish(mach->now());
+    if (sim::trace::Tracer *tr = mach->tracer())
+        tr->finish();
 
     // Final whole-machine sweep: every resident line, every cache's
     // packed-tag integrity, every TLB entry against the page tables.

@@ -114,6 +114,20 @@ class Experiment
     std::unique_ptr<LockStats> locks;
     std::unique_ptr<ICacheResim> resimRec;
 
+    /** Forwards classified misses to the machine's routine profiler,
+     *  keyed by each miss's own context snapshot, so the profiler's
+     *  per-routine totals reconcile exactly with core/attribution. */
+    struct ProfilerSink : MissSink
+    {
+        sim::trace::Profiler *pf = nullptr;
+        void
+        onMiss(const ClassifiedMiss &m) override
+        {
+            pf->recordMiss(m.rec.ctx, m.rec.cache, uint8_t(m.cls));
+        }
+    };
+    ProfilerSink profSink;
+
     // Snapshots at measurement start.
     sim::CycleAccount baseAccount;
     kernel::BlockOpStats baseBlockOps;

@@ -32,6 +32,7 @@ runAttempt(ExperimentResult *slot, const ExperimentConfig &cfg)
         exp->run();
         if (const sim::Checker *chk = exp->machine().checker())
             slot->invariantChecks = chk->stats().total();
+        slot->monitorTransactions = exp->machine().monitor().transactions();
         slot->exp = std::move(exp);
         slot->status = JobStatus::Ok;
         slot->error.clear();

@@ -64,6 +64,9 @@ struct ExperimentResult
     double wallSeconds = 0;          ///< Host time across all attempts.
     /** Invariant checks performed (0 unless checking was enabled). */
     uint64_t invariantChecks = 0;
+    /** Monitor bus transactions over the whole run (always counted);
+     *  the host-side events/sec figure divides this by wallSeconds. */
+    uint64_t monitorTransactions = 0;
     JobStatus status = JobStatus::Pending;
     std::string error;     ///< Last SimError/exception text if not Ok.
     uint32_t attempts = 0; ///< Attempts consumed (>= 1 once settled).

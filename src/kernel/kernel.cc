@@ -59,6 +59,21 @@ Kernel::Kernel(sim::Machine &machine, const KernelConfig &config)
         // the lock-table half of the watchdog's diagnostic dump.
         w->setDiagnosticProvider([this] { return describeSyncState(); });
     }
+
+    // Observability hooks: the kernel owns the routine symbol table
+    // and reports routine boundaries and lock events. All null-gated.
+    mx = m.metrics();
+    pf = m.profiler();
+    if (m.tracer() || pf) {
+        std::vector<std::string> names(map.numRoutines());
+        for (uint32_t r = 0; r < map.numRoutines(); ++r)
+            names[r] = map.routineInfo(RoutineId(r)).name;
+        if (sim::trace::Tracer *t = m.tracer())
+            t->setRoutineNames(names);
+        if (pf)
+            pf->setRoutineNames(std::move(names));
+    }
+
     for (uint32_t c = 0; c < ncpu; ++c)
         enterIdle(c);
 }
@@ -298,9 +313,13 @@ Kernel::marker(CpuId cpu, const ScriptItem &item)
         return;
       case MarkerOp::RoutineEnter:
         m.cpu(cpu).ctx.routine = uint16_t(item.addr);
+        if (pf)
+            pf->routineSwitch(m.now(), cpu, uint16_t(item.addr));
         return;
       case MarkerOp::RoutineExit:
         m.cpu(cpu).ctx.routine = invalidRoutine;
+        if (pf)
+            pf->routineSwitch(m.now(), cpu, invalidRoutine);
         return;
       case MarkerOp::LockAcquire:
         onLockAcquire(cpu, uint32_t(item.addr));
@@ -469,6 +488,8 @@ Kernel::onLockAcquire(CpuId cpu, uint32_t lock_id)
         if (lockListener)
             lockListener->lockEvent(now, cpu, lock_id,
                                     LockEvent::AcquireSuccess, waiters);
+        if (mx)
+            mx->lockEvent(now, cpu, lock_id, LockEvent::AcquireSuccess);
         return;
     }
     if (l.heldByCpu == int32_t(cpu))
@@ -481,6 +502,8 @@ Kernel::onLockAcquire(CpuId cpu, uint32_t lock_id)
     if (lockListener)
         lockListener->lockEvent(now, cpu, lock_id,
                                 LockEvent::AcquireFail, waiters);
+    if (mx)
+        mx->lockEvent(now, cpu, lock_id, LockEvent::AcquireFail);
     // Spin: burn the gap and retry.
     sim::Cpu &c = m.cpu(cpu);
     c.pushFront(ScriptItem::mark(MarkerOp::LockAcquire, lock_id));
@@ -505,6 +528,8 @@ Kernel::onLockRelease(CpuId cpu, uint32_t lock_id)
     if (lockListener)
         lockListener->lockEvent(m.now(), cpu, lock_id,
                                 LockEvent::Release, waiters);
+    if (mx)
+        mx->lockEvent(m.now(), cpu, lock_id, LockEvent::Release);
 }
 
 void
@@ -531,6 +556,8 @@ Kernel::onUserLockAcquire(CpuId cpu, uint32_t lock_id, uint32_t spins)
         if (lockListener)
             lockListener->lockEvent(now, cpu, lock_id,
                                     LockEvent::AcquireSuccess, waiters);
+        if (mx)
+            mx->lockEvent(now, cpu, lock_id, LockEvent::AcquireSuccess);
         return;
     }
 
@@ -540,6 +567,8 @@ Kernel::onUserLockAcquire(CpuId cpu, uint32_t lock_id, uint32_t spins)
     if (lockListener)
         lockListener->lockEvent(now, cpu, lock_id,
                                 LockEvent::AcquireFail, waiters);
+    if (mx)
+        mx->lockEvent(now, cpu, lock_id, LockEvent::AcquireFail);
 
     sim::Cpu &c = m.cpu(cpu);
     if (spins + 1 < cfg.userLockSpins) {
@@ -576,6 +605,8 @@ Kernel::onUserLockRelease(CpuId cpu, uint32_t lock_id)
     if (lockListener)
         lockListener->lockEvent(m.now(), cpu, lock_id,
                                 LockEvent::Release, waiters);
+    if (mx)
+        mx->lockEvent(m.now(), cpu, lock_id, LockEvent::Release);
 }
 
 void

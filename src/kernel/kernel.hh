@@ -290,6 +290,10 @@ class Kernel : public sim::Executor
     LockListener *lockListener = nullptr;
     /** Fault-injection plan; null unless the machine has one. */
     sim::FaultPlan *fp = nullptr;
+    /** Metrics engine; null unless the machine has one (null gate). */
+    sim::trace::Metrics *mx = nullptr;
+    /** Routine profiler; null unless the machine has one (null gate). */
+    sim::trace::Profiler *pf = nullptr;
     util::Rng rng;
 
     /** Scratch buffer reused by refill() for user chunk generation. */

@@ -8,36 +8,6 @@
 namespace mpos::sim
 {
 
-namespace
-{
-
-const char *
-modeName(ExecMode mode)
-{
-    switch (mode) {
-    case ExecMode::User: return "user";
-    case ExecMode::Kernel: return "kernel";
-    case ExecMode::Idle: return "idle";
-    }
-    return "?";
-}
-
-const char *
-busOpName(BusOp op)
-{
-    switch (op) {
-    case BusOp::Read: return "Read";
-    case BusOp::ReadEx: return "ReadEx";
-    case BusOp::Upgrade: return "Upgrade";
-    case BusOp::Writeback: return "Writeback";
-    case BusOp::UncachedRead: return "UncachedRead";
-    case BusOp::UncachedWrite: return "UncachedWrite";
-    }
-    return "?";
-}
-
-} // namespace
-
 Watchdog::Watchdog(const MachineConfig &config, Cycle budget_cycles)
     : cfg(config), budgetCycles(budget_cycles)
 {
@@ -63,6 +33,17 @@ Watchdog::poll(const Machine &m, Cycle now)
                              dump(m, now, "no forward progress"));
 }
 
+namespace
+{
+
+const char *
+cacheKindName(uint64_t kind)
+{
+    return CacheKind(kind) == CacheKind::Instr ? "I" : "D";
+}
+
+} // namespace
+
 std::string
 Watchdog::dump(const Machine &m, Cycle now, const char *reason) const
 {
@@ -83,7 +64,7 @@ Watchdog::dump(const Machine &m, Cycle now, const char *reason) const
             buf, sizeof buf,
             "  cpu%u: mode=%s op=%s routine=%u pid=%d "
             "busyUntil=%llu intrDisable=%u queued=%llu\n",
-            c, modeName(cpu.ctx.mode), osOpName(cpu.ctx.op),
+            c, execModeName(cpu.ctx.mode), osOpName(cpu.ctx.op),
             unsigned(cpu.ctx.routine), int(cpu.ctx.pid),
             (unsigned long long)cpu.busyUntil,
             unsigned(cpu.intrDisable),
@@ -94,52 +75,67 @@ Watchdog::dump(const Machine &m, Cycle now, const char *reason) const
     if (diagProvider)
         out += diagProvider();
 
-    const uint64_t have = ringNext < ringSize ? ringNext : ringSize;
+    const uint64_t size = events ? events->size() : 0;
+    const uint64_t have = size < dumpEvents ? size : dumpEvents;
     if (have) {
         std::snprintf(buf, sizeof buf, "  last %llu monitor events:\n",
                       (unsigned long long)have);
         out += buf;
-        for (uint64_t i = ringNext - have; i < ringNext; ++i) {
-            const RingEvent &ev = ring[i % ringSize];
+        for (uint64_t i = size - have; i < size; ++i) {
+            const trace::TraceEvent &ev = events->tail(i);
             switch (ev.kind) {
-            case EvKind::Bus:
+            case trace::TraceEventKind::Bus:
                 std::snprintf(
                     buf, sizeof buf,
                     "    %llu cpu%u bus %s %s line=0x%llx\n",
                     (unsigned long long)ev.cycle, ev.cpu,
-                    busOpName(BusOp(ev.a)),
-                    CacheKind(ev.b) == CacheKind::Instr ? "I" : "D",
+                    busOpName(BusOp(ev.a)), cacheKindName(ev.b),
                     (unsigned long long)ev.addr);
                 break;
-            case EvKind::Evict:
+            case trace::TraceEventKind::Evict:
                 std::snprintf(
                     buf, sizeof buf,
                     "    %llu cpu%u evict %s line=0x%llx\n",
                     (unsigned long long)ev.cycle, ev.cpu,
-                    CacheKind(ev.a) == CacheKind::Instr ? "I" : "D",
+                    cacheKindName(ev.a),
                     (unsigned long long)ev.addr);
                 break;
-            case EvKind::InvalSharing:
+            case trace::TraceEventKind::InvalSharing:
                 std::snprintf(
                     buf, sizeof buf,
                     "    %llu cpu%u inval %s line=0x%llx\n",
                     (unsigned long long)ev.cycle, ev.cpu,
-                    CacheKind(ev.a) == CacheKind::Instr ? "I" : "D",
+                    cacheKindName(ev.a),
                     (unsigned long long)ev.addr);
                 break;
-            case EvKind::OsEnter:
+            case trace::TraceEventKind::InvalPageRealloc:
+                std::snprintf(
+                    buf, sizeof buf,
+                    "    %llu cpu%u inval-realloc line=0x%llx\n",
+                    (unsigned long long)ev.cycle, ev.cpu,
+                    (unsigned long long)ev.addr);
+                break;
+            case trace::TraceEventKind::FlushPage:
+                std::snprintf(
+                    buf, sizeof buf,
+                    "    %llu cpu%u flush-page page=0x%llx bytes=%llu\n",
+                    (unsigned long long)ev.cycle, ev.cpu,
+                    (unsigned long long)ev.addr,
+                    (unsigned long long)ev.a);
+                break;
+            case trace::TraceEventKind::OsEnter:
                 std::snprintf(buf, sizeof buf,
                               "    %llu cpu%u osEnter %s\n",
                               (unsigned long long)ev.cycle, ev.cpu,
                               osOpName(OsOp(ev.a)));
                 break;
-            case EvKind::OsExit:
+            case trace::TraceEventKind::OsExit:
                 std::snprintf(buf, sizeof buf,
                               "    %llu cpu%u osExit %s\n",
                               (unsigned long long)ev.cycle, ev.cpu,
                               osOpName(OsOp(ev.a)));
                 break;
-            case EvKind::ContextSwitch:
+            case trace::TraceEventKind::ContextSwitch:
                 std::snprintf(buf, sizeof buf,
                               "    %llu cpu%u switch pid%d -> pid%d\n",
                               (unsigned long long)ev.cycle, ev.cpu,
@@ -153,46 +149,12 @@ Watchdog::dump(const Machine &m, Cycle now, const char *reason) const
 }
 
 void
-Watchdog::busTransaction(const BusRecord &rec)
+Watchdog::busTransaction(const BusRecord &)
 {
     // A settled bus transaction means a reference completed somewhere;
     // this also covers progress made inside kernel paths between the
     // scheduler's explicit noteProgress() hooks.
     progressed = true;
-    record({EvKind::Bus, rec.cycle, rec.cpu, rec.lineAddr,
-            uint64_t(rec.op), uint64_t(rec.cache)});
-}
-
-void
-Watchdog::evict(CpuId cpu, CacheKind kind, Addr line,
-                const MonitorContext &)
-{
-    record({EvKind::Evict, 0, cpu, line, uint64_t(kind), 0});
-}
-
-void
-Watchdog::invalSharing(CpuId cpu, CacheKind kind, Addr line)
-{
-    record({EvKind::InvalSharing, 0, cpu, line, uint64_t(kind), 0});
-}
-
-void
-Watchdog::osEnter(Cycle cycle, CpuId cpu, OsOp op)
-{
-    record({EvKind::OsEnter, cycle, cpu, 0, uint64_t(op), 0});
-}
-
-void
-Watchdog::osExit(Cycle cycle, CpuId cpu, OsOp op)
-{
-    record({EvKind::OsExit, cycle, cpu, 0, uint64_t(op), 0});
-}
-
-void
-Watchdog::contextSwitch(Cycle cycle, CpuId cpu, Pid from, Pid to)
-{
-    record({EvKind::ContextSwitch, cycle, cpu, 0, uint64_t(int64_t(from)),
-            uint64_t(int64_t(to))});
 }
 
 } // namespace mpos::sim

@@ -17,7 +17,9 @@
  * util::SimError(WatchdogTrip) carrying a structured dump: per-CPU
  * mode/op/routine/pid, the kernel's lock table (via an installed
  * diagnostic provider -- the sim layer knows nothing about lock
- * formats), and the last N monitor events.
+ * formats), and the tail of the shared monitor-event ring (the same
+ * trace::EventRing the trace exporter fills, so a dump and a trace of
+ * the same run can never disagree about the final events).
  *
  * Zero-cost when off: producers hold a Watchdog pointer that is null
  * unless MachineConfig::watchdogCycles (or MPOS_WATCHDOG) is set, so
@@ -32,6 +34,7 @@
 #include <string>
 
 #include "sim/monitor.hh"
+#include "sim/trace/ring.hh"
 #include "sim/types.hh"
 
 namespace mpos::sim
@@ -58,6 +61,12 @@ class Watchdog : public MonitorObserver
         diagProvider = std::move(provider);
     }
 
+    /**
+     * Install the shared monitor-event ring (owned by the machine's
+     * Tracer). The dump renders its most recent entries.
+     */
+    void setEventRing(const trace::EventRing *ring) { events = ring; }
+
     /** Schedule a synthetic trip (fault injection). 0 cancels. */
     void forceTripAt(Cycle cycle) { tripAt = cycle; }
 
@@ -75,43 +84,15 @@ class Watchdog : public MonitorObserver
     std::string dump(const Machine &m, Cycle now,
                      const char *reason) const;
 
-    /// @name MonitorObserver: bus settles are progress; everything
-    /// observed feeds the last-events ring in the dump.
+    /// @name MonitorObserver: bus settles are progress. Event history
+    /// for the dump comes from the shared ring, not a private copy.
     /// @{
     void busTransaction(const BusRecord &rec) override;
-    void evict(CpuId cpu, CacheKind kind, Addr line,
-               const MonitorContext &by) override;
-    void invalSharing(CpuId cpu, CacheKind kind, Addr line) override;
-    void osEnter(Cycle cycle, CpuId cpu, OsOp op) override;
-    void osExit(Cycle cycle, CpuId cpu, OsOp op) override;
-    void contextSwitch(Cycle cycle, CpuId cpu, Pid from,
-                       Pid to) override;
     /// @}
 
   private:
-    enum class EvKind : uint8_t
-    {
-        Bus, Evict, InvalSharing, OsEnter, OsExit, ContextSwitch,
-    };
-
-    struct RingEvent
-    {
-        EvKind kind;
-        Cycle cycle;
-        CpuId cpu;
-        Addr addr;
-        uint64_t a; ///< BusOp / CacheKind / OsOp / from-pid.
-        uint64_t b; ///< CacheKind / to-pid.
-    };
-
-    void
-    record(const RingEvent &ev)
-    {
-        ring[ringNext % ringSize] = ev;
-        ++ringNext;
-    }
-
-    static constexpr uint32_t ringSize = 32;
+    /** Most recent ring entries rendered into a dump. */
+    static constexpr uint64_t dumpEvents = 32;
 
     MachineConfig cfg;
     Cycle budgetCycles;
@@ -119,8 +100,7 @@ class Watchdog : public MonitorObserver
     Cycle tripAt = 0;
     bool progressed = false;
     std::function<std::string()> diagProvider;
-    RingEvent ring[ringSize] = {};
-    uint64_t ringNext = 0;
+    const trace::EventRing *events = nullptr;
 };
 
 } // namespace mpos::sim

@@ -48,11 +48,47 @@ Machine::Machine(const MachineConfig &config, uint32_t num_locks)
         wd = std::make_unique<Watchdog>(cfg, wd_cycles);
         wdp = wd.get();
         syncTransport.setWatchdog(wdp);
-        // Observer role: bus settles count as progress and feed the
-        // last-events ring in the diagnostic dump.
+        // Observer role: bus settles count as progress. Event history
+        // for the dump comes from the shared trace ring (below).
         mon.attach(wdp);
         if (plan && plan->syntheticTripAt)
             wd->forceTripAt(plan->syntheticTripAt);
+    }
+
+    // Observability layer: trace exporter, metrics engine, profiler.
+    // Each follows the checker discipline -- allocated only when
+    // enabled, raw alias pointer as the hot-path null gate.
+    if (cfg.trace || traceForced()) {
+        const uint64_t forced_ring = traceRingForcedEntries();
+        tr = std::make_unique<trace::Tracer>(
+            forced_ring ? forced_ring : cfg.traceRingEntries,
+            cfg.traceFile, cfg.traceRingMode);
+        trp = tr.get();
+        mon.attach(trp);
+    } else if (wdp) {
+        // The watchdog's dump renders the last monitor events; without
+        // a full tracer, keep a small ring-only tracer so the dump and
+        // any future trace read the same buffer.
+        tr = std::make_unique<trace::Tracer>(32, "", false);
+        trp = tr.get();
+        mon.attach(trp);
+    }
+    if (wdp && trp)
+        wdp->setEventRing(&trp->ring());
+
+    const Cycle mx_window = metricsForcedWindow();
+    if (cfg.metrics || mx_window) {
+        mx = std::make_unique<trace::Metrics>(
+            mx_window > 1 ? mx_window : cfg.metricsWindowCycles);
+        mxp = mx.get();
+        mon.attach(mxp);
+    }
+
+    if (cfg.profile || profileForced()) {
+        pf = std::make_unique<trace::Profiler>(cfg.numCpus,
+                                               cfg.busMissStall);
+        pfp = pf.get();
+        mon.attach(pfp);
     }
 }
 

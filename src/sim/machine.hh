@@ -29,6 +29,9 @@
 #include "sim/memsys.hh"
 #include "sim/monitor.hh"
 #include "sim/syncbus.hh"
+#include "sim/trace/metrics.hh"
+#include "sim/trace/profile.hh"
+#include "sim/trace/trace.hh"
 #include "sim/types.hh"
 
 namespace mpos::sim
@@ -85,6 +88,28 @@ class Machine
      */
     FaultPlan *faults() { return plan.get(); }
     const FaultPlan *faults() const { return plan.get(); }
+
+    /**
+     * The trace exporter, or null when off (MachineConfig::trace /
+     * MPOS_TRACE select it). Also allocated ring-only, with a small
+     * ring, when the watchdog is on: its dump reads the shared ring.
+     */
+    trace::Tracer *tracer() { return trp; }
+    const trace::Tracer *tracer() const { return trp; }
+
+    /**
+     * The time-sliced metrics engine, or null when off
+     * (MachineConfig::metrics / MPOS_METRICS select it).
+     */
+    trace::Metrics *metrics() { return mxp; }
+    const trace::Metrics *metrics() const { return mxp; }
+
+    /**
+     * The routine profiler, or null when off (MachineConfig::profile /
+     * MPOS_PROFILE select it).
+     */
+    trace::Profiler *profiler() { return pfp; }
+    const trace::Profiler *profiler() const { return pfp; }
 
     /**
      * Charge extra cycles to a CPU's current mode (used by the kernel
@@ -161,6 +186,19 @@ class Machine
     Watchdog *wdp = nullptr;
     /** Fault-injection schedule; allocated only when enabled. */
     std::unique_ptr<FaultPlan> plan;
+    /** Trace exporter; allocated when tracing (or the watchdog, which
+     *  borrows the ring for its dump) is enabled. */
+    std::unique_ptr<trace::Tracer> tr;
+    /** Raw alias of tr: the null gate. */
+    trace::Tracer *trp = nullptr;
+    /** Metrics engine; allocated only when enabled. */
+    std::unique_ptr<trace::Metrics> mx;
+    /** Raw alias of mx: the null gate. */
+    trace::Metrics *mxp = nullptr;
+    /** Routine profiler; allocated only when enabled. */
+    std::unique_ptr<trace::Profiler> pf;
+    /** Raw alias of pf: the null gate. */
+    trace::Profiler *pfp = nullptr;
     Cycle currentCycle = 0;
     /** Reference mode: tick one cycle at a time (no cycle skipping). */
     bool slowSim = false;

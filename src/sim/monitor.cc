@@ -29,4 +29,29 @@ osOpName(OsOp op)
     return "?";
 }
 
+const char *
+execModeName(ExecMode mode)
+{
+    switch (mode) {
+      case ExecMode::User: return "user";
+      case ExecMode::Kernel: return "kernel";
+      case ExecMode::Idle: return "idle";
+    }
+    return "?";
+}
+
+const char *
+busOpName(BusOp op)
+{
+    switch (op) {
+      case BusOp::Read: return "Read";
+      case BusOp::ReadEx: return "ReadEx";
+      case BusOp::Upgrade: return "Upgrade";
+      case BusOp::Writeback: return "Writeback";
+      case BusOp::UncachedRead: return "UncachedRead";
+      case BusOp::UncachedWrite: return "UncachedWrite";
+    }
+    return "?";
+}
+
 } // namespace mpos::sim

@@ -1,0 +1,95 @@
+#include "sim/trace/metrics.hh"
+
+#include "util/error.hh"
+
+namespace mpos::sim::trace
+{
+
+Metrics::Metrics(Cycle window_cycles)
+    : windowWidth(window_cycles)
+{
+    if (window_cycles == 0)
+        util::raise(util::ErrCode::BadConfig,
+                    "metrics window width must be nonzero");
+}
+
+void
+Metrics::markPhase(Cycle now, const std::string &name)
+{
+    advance(now);
+    marks.push_back({name, now});
+}
+
+void
+Metrics::lockEvent(Cycle now, CpuId cpu, uint32_t lock_id, LockEvent ev)
+{
+    advance(now);
+    switch (ev) {
+      case LockEvent::AcquireSuccess: {
+        ++cur.lockAcquires;
+        const auto it = lastOwner.find(lock_id);
+        if (it != lastOwner.end() && it->second != cpu)
+            ++cur.lockHandoffs;
+        lastOwner[lock_id] = cpu;
+        break;
+      }
+      case LockEvent::AcquireFail:
+        ++cur.lockFails;
+        break;
+      case LockEvent::Release:
+        break;
+    }
+}
+
+void
+Metrics::finish(Cycle now)
+{
+    if (closed)
+        return;
+    closed = true;
+    advance(now);
+    done.push_back(cur);
+    cur = MetricsWindow{};
+}
+
+void
+Metrics::busTransaction(const BusRecord &rec)
+{
+    advance(rec.cycle);
+    ++cur.busOps[unsigned(rec.op)];
+    if (rec.ctx.mode != ExecMode::User)
+        ++cur.osBusOps;
+    if (rec.op == BusOp::Read || rec.op == BusOp::ReadEx) {
+        if (rec.cache == CacheKind::Instr)
+            ++cur.iFills;
+        else
+            ++cur.dFills;
+    }
+}
+
+void
+Metrics::invalSharing(CpuId, CacheKind, Addr)
+{
+    ++cur.invalSharing;
+}
+
+void
+Metrics::invalPageRealloc(CpuId, Addr)
+{
+    ++cur.invalRealloc;
+}
+
+void
+Metrics::evict(CpuId, CacheKind, Addr, const MonitorContext &)
+{
+    ++cur.evictions;
+}
+
+void
+Metrics::osEnter(Cycle cycle, CpuId, OsOp)
+{
+    advance(cycle);
+    ++cur.osEnters;
+}
+
+} // namespace mpos::sim::trace

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Structured trace exporter: the simulator's version of the paper's
+ * two-million-entry hardware trace buffer.
+ *
+ * The Tracer subscribes to the Monitor and records every event -- bus
+ * transactions with their in-band context snapshot (mode, OS
+ * operation, kernel routine, pid: the paper's escape references),
+ * evictions, invalidations, OS entry/exit and context switches --
+ * into the shared EventRing, and optionally serializes them to a
+ * compact binary file. Two file modes mirror the two ways the paper's
+ * buffer could be used:
+ *
+ *  - streaming: every event is appended as it happens (unbounded);
+ *  - ring mode: only the ring's final contents are written at
+ *    finish(), i.e. the last traceRingEntries events of the run.
+ *
+ * The binary format is a tagged record stream (see trace.cc for the
+ * exact byte layout): a fixed header, 44-byte little-endian event
+ * records, a routine symbol table, and an end marker carrying totals.
+ * convertToJsonl() turns a trace file into one JSON object per line
+ * with routine ids resolved to names.
+ *
+ * Everything here is pure observation: the Tracer never perturbs
+ * simulated events, and with tracing off the machine holds a null
+ * pointer (the checker discipline), so the feature costs nothing.
+ */
+
+#ifndef MPOS_SIM_TRACE_TRACE_HH
+#define MPOS_SIM_TRACE_TRACE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/monitor.hh"
+#include "sim/trace/ring.hh"
+#include "sim/types.hh"
+
+namespace mpos::sim::trace
+{
+
+/** The trace exporter. One per Machine, owned by it. */
+class Tracer : public MonitorObserver
+{
+  public:
+    /**
+     * @param ring_entries Ring capacity in events.
+     * @param file_path    Binary trace output; empty = ring only.
+     * @param ring_mode    Write only the final ring contents instead
+     *                     of streaming every event.
+     */
+    Tracer(uint64_t ring_entries, const std::string &file_path,
+           bool ring_mode);
+    ~Tracer() override;
+
+    /**
+     * Install the kernel routine symbol table (index = RoutineId).
+     * Embedded in the binary trace so offline conversion can resolve
+     * routine ids without the kernel image.
+     */
+    void
+    setRoutineNames(std::vector<std::string> names)
+    {
+        routineNames = std::move(names);
+    }
+
+    /**
+     * Flush the symbol table and end marker and close the file (in
+     * ring mode, first write the ring contents). Idempotent; called
+     * by the destructor if nobody else does.
+     */
+    void finish();
+
+    /** The shared event ring (also read by the watchdog's dump). */
+    const EventRing &ring() const { return events; }
+
+    /** Events observed over the whole run. */
+    uint64_t totalEvents() const { return events.total(); }
+
+    /// @name MonitorObserver
+    /// @{
+    void busTransaction(const BusRecord &rec) override;
+    void evict(CpuId cpu, CacheKind kind, Addr line,
+               const MonitorContext &by) override;
+    void invalSharing(CpuId cpu, CacheKind kind, Addr line) override;
+    void invalPageRealloc(CpuId cpu, Addr line) override;
+    void flushPage(CpuId cpu, Addr page_addr,
+                   uint32_t page_bytes) override;
+    void osEnter(Cycle cycle, CpuId cpu, OsOp op) override;
+    void osExit(Cycle cycle, CpuId cpu, OsOp op) override;
+    void contextSwitch(Cycle cycle, CpuId cpu, Pid from,
+                       Pid to) override;
+    /// @}
+
+  private:
+    void record(const TraceEvent &ev);
+    void writeEvent(const TraceEvent &ev);
+
+    EventRing events;
+    std::vector<std::string> routineNames;
+    std::string path;
+    FILE *file = nullptr;
+    bool ringMode = false;
+    bool finished = false;
+    /** Cycle stamp for events the monitor reports without one. */
+    Cycle lastCycle = 0;
+};
+
+/**
+ * Convert a binary trace file to JSONL (one event object per line).
+ * Returns true on success; on failure *err describes the problem.
+ */
+bool convertToJsonl(const std::string &trace_path,
+                    const std::string &jsonl_path, std::string *err);
+
+} // namespace mpos::sim::trace
+
+#endif // MPOS_SIM_TRACE_TRACE_HH

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <string>
 
 namespace mpos::sim
 {
@@ -57,6 +58,9 @@ constexpr uint32_t numOsOps = 9;
 /** Name of an OsOp for reports. */
 const char *osOpName(OsOp op);
 
+/** Name of an ExecMode for reports. */
+const char *execModeName(ExecMode mode);
+
 /** True if MPOS_SLOW_SIM is set: force the reference simulation core. */
 inline bool
 slowSimForced()
@@ -95,6 +99,50 @@ faultForcedSeed()
     return seed;
 }
 
+/** True if MPOS_TRACE is set: force the trace exporter on. */
+inline bool
+traceForced()
+{
+    static const bool forced = std::getenv("MPOS_TRACE") != nullptr;
+    return forced;
+}
+
+/** MPOS_TRACE_RING: forced trace ring capacity in events (0 = default). */
+inline uint64_t
+traceRingForcedEntries()
+{
+    static const uint64_t entries = [] {
+        const char *v = std::getenv("MPOS_TRACE_RING");
+        return v ? std::strtoull(v, nullptr, 10) : uint64_t(0);
+    }();
+    return entries;
+}
+
+/**
+ * MPOS_METRICS: force the time-sliced metrics engine on. A value > 1
+ * is the window width in cycles; any other value selects the default.
+ */
+inline Cycle
+metricsForcedWindow()
+{
+    static const Cycle window = [] {
+        const char *v = std::getenv("MPOS_METRICS");
+        if (!v)
+            return Cycle(0);
+        const Cycle w = Cycle(std::strtoull(v, nullptr, 10));
+        return w > 1 ? w : Cycle(1); // 1 = on with the default width
+    }();
+    return window;
+}
+
+/** True if MPOS_PROFILE is set: force the routine profiler on. */
+inline bool
+profileForced()
+{
+    static const bool forced = std::getenv("MPOS_PROFILE") != nullptr;
+    return forced;
+}
+
 /** Bus transaction kinds. */
 enum class BusOp : uint8_t
 {
@@ -105,6 +153,9 @@ enum class BusOp : uint8_t
     UncachedRead,  ///< Cache-bypassing read (device registers).
     UncachedWrite, ///< Cache-bypassing write.
 };
+
+/** Name of a BusOp for reports. */
+const char *busOpName(BusOp op);
 
 /** Machine configuration. Defaults model the SGI 4D/340. */
 struct MachineConfig
@@ -189,6 +240,45 @@ struct MachineConfig
     uint64_t faultSeed = 0;
     /** Cycle window within which a planned synthetic trip lands. */
     Cycle faultHorizon = 400000;
+
+    /**
+     * Structured trace exporter: record every monitor event (bus
+     * records with in-band OS context plus OS entry/exit, context
+     * switches, invalidations) into the shared event ring and, when
+     * traceFile is set, a binary trace file. Zero-cost when off
+     * (null-pointer gate). Also forced globally by MPOS_TRACE.
+     */
+    bool trace = false;
+    /** Binary trace output path; empty = in-memory ring only. */
+    std::string traceFile;
+    /**
+     * Trace ring capacity in events: the paper's monitor kept the
+     * last two million records. Also forced by MPOS_TRACE_RING.
+     */
+    uint64_t traceRingEntries = 2 * 1024 * 1024;
+    /**
+     * Ring mode: instead of streaming every event to traceFile, write
+     * only the ring's final contents at finish() -- emulating the
+     * paper's read-the-buffer-after-the-run methodology.
+     */
+    bool traceRingMode = false;
+
+    /**
+     * Time-sliced metrics engine: window bus traffic, miss fills,
+     * invalidations and lock hand-offs over simulated cycles.
+     * Zero-cost when off. Also forced globally by MPOS_METRICS.
+     */
+    bool metrics = false;
+    /** Metrics window width in simulated cycles. */
+    Cycle metricsWindowCycles = 100000;
+
+    /**
+     * Simulated-kernel routine profiler: attribute cycles, misses and
+     * estimated stall to the executing (mode, OS op, routine) with
+     * flame-style collapsed-stack output. Zero-cost when off. Also
+     * forced globally by MPOS_PROFILE.
+     */
+    bool profile = false;
 
     uint64_t numLines() const { return memBytes / lineBytes; }
     uint64_t numPages() const { return memBytes / pageBytes; }

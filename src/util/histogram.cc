@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdio>
 
 #include "util/error.hh"
@@ -9,6 +10,31 @@
 
 namespace mpos::util
 {
+
+namespace
+{
+
+/**
+ * Cumulative-count rank of the frac percentile over total samples:
+ * the smallest k such that k/total >= frac, i.e. ceil(frac * total).
+ * The plain cast used here before truncated instead (0.7 * 10 is
+ * 6.999... in binary, so uint64_t(...) gave rank 6, one sample early);
+ * the epsilon keeps exactly-representable products like 0.5 * 100 from
+ * rounding *up* a rank. Clamped to [1, total] so frac = 0 still names
+ * the first sample and frac = 1 the last.
+ */
+uint64_t
+percentileRank(double frac, uint64_t total)
+{
+    const double k = std::ceil(frac * double(total) - 1e-9);
+    if (k <= 1.0)
+        return 1;
+    if (k >= double(total))
+        return total;
+    return uint64_t(k);
+}
+
+} // namespace
 
 LinearHistogram::LinearHistogram(uint64_t bucket_width, uint32_t num_buckets)
     : width(bucket_width), counts(num_buckets + 1, 0)
@@ -42,7 +68,7 @@ LinearHistogram::percentile(double frac) const
 {
     if (!total)
         return 0;
-    const auto target = uint64_t(frac * double(total));
+    const uint64_t target = percentileRank(frac, total);
     uint64_t running = 0;
     for (uint32_t i = 0; i < counts.size(); ++i) {
         running += counts[i];
@@ -103,7 +129,7 @@ Log2Histogram::percentile(double frac) const
 {
     if (!total)
         return 0;
-    const auto target = uint64_t(frac * double(total));
+    const uint64_t target = percentileRank(frac, total);
     uint64_t running = 0;
     for (uint32_t i = 0; i < counts.size(); ++i) {
         running += counts[i];

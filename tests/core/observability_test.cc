@@ -1,0 +1,218 @@
+/** @file Metrics-window and profiler reconciliation tests.
+ *
+ *  The contracts under test: the time-sliced metrics arrays depend on
+ *  simulated time only (byte-identical across host thread counts);
+ *  the profiler's span-based cycle attribution is conservative --
+ *  exactly elapsed * numCpus cycles between reset and finish, with
+ *  the per-pid view summing to the same total; and its per-context
+ *  miss tallies reconcile exactly with the core classifier and with
+ *  core/attribution's per-routine data-miss counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <sstream>
+
+#include "core/experiment.hh"
+#include "core/runner.hh"
+#include "sim/trace/metrics.hh"
+#include "sim/trace/profile.hh"
+
+using namespace mpos;
+using namespace mpos::core;
+using namespace mpos::sim;
+using sim::trace::MetricsWindow;
+using sim::trace::profileMissSlots;
+using workload::WorkloadKind;
+
+namespace
+{
+
+ExperimentConfig
+observedConfig(WorkloadKind kind)
+{
+    ExperimentConfig cfg;
+    cfg.kind = kind;
+    cfg.warmupCycles = 100000;
+    cfg.measureCycles = 200000;
+    cfg.options.seed = 7;
+    cfg.machine.metrics = true;
+    cfg.machine.metricsWindowCycles = 50000;
+    cfg.machine.profile = true;
+    return cfg;
+}
+
+bool
+sameWindow(const MetricsWindow &a, const MetricsWindow &b)
+{
+    return a.startCycle == b.startCycle &&
+           std::memcmp(a.busOps, b.busOps, sizeof a.busOps) == 0 &&
+           a.osBusOps == b.osBusOps && a.iFills == b.iFills &&
+           a.dFills == b.dFills && a.invalSharing == b.invalSharing &&
+           a.invalRealloc == b.invalRealloc &&
+           a.evictions == b.evictions && a.osEnters == b.osEnters &&
+           a.lockAcquires == b.lockAcquires &&
+           a.lockHandoffs == b.lockHandoffs &&
+           a.lockFails == b.lockFails;
+}
+
+} // namespace
+
+TEST(Metrics, WindowsAreContiguousAndActive)
+{
+    Experiment exp(observedConfig(WorkloadKind::Pmake));
+    exp.run();
+    const auto *mx = exp.machine().metrics();
+    ASSERT_NE(mx, nullptr);
+
+    const auto &win = mx->windows();
+    // 100k warmup + 200k measure at 50k windows: at least 6 slices.
+    ASSERT_GE(win.size(), 6u);
+    uint64_t busTotal = 0, acquires = 0;
+    for (size_t i = 0; i < win.size(); ++i) {
+        EXPECT_EQ(win[i].startCycle, i * mx->windowCycles());
+        busTotal += win[i].busTotal();
+        acquires += win[i].lockAcquires;
+    }
+    EXPECT_GT(busTotal, 0u);
+    EXPECT_GT(acquires, 0u);
+
+    // Phase marks: warmup at cycle 0, measure where warmup ended.
+    const auto &phases = mx->phases();
+    ASSERT_EQ(phases.size(), 2u);
+    EXPECT_EQ(phases[0].name, "warmup");
+    EXPECT_EQ(phases[1].name, "measure");
+    EXPECT_GE(phases[1].startCycle, exp.config().warmupCycles);
+}
+
+TEST(Metrics, DeterministicAcrossHostThreadCounts)
+{
+    // Same three jobs through a 1-thread and a 3-thread runner: the
+    // per-window arrays must match field for field. Simulated time is
+    // the only clock the metrics engine sees.
+    const WorkloadKind kinds[3] = {WorkloadKind::Pmake,
+                                   WorkloadKind::Multpgm,
+                                   WorkloadKind::Oracle};
+    ExperimentRunner serial(1), wide(3);
+    for (const auto kind : kinds) {
+        const std::string name = workload::workloadName(kind);
+        serial.submit(name, observedConfig(kind));
+        wide.submit(name, observedConfig(kind));
+    }
+    for (const auto kind : kinds) {
+        const std::string name = workload::workloadName(kind);
+        const auto *a = serial.get(name).machine().metrics();
+        const auto *b = wide.get(name).machine().metrics();
+        ASSERT_NE(a, nullptr);
+        ASSERT_NE(b, nullptr);
+        ASSERT_EQ(a->windows().size(), b->windows().size()) << name;
+        for (size_t i = 0; i < a->windows().size(); ++i)
+            EXPECT_TRUE(sameWindow(a->windows()[i], b->windows()[i]))
+                << name << " window " << i;
+    }
+}
+
+TEST(Profiler, CycleAttributionIsConservative)
+{
+    Experiment exp(observedConfig(WorkloadKind::Pmake));
+    exp.run();
+    const auto *pf = exp.machine().profiler();
+    ASSERT_NE(pf, nullptr);
+
+    // Between the measure-phase reset and finish, every simulated
+    // cycle of every CPU lands in exactly one key.
+    const uint64_t expect =
+        exp.elapsed() * exp.config().machine.numCpus;
+    EXPECT_EQ(pf->totalCycles(), expect);
+
+    // The per-pid view is another partition of the same cycles.
+    uint64_t pidSum = 0;
+    for (const auto &[pid, cycles] : pf->pidCycles())
+        pidSum += cycles;
+    EXPECT_EQ(pidSum, expect);
+}
+
+TEST(Profiler, MissTalliesReconcileWithClassifier)
+{
+    Experiment exp(observedConfig(WorkloadKind::Pmake));
+    exp.run();
+    const auto *pf = exp.machine().profiler();
+    ASSERT_NE(pf, nullptr);
+    const auto &mc = exp.misses();
+
+    // Sum the profiler's per-key tallies by execution mode; they must
+    // equal the classifier's aggregate counters class by class (both
+    // observe the same classified stream over the measure phase).
+    uint64_t gotI[3][profileMissSlots] = {};
+    uint64_t gotD[3][profileMissSlots] = {};
+    for (const auto &e : pf->entries()) {
+        for (uint32_t c = 0; c < profileMissSlots; ++c) {
+            gotI[unsigned(e.mode)][c] += e.missesI[c];
+            gotD[unsigned(e.mode)][c] += e.missesD[c];
+        }
+    }
+    const unsigned user = unsigned(ExecMode::User);
+    const unsigned kern = unsigned(ExecMode::Kernel);
+    const unsigned idle = unsigned(ExecMode::Idle);
+    for (uint32_t c = 0; c < numMissClasses; ++c) {
+        EXPECT_EQ(gotI[kern][c], mc.osI[c]) << "osI class " << c;
+        EXPECT_EQ(gotD[kern][c], mc.osD[c]) << "osD class " << c;
+        EXPECT_EQ(gotI[user][c], mc.appI[c]) << "appI class " << c;
+        EXPECT_EQ(gotD[user][c], mc.appD[c]) << "appD class " << c;
+        EXPECT_EQ(gotI[idle][c], mc.idleI[c]) << "idleI class " << c;
+        EXPECT_EQ(gotD[idle][c], mc.idleD[c]) << "idleD class " << c;
+    }
+}
+
+TEST(Profiler, RoutineMissesReconcileWithAttribution)
+{
+    Experiment exp(observedConfig(WorkloadKind::Pmake));
+    exp.run();
+    const auto *pf = exp.machine().profiler();
+    ASSERT_NE(pf, nullptr);
+    const auto &layout = exp.kern().layout();
+
+    // core/attribution counts kernel-mode D-misses by the executing
+    // routine; the profiler keys misses by the same context snapshot,
+    // so the per-routine sums must agree exactly.
+    for (const char *name : {"bcopy", "bclear"}) {
+        const auto rid = layout.routine(name);
+        uint64_t got = 0;
+        for (const auto &e : pf->entries()) {
+            if (e.mode != ExecMode::Kernel || e.routine != rid)
+                continue;
+            for (uint32_t c = 0; c < profileMissSlots; ++c)
+                got += e.missesD[c];
+        }
+        EXPECT_EQ(got, exp.attribution().blockOpMissesOf(name))
+            << name;
+    }
+}
+
+TEST(Profiler, CollapsedStacksAreSortedAndNamed)
+{
+    Experiment exp(observedConfig(WorkloadKind::Pmake));
+    exp.run();
+    const auto *pf = exp.machine().profiler();
+    ASSERT_NE(pf, nullptr);
+
+    const std::string out = pf->collapsed();
+    ASSERT_FALSE(out.empty());
+    EXPECT_NE(out.find("kernel;"), std::string::npos) << out;
+    EXPECT_NE(out.find("user "), std::string::npos) << out;
+
+    // "frame[;frame...] cycles" lines, most cycles first.
+    uint64_t prev = ~uint64_t(0);
+    std::istringstream in(out);
+    std::string line;
+    while (std::getline(in, line)) {
+        const size_t sp = line.rfind(' ');
+        ASSERT_NE(sp, std::string::npos) << line;
+        const uint64_t cycles =
+            std::strtoull(line.c_str() + sp + 1, nullptr, 10);
+        EXPECT_LE(cycles, prev) << "not sorted: " << line;
+        prev = cycles;
+    }
+}

@@ -4,11 +4,15 @@
 # Review the resulting diff before committing: every changed line is a
 # claimed intentional change to a paper figure/table.
 #
-# Usage: update.sh <mpos_bench binary>
+# Usage: update.sh <mpos_bench binary> [sim_tests binary]
+#
+# When the sim_tests binary is also given, the pinned trace golden
+# (trace_smoke.trace / trace_smoke.jsonl) is regenerated as well.
 
 set -eu
 
-bench="${1:?usage: update.sh <mpos_bench binary>}"
+bench="${1:?usage: update.sh <mpos_bench binary> [sim_tests binary]}"
+sim_tests="${2:-}"
 golden="$(cd "$(dirname "$0")" && pwd)"
 
 export MPOS_CYCLES=300000
@@ -28,3 +32,9 @@ cp "$tmp/fresh"/*.json "$golden"/
 
 echo "golden corpus updated: $(ls "$golden"/*.json | wc -l) files in" \
      "$golden"
+
+if [ -n "$sim_tests" ]; then
+    MPOS_UPDATE_GOLDEN=1 "$sim_tests" \
+        --gtest_filter='Trace.GoldenByteIdentical' > /dev/null
+    echo "trace golden updated: trace_smoke.trace + trace_smoke.jsonl"
+fi

@@ -53,6 +53,79 @@ TEST(LinearHistogram, Percentile)
     EXPECT_EQ(h.percentile(1.0), 90u);
 }
 
+TEST(LinearHistogram, PercentileRankIsCeilNotTruncate)
+{
+    // One sample per bucket at 0, 10, ..., 90. percentile(0.7) asks
+    // for the rank-7 sample (7 of 10 samples <= it), which lives at
+    // 60. The old rank computation cast 0.7 * 10 = 6.999... down to 6
+    // and answered one bucket early.
+    LinearHistogram h(10, 10);
+    for (int i = 0; i < 10; ++i)
+        h.add(uint64_t(i) * 10);
+    EXPECT_EQ(h.percentile(0.7), 60u);
+    EXPECT_EQ(h.percentile(0.3), 20u);
+}
+
+TEST(LinearHistogram, PercentileEdgeFractions)
+{
+    LinearHistogram h(10, 10);
+    for (int i = 0; i < 10; ++i)
+        h.add(uint64_t(i) * 10);
+    EXPECT_EQ(h.percentile(0.0), 0u);   // clamps to the first sample
+    EXPECT_EQ(h.percentile(0.001), 0u);
+    EXPECT_EQ(h.percentile(1.0), 90u);  // the last sample, not past it
+    EXPECT_EQ(h.percentile(0.999), 90u);
+}
+
+TEST(LinearHistogram, PercentileSingleSample)
+{
+    LinearHistogram h(10, 4);
+    h.add(25);
+    EXPECT_EQ(h.percentile(0.0), 20u);
+    EXPECT_EQ(h.percentile(0.5), 20u);
+    EXPECT_EQ(h.percentile(1.0), 20u);
+}
+
+TEST(LinearHistogram, PercentileMatchesBruteForceSmallN)
+{
+    // Exhaustive check against the definition ("smallest v such that
+    // at least frac of samples are <= v") for every N up to 20 and
+    // every exact fraction k/N, plus the halfway points between them.
+    for (int n = 1; n <= 20; ++n) {
+        LinearHistogram h(10, 32);
+        for (int i = 0; i < n; ++i)
+            h.add(uint64_t(i) * 10);
+        for (int k = 1; k <= n; ++k) {
+            const double exact = double(k) / double(n);
+            EXPECT_EQ(h.percentile(exact), uint64_t(k - 1) * 10)
+                << "n=" << n << " k=" << k;
+            // A fraction strictly between (k-1)/n and k/n needs k
+            // samples, the same rank as k/n itself.
+            const double between = (double(k) - 0.5) / double(n);
+            EXPECT_EQ(h.percentile(between), uint64_t(k - 1) * 10)
+                << "n=" << n << " between-rank " << k;
+        }
+    }
+}
+
+TEST(Log2Histogram, PercentileRankIsCeilNotTruncate)
+{
+    // Buckets 1 (value 2) .. 10 (value 1024), one sample each.
+    Log2Histogram h(16);
+    for (int i = 1; i <= 10; ++i)
+        h.add(1ULL << i);
+    EXPECT_EQ(h.percentile(0.7), 1ULL << 7);
+    EXPECT_EQ(h.percentile(1.0), 1ULL << 10);
+    EXPECT_EQ(h.percentile(0.0), 2u);
+}
+
+TEST(Log2Histogram, EmptyPercentileIsZero)
+{
+    Log2Histogram h(8);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    EXPECT_EQ(h.percentile(1.0), 0u);
+}
+
 TEST(LinearHistogram, Merge)
 {
     LinearHistogram a(10, 5), b(10, 5);

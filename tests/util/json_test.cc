@@ -1,0 +1,102 @@
+/** @file JSON escaping and validation tests.
+ *
+ *  The report path used to hand-roll string escaping and missed the
+ *  \r, \t and raw-control-character cases, producing unparseable
+ *  reports for workload names or error text containing them. The
+ *  contract now: jsonEscape covers every RFC 8259 escape, and
+ *  jsonValidate accepts exactly the well-formed texts (it is the
+ *  checker mpos_trace and the CI smoke run apply to every report).
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/json.hh"
+
+using mpos::util::jsonEscape;
+using mpos::util::jsonString;
+using mpos::util::jsonValidate;
+
+namespace
+{
+
+bool
+valid(const std::string &text)
+{
+    return jsonValidate(text, nullptr, nullptr);
+}
+
+} // namespace
+
+TEST(JsonEscape, CoversEveryEscapeClass)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape("a\rb"), "a\\rb"); // the old escaper's gap
+    EXPECT_EQ(jsonEscape("a\tb"), "a\\tb");
+    EXPECT_EQ(jsonEscape("a\bb"), "a\\bb");
+    EXPECT_EQ(jsonEscape("a\fb"), "a\\fb");
+    EXPECT_EQ(jsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+    EXPECT_EQ(jsonEscape(std::string(1, '\0')), "\\u0000");
+}
+
+TEST(JsonEscape, EscapedStringsAlwaysValidate)
+{
+    std::string nasty;
+    for (int c = 0; c < 128; ++c)
+        nasty += char(c);
+    const std::string doc = "{\"k\": " + jsonString(nasty) + "}";
+    size_t at = 0;
+    std::string err;
+    EXPECT_TRUE(jsonValidate(doc, &at, &err))
+        << "at byte " << at << ": " << err;
+}
+
+TEST(JsonValidate, AcceptsWellFormedDocuments)
+{
+    EXPECT_TRUE(valid("{}"));
+    EXPECT_TRUE(valid("[]"));
+    EXPECT_TRUE(valid("null"));
+    EXPECT_TRUE(valid("true"));
+    EXPECT_TRUE(valid("-12.5e+3"));
+    EXPECT_TRUE(valid("\"x\""));
+    EXPECT_TRUE(valid("  {\n\"a\": [1, 2, {\"b\": null}],"
+                      " \"c\": \"\\u00e9\\n\"\n} "));
+}
+
+TEST(JsonValidate, RejectsMalformedDocuments)
+{
+    EXPECT_FALSE(valid(""));
+    EXPECT_FALSE(valid("{"));
+    EXPECT_FALSE(valid("{\"a\": }"));
+    EXPECT_FALSE(valid("{\"a\": 1,}"));
+    EXPECT_FALSE(valid("[1, 2,]"));
+    EXPECT_FALSE(valid("{'a': 1}"));
+    EXPECT_FALSE(valid("\"unterminated"));
+    EXPECT_FALSE(valid("\"bad \\x escape\""));
+    EXPECT_FALSE(valid("\"raw \n newline\""));
+    EXPECT_FALSE(valid("01")); // leading zeros are not JSON
+    EXPECT_FALSE(valid("{} {}"));
+    EXPECT_FALSE(valid("nul"));
+    EXPECT_FALSE(valid("\"half \\u12 escape\""));
+}
+
+TEST(JsonValidate, ReportsErrorPosition)
+{
+    size_t at = 0;
+    std::string err;
+    EXPECT_FALSE(jsonValidate("{\"a\": 1, \"b\": }", &at, &err));
+    EXPECT_EQ(at, 14u);
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(JsonValidate, DeepNestingIsBounded)
+{
+    std::string deep(400, '[');
+    deep += std::string(400, ']');
+    EXPECT_FALSE(valid(deep)); // depth cap, not a stack overflow
+    std::string ok(100, '[');
+    ok += std::string(100, ']');
+    EXPECT_TRUE(valid(ok));
+}
