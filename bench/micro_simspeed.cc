@@ -85,4 +85,30 @@ BENCHMARK(BM_MachineCyclesPmake)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(100);
 
+static void
+BM_MachineCyclesPmake8(benchmark::State &state)
+{
+    // The parallel-core headliner: an 8-CPU Pmake (maxJobs keeps all
+    // CPUs busy) driven with Arg(0) host sim-threads; Arg(0) == 1 is
+    // the serial baseline the speedup is measured against.
+    core::ExperimentConfig cfg;
+    cfg.kind = workload::WorkloadKind::Pmake;
+    cfg.machine.numCpus = 8;
+    cfg.machine.simThreads = uint32_t(state.range(0));
+    cfg.warmupCycles = 1000000;
+    cfg.measureCycles = 0;
+    cfg.collectMisses = false;
+    core::Experiment exp(cfg);
+    exp.run();
+    for (auto _ : state)
+        exp.machine().run(100000);
+    state.SetItemsProcessed(int64_t(state.iterations()) * 100000);
+}
+BENCHMARK(BM_MachineCyclesPmake8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(100)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4);
+
 BENCHMARK_MAIN();

@@ -51,6 +51,7 @@ BenchContext::submitJob(const std::string &name,
         cfg.machine.metrics = true;
     if (obs_.profile)
         cfg.machine.profile = true;
+    cfg.machine.simThreads = simThreads_;
     if (!faultJob_.empty() && name == faultJob_) {
         // Guaranteed failure: pick the first seed whose fault plan
         // carries a synthetic watchdog trip inside this job's run.
@@ -354,7 +355,8 @@ writeJobProfile(FILE *f, const sim::trace::Profiler &pf)
 
 void
 writeJson(const std::string &path, bool smoke, unsigned jobs,
-          const ObsOptions &obs, core::ExperimentRunner &runner,
+          uint32_t sim_threads, const ObsOptions &obs,
+          core::ExperimentRunner &runner,
           const std::vector<AnalysisRecord> &analyses,
           double totalWall)
 {
@@ -368,11 +370,13 @@ writeJson(const std::string &path, bool smoke, unsigned jobs,
     std::fprintf(f,
                  "  \"config\": {\"measure_cycles\": %llu, "
                  "\"warmup_cycles\": %llu, \"seed\": %llu, "
-                 "\"jobs\": %u, \"smoke\": %s, \"trace\": %s, "
+                 "\"jobs\": %u, \"sim_threads\": %u, \"smoke\": %s, "
+                 "\"trace\": %s, "
                  "\"metrics\": %s, \"profile\": %s},\n",
                  (unsigned long long)envOr("MPOS_CYCLES", 20000000),
                  (unsigned long long)envOr("MPOS_WARMUP", 8000000),
                  (unsigned long long)envOr("MPOS_SEED", 7), jobs,
+                 sim_threads,
                  smoke ? "true" : "false", obs.trace ? "true" : "false",
                  obs.metrics ? "true" : "false",
                  obs.profile ? "true" : "false");
@@ -465,6 +469,14 @@ usage()
         "all\n"
         "  --jobs N        worker threads (default: MPOS_JOBS or all "
         "cores)\n"
+        "  --sim-threads N host threads per job's parallel "
+        "epoch/barrier core\n"
+        "                  (default: MPOS_SIM_THREADS or 1 = serial). "
+        "Composes with\n"
+        "                  --jobs: the pool is clamped so jobs x "
+        "sim-threads stays\n"
+        "                  within the hardware threads (floor of one "
+        "job)\n"
         "  --json PATH     machine-readable results (default "
         "mpos_bench_results.json)\n"
         "  --smoke         tiny-run smoke mode: sets "
@@ -523,6 +535,9 @@ benchMain(int argc, char **argv)
     bool check = false;
     bool keepGoing = false;
     unsigned jobs = 0;
+    uint32_t simThreads = sim::simThreadsForced();
+    if (!simThreads)
+        simThreads = 1;
     uint32_t retries = 1;
     double jobTimeout = 0;
     ObsOptions obs;
@@ -552,6 +567,11 @@ benchMain(int argc, char **argv)
             only.push_back(value("--only"));
         } else if (arg == "--jobs") {
             jobs = unsigned(std::strtoul(value("--jobs"), nullptr, 10));
+        } else if (arg == "--sim-threads") {
+            simThreads = uint32_t(
+                std::strtoul(value("--sim-threads"), nullptr, 10));
+            if (!simThreads)
+                simThreads = 1;
         } else if (arg == "--keep-going") {
             keepGoing = true;
         } else if (arg == "--job-timeout") {
@@ -619,11 +639,37 @@ benchMain(int argc, char **argv)
         }
     }
 
+    // --sim-threads composes with the job pool: each job's machine
+    // may spin up simThreads host threads of its own, so the product
+    // is what actually lands on the cores. Clamp the pool so
+    // jobs * simThreads stays within the hardware (floor of one job;
+    // a single job wider than the machine is the user's call).
+    if (simThreads > 1) {
+        const unsigned eff_jobs =
+            jobs ? jobs : util::ThreadPool::defaultThreads();
+        unsigned hw = std::thread::hardware_concurrency();
+        if (!hw)
+            hw = 1;
+        if (eff_jobs * simThreads > hw) {
+            const unsigned clamped =
+                hw / simThreads ? hw / simThreads : 1;
+            if (clamped < eff_jobs) {
+                std::fprintf(stderr,
+                             "[bench] clamping jobs %u -> %u: %u "
+                             "sim-threads per job on %u hardware "
+                             "thread(s)\n",
+                             eff_jobs, clamped, simThreads, hw);
+                jobs = clamped;
+            }
+        }
+    }
+
     core::RunnerOptions ropt;
     ropt.jobs = jobs;
     ropt.maxAttempts = retries ? retries : 1;
     ropt.jobTimeoutSec = jobTimeout;
     BenchContext ctx(ropt);
+    ctx.setSimThreads(simThreads);
     if (!faultJob.empty())
         ctx.setFaultJob(faultJob);
     if (obs.any())
@@ -631,11 +677,12 @@ benchMain(int argc, char **argv)
     core::banner("mpos_bench: the paper's figures/tables from shared "
                  "parallel runs");
     std::printf("Config: measure %llu cycles/CPU after %llu warmup, "
-                "seed %llu, %u host jobs%s\n",
+                "seed %llu, %u host jobs, %u sim-thread(s)/job%s\n",
                 (unsigned long long)envOr("MPOS_CYCLES", 20000000),
                 (unsigned long long)envOr("MPOS_WARMUP", 8000000),
                 (unsigned long long)envOr("MPOS_SEED", 7),
-                ctx.runner().jobs(), smoke ? " [smoke]" : "");
+                ctx.runner().jobs(), simThreads,
+                smoke ? " [smoke]" : "");
 
     const auto t0 = std::chrono::steady_clock::now();
 
@@ -730,7 +777,8 @@ benchMain(int argc, char **argv)
     }
 
     const double totalWall = secondsSince(t0);
-    writeJson(jsonPath, smoke, ctx.runner().jobs(), obs, ctx.runner(),
+    writeJson(jsonPath, smoke, ctx.runner().jobs(), simThreads, obs,
+              ctx.runner(),
               records, totalWall);
 
     size_t failed = 0;

@@ -143,6 +143,23 @@ class UserScript
                                        lock_id, 0));
     }
 
+    /**
+     * Bulk append n virtual user references staged as parallel flat
+     * arrays (structure of arrays): kinds[i] one of IFetchLine /
+     * Load / Store, addrs[i] its virtual address. One reserve plus a
+     * tight expansion loop replaces n calls through the per-item
+     * builders; the workload generators stage into a ReferenceBatch
+     * and flush through here.
+     */
+    void
+    appendRefs(const sim::ItemKind *kinds, const Addr *addrs, size_t n)
+    {
+        out.reserve(out.size() + n);
+        for (size_t i = 0; i < n; ++i)
+            out.push_back({kinds[i], sim::AddrSpace::Virtual,
+                           sim::MarkerOp::PathDone, addrs[i], 0});
+    }
+
     size_t size() const { return out.size(); }
 
   private:

@@ -210,6 +210,10 @@ class ScriptedExecutor : public Executor
 
     void pollEvents(CpuId, Cycle) override {}
 
+    /** pollEvents is a no-op forever, so speculative windows never
+     *  need to cut short for an external event. */
+    Cycle nextEventAt(CpuId) const override { return ~Cycle(0); }
+
   private:
     Machine &m;
     FaultPlan *fp; ///< Null outside fault-injection campaigns.
@@ -294,7 +298,11 @@ FuzzOptions::machineConfig() const
     cfg.l2dBytes = 4096;
     cfg.memBytes = 1ULL * 1024 * 1024;
     cfg.tlbEntries = 16;
-    cfg.busOccupancy = 2; // exercise bus queueing in both cores
+    // Bus queueing is exercised in both serial cores; a parallel
+    // sweep instead levels the field, since speculative windows
+    // require an inert bus (the occupancy queue is the one shared
+    // write they would race on) and the runs must stay comparable.
+    cfg.busOccupancy = simThreads > 1 ? 0 : 2;
     cfg.check = true;
     return cfg;
 }
@@ -398,14 +406,25 @@ buildFuzzScripts(uint64_t seed, const FuzzOptions &opt)
 namespace
 {
 
+/** Which core one fuzz run exercises. */
+enum class RunMode { Fast, Slow, Parallel };
+
 /** One machine run; fills events/state/violations for comparison. */
 void
 runOne(uint64_t seed, const FuzzOptions &opt, uint32_t prefix_len,
-       bool slow, std::vector<Event> &events, StateSnapshot &state,
+       RunMode mode, std::vector<Event> &events, StateSnapshot &state,
        std::vector<std::string> &violations, uint64_t &checks)
 {
     MachineConfig cfg = opt.machineConfig();
-    cfg.slowSim = slow;
+    cfg.slowSim = mode == RunMode::Slow;
+    if (mode == RunMode::Parallel) {
+        // A checker observes mid-window state and forces the serial
+        // fallback, so the parallel run drops it; the fast and slow
+        // runs keep theirs, so the same scripts are still invariant-
+        // checked in full.
+        cfg.check = false;
+        cfg.simThreads = opt.simThreads;
+    }
 
     std::vector<std::vector<ScriptItem>> scripts =
         buildFuzzScripts(seed, opt);
@@ -421,9 +440,13 @@ runOne(uint64_t seed, const FuzzOptions &opt, uint32_t prefix_len,
     const std::vector<Addr> pool = buildPool(rng, opt, cfg);
 
     Machine m(cfg, opt.numLocks);
+    // Null only in parallel mode (unless MPOS_CHECK forces it back,
+    // which also forces the serial fallback -- still a valid run).
     Checker *chk = m.checker();
-    chk->setAbortOnViolation(false);
-    chk->setMappingValidator(identityValidator);
+    if (chk) {
+        chk->setAbortOnViolation(false);
+        chk->setMappingValidator(identityValidator);
+    }
 
     ScriptedExecutor exec(m);
     m.setExecutor(&exec);
@@ -440,12 +463,14 @@ runOne(uint64_t seed, const FuzzOptions &opt, uint32_t prefix_len,
     }
 
     m.run(opt.runCycles);
-    chk->checkAll(m);
+    if (chk) {
+        chk->checkAll(m);
+        violations = chk->violations();
+        checks = chk->stats().total();
+    }
 
     events = std::move(rec.events);
     state = capture(m, pool);
-    violations = chk->violations();
-    checks = chk->stats().total();
 }
 
 } // namespace
@@ -454,22 +479,28 @@ FuzzOutcome
 runDifferential(uint64_t seed, const FuzzOptions &opt,
                 uint32_t prefix_len)
 {
-    std::vector<Event> fastEv, slowEv;
-    StateSnapshot fastState, slowState;
-    std::vector<std::string> fastViol, slowViol;
-    uint64_t fastChecks = 0, slowChecks = 0;
+    std::vector<Event> fastEv, slowEv, parEv;
+    StateSnapshot fastState, slowState, parState;
+    std::vector<std::string> fastViol, slowViol, parViol;
+    uint64_t fastChecks = 0, slowChecks = 0, parChecks = 0;
 
-    runOne(seed, opt, prefix_len, false, fastEv, fastState, fastViol,
-           fastChecks);
-    runOne(seed, opt, prefix_len, true, slowEv, slowState, slowViol,
-           slowChecks);
+    runOne(seed, opt, prefix_len, RunMode::Fast, fastEv, fastState,
+           fastViol, fastChecks);
+    runOne(seed, opt, prefix_len, RunMode::Slow, slowEv, slowState,
+           slowViol, slowChecks);
+    const bool par = opt.simThreads > 1;
+    if (par)
+        runOne(seed, opt, prefix_len, RunMode::Parallel, parEv,
+               parState, parViol, parChecks);
 
     FuzzOutcome out;
-    out.eventsCompared = fastEv.size();
-    out.checksPerformed = fastChecks + slowChecks;
+    out.eventsCompared = fastEv.size() + (par ? parEv.size() : 0);
+    out.checksPerformed = fastChecks + slowChecks + parChecks;
     out.violations = fastViol;
     out.violations.insert(out.violations.end(), slowViol.begin(),
                           slowViol.end());
+    out.violations.insert(out.violations.end(), parViol.begin(),
+                          parViol.end());
 
     std::ostringstream detail;
     if (!out.violations.empty()) {
@@ -494,6 +525,24 @@ runDifferential(uint64_t seed, const FuzzOptions &opt,
         out.ok = false;
         detail << "final machine state differs between fast and "
                   "reference runs (identical event streams)";
+    } else if (par && parEv != fastEv) {
+        out.ok = false;
+        const size_t n = std::min(parEv.size(), fastEv.size());
+        size_t i = 0;
+        while (i < n && parEv[i] == fastEv[i])
+            ++i;
+        detail << "parallel-core event stream diverges from fast at "
+               << "index " << i << " (parallel " << parEv.size()
+               << " events, fast " << fastEv.size() << "): parallel="
+               << (i < parEv.size() ? describeEvent(parEv[i])
+                                    : std::string("<end>"))
+               << " fast="
+               << (i < fastEv.size() ? describeEvent(fastEv[i])
+                                     : std::string("<end>"));
+    } else if (par && !(parState == fastState)) {
+        out.ok = false;
+        detail << "final machine state differs between parallel and "
+                  "fast runs (identical event streams)";
     }
     out.detail = detail.str();
     return out;

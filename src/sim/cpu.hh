@@ -58,6 +58,9 @@ class ScriptQueue
 
     const ScriptItem &front() const { return buf[head & mask]; }
 
+    /** Peek the i-th queued item (0 = front) without popping. */
+    const ScriptItem &at(uint64_t i) const { return buf[(head + i) & mask]; }
+
     void pop_front() { ++head; }
 
     void
@@ -227,6 +230,19 @@ class Executor
 
     /** Deliver any pending external events (interrupts) to cpu. */
     virtual void pollEvents(CpuId cpu, Cycle now) = 0;
+
+    /**
+     * Earliest cycle at which pollEvents(cpu, t) could do anything
+     * for any t below the returned value. The parallel core caps its
+     * speculation windows here so every poll inside a window is a
+     * provable no-op. The conservative default (0) disables window
+     * speculation entirely for executors that do not implement it.
+     */
+    virtual Cycle nextEventAt(CpuId cpu) const
+    {
+        (void)cpu;
+        return 0;
+    }
 };
 
 } // namespace mpos::sim

@@ -1,7 +1,9 @@
 #include "sim/machine.hh"
 
+#include <algorithm>
 #include <bit>
 
+#include "sim/parallel.hh"
 #include "util/error.hh"
 #include "util/logging.hh"
 
@@ -9,15 +11,13 @@ namespace mpos::sim
 {
 
 Machine::Machine(const MachineConfig &config, uint32_t num_locks)
-    : cfg(config), mem(cfg, mon), syncTransport(cfg, num_locks),
+    : cfg(validateConfig(config)), mem(cfg, mon),
+      syncTransport(cfg, num_locks),
       pageShift(uint32_t(std::countr_zero(cfg.pageBytes))),
       pageMask(Addr(cfg.pageBytes) - 1),
       lineExecCycles(Cycle(cfg.instrPerLine) * cfg.cyclesPerInstr),
       slowSim(cfg.slowSim || slowSimForced())
 {
-    if (!std::has_single_bit(cfg.pageBytes))
-        util::raise(util::ErrCode::BadConfig,
-                    "page size %u not a power of two", cfg.pageBytes);
     cpus.reserve(cfg.numCpus);
     for (CpuId c = 0; c < cfg.numCpus; ++c)
         cpus.emplace_back(c, cfg);
@@ -90,7 +90,21 @@ Machine::Machine(const MachineConfig &config, uint32_t num_locks)
         pfp = pf.get();
         mon.attach(pfp);
     }
+
+    // Parallel epoch/barrier core. Engages only when speculative
+    // windows can be proven serial-identical: the fast path (windows
+    // fall back to runFast), a bus with zero occupancy (the one
+    // shared-bus write the windows would race on), and none of the
+    // layers that observe mid-window state (checker, watchdog, fault
+    // plan). More host threads than simulated CPUs cannot help.
+    const uint32_t sim_threads =
+        std::min(cfg.effectiveSimThreads(), cfg.numCpus);
+    if (sim_threads > 1 && !slowSim && cfg.busOccupancy == 0 && !chk &&
+        !wdp && !plan)
+        par = std::make_unique<ParallelCore>(*this, sim_threads);
 }
+
+Machine::~Machine() = default;
 
 CycleAccount
 Machine::totalAccount() const
@@ -299,6 +313,8 @@ Machine::run(Cycle cycles)
     const Cycle target = currentCycle + cycles;
     if (slowSim)
         runReference(target);
+    else if (par)
+        par->run(target);
     else
         runFast(target);
 }

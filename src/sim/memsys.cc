@@ -21,9 +21,9 @@ CpuCaches::CpuCaches(CpuId id, const MachineConfig &cfg)
       lineShift(uint32_t(std::countr_zero(cfg.lineBytes))),
       memBytes(cfg.memBytes)
 {
-    if (!std::has_single_bit(cfg.lineBytes))
-        util::raise(util::ErrCode::BadConfig,
-                    "line size %u not a power of two", cfg.lineBytes);
+    // Geometry is validated centrally (validateConfig) before any
+    // hierarchy is built; the Cache constructors re-check their own
+    // shapes for direct (non-MemorySystem) users.
 }
 
 void
@@ -36,16 +36,13 @@ CpuCaches::rangePanic(Addr line) const
 }
 
 MemorySystem::MemorySystem(const MachineConfig &config, Monitor &monitor)
-    : cfg(config), mon(monitor), sharers(cfg.numLines(), 0),
+    : cfg(validateConfig(config)), mon(monitor),
+      sharers(cfg.numLines(), 0),
       lineShift(uint32_t(std::countr_zero(cfg.lineBytes))),
       lineMask(~Addr(cfg.lineBytes - 1)),
       lineExecCycles(Cycle(cfg.instrPerLine) * cfg.cyclesPerInstr),
       slowSim(cfg.slowSim || slowSimForced())
 {
-    if (cfg.numCpus > 8)
-        util::raise(util::ErrCode::BadConfig,
-                    "snoop filter supports at most 8 CPUs, got %u",
-                    cfg.numCpus);
     hier.reserve(cfg.numCpus);
     for (CpuId c = 0; c < cfg.numCpus; ++c)
         hier.emplace_back(c, cfg);
@@ -57,9 +54,19 @@ MemorySystem::checkLineEvent(Addr line)
     checker->onLineEvent(line);
 }
 
+thread_local WindowCapture *MemorySystem::winCap = nullptr;
+
 Cycle
 MemorySystem::acquireBus(Cycle now)
 {
+    // With zero occupancy the bus never back-pressures: activation
+    // times are monotonic, so busBusyUntil (= some earlier now) can
+    // never exceed the current now and the delay is provably zero.
+    // Skipping the update also removes the one shared-bus write from
+    // the parallel core's speculative windows, which require
+    // busOccupancy == 0 for exactly this reason.
+    if (cfg.busOccupancy == 0)
+        return 0;
     const Cycle delay = busBusyUntil > now ? busBusyUntil - now : 0;
     busBusyUntil = now + delay + cfg.busOccupancy;
     return delay;
@@ -69,6 +76,14 @@ void
 MemorySystem::record(Cycle now, CpuId cpu, Addr line, BusOp op,
                      CacheKind kind, const MonitorContext &ctx)
 {
+    // Speculative window: buffer the event for ordered replay; the
+    // transaction counter is deferred to replayBus so mid-window
+    // observers (there are none) and counters stay serial-identical.
+    if (winCap) {
+        winCap->events.push_back({{now, cpu, line, op, kind, ctx},
+                                  false});
+        return;
+    }
     ++txTotal;
     // Skip constructing the BusRecord when nobody is subscribed (the
     // collectMisses=false warmup mode); the always-on counters still
@@ -91,6 +106,11 @@ MemorySystem::snoopRead(CpuId requester, Addr line)
         uint32_t m = sharers[line >> lineShift] &
                      uint8_t(~(1u << requester));
         const bool shared = m != 0;
+        // The parallel probe cuts every window before a miss with
+        // remote sharers, so a capturing thread can never reach a
+        // remote downgrade (a write to another CPU's state).
+        if (winCap && shared)
+            util::panic("speculative window snooped a shared line");
         while (m) {
             CpuCaches &h = hier[uint32_t(std::countr_zero(m))];
             m &= m - 1;
@@ -123,6 +143,9 @@ MemorySystem::snoopInvalidate(CpuId requester, Addr line)
     if (!slowSim) {
         uint32_t m = sharers[line >> lineShift] &
                      uint8_t(~(1u << requester));
+        // See snoopRead: stores with remote sharers cut the window.
+        if (winCap && m)
+            util::panic("speculative window invalidated a shared line");
         while (m) {
             CpuCaches &h = hier[uint32_t(std::countr_zero(m))];
             m &= m - 1;
@@ -162,7 +185,12 @@ MemorySystem::l2Fill(CpuId cpu, Addr line, Coh st, Cycle now,
         setCohState(h, v.lineAddr, Coh::Invalid);
         // Inclusion: the L1 may not keep a line the L2 dropped.
         h.l1d.invalidate(v.lineAddr);
-        if (mon.listening())
+        if (winCap)
+            winCap->events.push_back(
+                {{now, cpu, v.lineAddr, BusOp::Read, CacheKind::Data,
+                  ctx},
+                 true});
+        else if (mon.listening())
             mon.evict(cpu, CacheKind::Data, v.lineAddr, ctx);
         if (checker)
             checker->onLineEvent(v.lineAddr);
@@ -246,8 +274,15 @@ MemorySystem::ifetchMiss(CpuId cpu, Addr line, Cycle now,
     snoopRead(cpu, line);
     record(now + delay, cpu, line, BusOp::Read, CacheKind::Instr, ctx);
     const Victim v = h.icache.fill(line);
-    if (v.valid && mon.listening())
-        mon.evict(cpu, CacheKind::Instr, v.lineAddr, ctx);
+    if (v.valid) {
+        if (winCap)
+            winCap->events.push_back(
+                {{now, cpu, v.lineAddr, BusOp::Read, CacheKind::Instr,
+                  ctx},
+                 true});
+        else if (mon.listening())
+            mon.evict(cpu, CacheKind::Instr, v.lineAddr, ctx);
+    }
     res.cycles += cfg.busMissStall + delay;
     res.busAccess = true;
     if (checker)
@@ -296,6 +331,10 @@ MemorySystem::flushICachesForPage(Addr ppage)
     // notes that this algorithm does not scale down with larger
     // caches, which is what creates the Inval saturation floor.
     (void)ppage;
+    // Page reallocation happens only inside kernel paths, which the
+    // parallel probe never speculates past (markers cut the window).
+    if (winCap)
+        util::panic("speculative window reached an I-cache page flush");
     for (CpuCaches &h : hier) {
         mon.flushPage(h.cpu, 0, 0); // 0 bytes = full-cache flush
         h.icache.invalidateRange(0, ~Addr(0), [&](Addr line) {

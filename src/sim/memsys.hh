@@ -21,11 +21,35 @@
 #include "sim/cache.hh"
 #include "sim/monitor.hh"
 #include "sim/types.hh"
+#include "util/arena.hh"
 
 namespace mpos::sim
 {
 
 class Checker;
+
+/**
+ * Capture sink for the parallel core's speculative windows: while a
+ * worker thread has one installed (setWindowCapture), monitor-visible
+ * events are buffered here -- arena-backed, one record per bus event
+ * or eviction -- instead of being delivered, and the bus-transaction
+ * counter is deferred. The core merges all per-CPU buffers into the
+ * serial event order and replays them through replayBus/replayEvict.
+ */
+struct WindowCapture
+{
+    /** Evictions reuse the BusRecord fields (cycle orders the merge;
+     *  op is meaningless for them). */
+    struct Event
+    {
+        BusRecord rec;
+        bool isEvict;
+    };
+
+    explicit WindowCapture(util::Arena &arena) : events(arena) {}
+
+    util::ArenaVector<Event> events;
+};
 
 /** MESI line states, tracked at the L2. */
 enum class Coh : uint8_t { Invalid, Shared, Exclusive, Modified };
@@ -174,6 +198,36 @@ class MemorySystem
     /** Attach the invariant checker (null = disabled). */
     void setChecker(Checker *c) { checker = c; }
 
+    /**
+     * Install (or, with null, remove) the calling thread's capture
+     * sink. Thread-local so each parallel worker captures its own
+     * CPUs' events without sharing; serial execution never sets it
+     * and pays one thread-local null test per event.
+     */
+    static void setWindowCapture(WindowCapture *c) { winCap = c; }
+
+    /** Re-deliver one captured bus transaction in merge order:
+     *  exactly record()'s serial body, including the deferred
+     *  transaction count and the listening() fast path. */
+    void
+    replayBus(const BusRecord &rec)
+    {
+        ++txTotal;
+        if (mon.listening())
+            mon.busTransaction(rec);
+        else
+            mon.countTransaction(rec.ctx.mode);
+    }
+
+    /** Re-deliver one captured eviction in merge order. */
+    void
+    replayEvict(const WindowCapture::Event &ev)
+    {
+        if (mon.listening())
+            mon.evict(ev.rec.cpu, ev.rec.cache, ev.rec.lineAddr,
+                      ev.rec.ctx);
+    }
+
   private:
     /** Out-of-line checker trampoline so the inline hit path only
      *  needs the forward-declared Checker and one null test. */
@@ -235,6 +289,8 @@ class MemorySystem
     bool slowSim = false;
     /** Invariant checker; null unless checking is enabled. */
     Checker *checker = nullptr;
+    /** Per-thread capture sink; null outside speculative windows. */
+    static thread_local WindowCapture *winCap;
 };
 
 } // namespace mpos::sim

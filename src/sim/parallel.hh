@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The parallel epoch/barrier simulation core.
+ *
+ * Partitions the simulated CPUs across host worker threads and runs
+ * them speculatively through *windows* -- bounded stretches of
+ * simulated cycles in which the snoop filter proves the CPUs cannot
+ * interact. Each window is three phases around two barriers:
+ *
+ *   PROBE  (parallel, read-only): each worker dry-runs its CPUs'
+ *          scripts from their busyUntil, classifying every reference
+ *          against the caches without mutating them. The probe
+ *          produces, per CPU, a conservative *cut time* (the first
+ *          item that could interact: a marker, an uncached/bypass
+ *          access, a TLB fault, or any miss/upgrade whose line has
+ *          remote sharers) plus the line *footprint* it reads shared
+ *          metadata of and the *write set* of lines whose sharers
+ *          byte or coherence state it may touch (stores, fills, and
+ *          every potential victim of an affected L2 set).
+ *
+ *   COMMIT (parallel): if no CPU's write set intersects another's
+ *          footprint, each worker really executes its CPUs through
+ *          the window [start, windowEnd) -- windowEnd being the
+ *          minimum cut time, further capped at the executor's
+ *          nextEventAt() so every interrupt poll inside the window
+ *          is a provable no-op. Monitor-visible events are buffered
+ *          into arena-backed per-CPU captures (MemorySystem's
+ *          thread-local WindowCapture).
+ *
+ *   MERGE  (serial): the captures are merged by (cycle, cpu, issue
+ *          order) -- exactly the order the lockstep scheduler
+ *          delivers them -- and replayed through the monitor, with
+ *          the deferred bus-transaction counts applied.
+ *
+ * Contended or trivially short windows fall back to the existing
+ * lockstep runFast loop for an adaptively growing chunk of cycles,
+ * so event order is preserved exactly in every case. The result is
+ * event-identical to the serial fast path by construction; the
+ * differential fuzzer and the epoch-equivalence matrix assert it.
+ */
+
+#ifndef MPOS_SIM_PARALLEL_HH
+#define MPOS_SIM_PARALLEL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/memsys.hh"
+#include "sim/types.hh"
+#include "util/arena.hh"
+
+namespace mpos::sim
+{
+
+class Machine;
+
+/** The parallel core; owned by Machine, engaged from Machine::run. */
+class ParallelCore
+{
+  public:
+    /** Counters for reports and the parallel-core bench entries. */
+    struct Stats
+    {
+        uint64_t windows = 0;          ///< Windows committed.
+        uint64_t windowCycles = 0;     ///< Simulated cycles in them.
+        uint64_t windowItems = 0;      ///< Script items in them.
+        uint64_t conflictAborts = 0;   ///< Windows with intersecting sets.
+        uint64_t shortAborts = 0;      ///< Windows below the floor.
+        uint64_t serialChunks = 0;     ///< Lockstep fallback chunks.
+    };
+
+    /**
+     * @param machine     The machine to drive (friend access).
+     * @param num_threads Host threads, already clamped to [2, numCpus].
+     */
+    ParallelCore(Machine &machine, uint32_t num_threads);
+    ~ParallelCore();
+
+    /** Advance the machine to target, window by window. */
+    void run(Cycle target);
+
+    const Stats &stats() const { return st; }
+    uint32_t threads() const { return nThreads; }
+
+  private:
+    /** Probe outcome for one CPU (committed filled in by commit). */
+    struct ProbeResult
+    {
+        Cycle cutAt = 0;    ///< Lower bound on the first unsafe cycle.
+        uint64_t committed = 0; ///< Items really executed this window.
+        std::vector<Addr> footprint; ///< Lines whose shared metadata
+                                     ///< the CPU reads.
+        std::vector<Addr> writeSet;  ///< Lines it may write metadata of.
+    };
+
+    /** Per-worker state, cache-line separated. */
+    struct alignas(64) Worker
+    {
+        util::Arena arena{64 * 1024};
+        std::vector<WindowCapture> caps; ///< One per owned CPU.
+        /** Probe scratch, reused across windows. */
+        std::unordered_set<uint64_t> touchedSets;
+        std::unordered_set<Addr> stateChanged;
+    };
+
+    enum class Phase : uint8_t { Probe, Commit, Stop };
+
+    void workerMain(uint32_t w);
+    /** Publish a phase, work worker 0's share, wait for the rest. */
+    void runPhase(Phase p);
+    void doPhase(Phase p, uint32_t w);
+
+    void probeCpu(CpuId c, Worker &w, ProbeResult &out);
+    void commitCpu(CpuId c, Worker &w, WindowCapture &cap);
+
+    /** One speculative window; false = nothing committed. */
+    bool tryWindow(Cycle target);
+    void mergeAndReplay();
+
+    Machine &m;
+    const uint32_t nThreads;
+
+    std::vector<Worker> workers;
+    std::vector<ProbeResult> probes; ///< Indexed by CPU.
+    std::vector<std::thread> gang;   ///< nThreads - 1 helpers.
+    /** Conflict-check scratch: line -> (reader mask, writer mask). */
+    std::unordered_map<Addr, std::pair<uint8_t, uint8_t>> accessMap;
+
+    /** Window parameters, written by the coordinator before the
+     *  phase is published (release) and read by workers after it
+     *  (acquire). */
+    Cycle windowEnd = 0;
+    Cycle probeLimit = 0;
+
+    /** Phase barrier: epoch counts published phases; pending counts
+     *  workers still in the current one. */
+    std::atomic<uint64_t> epoch{0};
+    std::atomic<uint32_t> pending{0};
+    Phase phase = Phase::Probe;
+
+    /** Adaptive lockstep fallback chunk (cycles). */
+    Cycle serialChunk;
+    static constexpr Cycle minSerialChunk = 1024;
+    static constexpr Cycle maxSerialChunk = 65536;
+    /** Window sizing. */
+    static constexpr Cycle epochCycles = 16384;
+    /** Commit floor: user chunks end in a kernel-path marker every
+     *  few dozen cycles, so the min cut across CPUs is small; windows
+     *  below this are not worth two barriers and fall back. */
+    static constexpr Cycle minWindowCycles = 16;
+    static constexpr uint32_t maxProbeItems = 2048;
+    static constexpr uint32_t maxFootprintLines = 512;
+
+    Stats st;
+};
+
+} // namespace mpos::sim
+
+#endif // MPOS_SIM_PARALLEL_HH

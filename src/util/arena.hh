@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Chunked bump-pointer arena for transient hot-path records.
+ *
+ * The simulation core allocates short-lived per-miss records (window
+ * capture buffers, probe scratch) at reference rate; a general-purpose
+ * allocator call per record would dominate the hot path. The arena
+ * hands out raw storage by bumping a pointer through geometrically
+ * growing chunks and recycles everything at once with reset() -- chunks
+ * are kept, so a steady-state window allocates nothing.
+ *
+ * Not thread-safe by design: each worker owns its own arena.
+ * Trivially-destructible payloads only (reset() runs no destructors).
+ */
+
+#ifndef MPOS_UTIL_ARENA_HH
+#define MPOS_UTIL_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace mpos::util
+{
+
+class Arena
+{
+  public:
+    explicit Arena(size_t first_chunk_bytes = 16 * 1024)
+        : firstChunkBytes(roundUp(first_chunk_bytes ? first_chunk_bytes
+                                                    : 64))
+    {
+    }
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /** Allocate n bytes aligned to align (a power of two). */
+    void *
+    allocate(size_t n, size_t align = alignof(std::max_align_t))
+    {
+        uintptr_t p = (cur + (align - 1)) & ~uintptr_t(align - 1);
+        if (p + n > end) {
+            refill(n + align);
+            p = (cur + (align - 1)) & ~uintptr_t(align - 1);
+        }
+        cur = p + n;
+        live += n;
+        return reinterpret_cast<void *>(p);
+    }
+
+    /** Construct a T in arena storage. T must be trivially destructible. */
+    template <typename T, typename... Args>
+    T *
+    make(Args &&...args)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena reset() runs no destructors");
+        return ::new (allocate(sizeof(T), alignof(T)))
+            T(std::forward<Args>(args)...);
+    }
+
+    /** Allocate an uninitialized array of n Ts. */
+    template <typename T>
+    T *
+    makeArray(size_t n)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena reset() runs no destructors");
+        return static_cast<T *>(allocate(n * sizeof(T), alignof(T)));
+    }
+
+    /**
+     * Recycle every allocation at once. Chunks are retained, so after
+     * warm-up reset() is two pointer stores and no allocator traffic.
+     */
+    void
+    reset()
+    {
+        live = 0;
+        if (chunks.empty()) {
+            cur = end = 0;
+            return;
+        }
+        activeChunk = 0;
+        cur = reinterpret_cast<uintptr_t>(chunks[0].data.get());
+        end = cur + chunks[0].bytes;
+    }
+
+    /** Bytes currently handed out (since the last reset). */
+    size_t allocatedBytes() const { return live; }
+
+    /** Total bytes held in chunks (capacity, survives reset). */
+    size_t
+    capacityBytes() const
+    {
+        size_t total = 0;
+        for (const Chunk &c : chunks)
+            total += c.bytes;
+        return total;
+    }
+
+  private:
+    struct Chunk
+    {
+        std::unique_ptr<std::byte[]> data;
+        size_t bytes = 0;
+    };
+
+    static size_t
+    roundUp(size_t n)
+    {
+        size_t cap = 64;
+        while (cap < n)
+            cap *= 2;
+        return cap;
+    }
+
+    void
+    refill(size_t need)
+    {
+        // Advance through retained chunks first; allocate a new,
+        // geometrically larger one only when they are all exhausted.
+        while (activeChunk + 1 < chunks.size()) {
+            ++activeChunk;
+            const Chunk &c = chunks[activeChunk];
+            if (c.bytes >= need) {
+                cur = reinterpret_cast<uintptr_t>(c.data.get());
+                end = cur + c.bytes;
+                return;
+            }
+        }
+        const size_t grown =
+            chunks.empty() ? firstChunkBytes : chunks.back().bytes * 2;
+        const size_t bytes = roundUp(grown < need ? need : grown);
+        chunks.push_back({std::make_unique<std::byte[]>(bytes), bytes});
+        activeChunk = chunks.size() - 1;
+        cur = reinterpret_cast<uintptr_t>(chunks.back().data.get());
+        end = cur + bytes;
+    }
+
+    std::vector<Chunk> chunks;
+    size_t activeChunk = 0;
+    size_t firstChunkBytes;
+    uintptr_t cur = 0;
+    uintptr_t end = 0;
+    size_t live = 0;
+};
+
+/**
+ * Arena-backed growable array: push_back without per-element allocator
+ * calls, reallocating (copy into a doubled arena block) as it grows.
+ * The window-capture hot path appends one record per bus event.
+ */
+template <typename T>
+class ArenaVector
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+
+  public:
+    explicit ArenaVector(Arena &arena) : ar(&arena) {}
+
+    void
+    push_back(const T &v)
+    {
+        if (n == cap)
+            grow();
+        data_[n++] = v;
+    }
+
+    const T *begin() const { return data_; }
+    const T *end() const { return data_ + n; }
+    const T &operator[](size_t i) const { return data_[i]; }
+    size_t size() const { return n; }
+    bool empty() const { return n == 0; }
+
+    /** Forget the contents (storage stays in the arena until reset). */
+    void
+    clear()
+    {
+        n = 0;
+    }
+
+  private:
+    void
+    grow()
+    {
+        const size_t ncap = cap ? cap * 2 : 64;
+        T *nd = ar->makeArray<T>(ncap);
+        for (size_t i = 0; i < n; ++i)
+            nd[i] = data_[i];
+        data_ = nd;
+        cap = ncap;
+    }
+
+    Arena *ar;
+    T *data_ = nullptr;
+    size_t n = 0;
+    size_t cap = 0;
+};
+
+} // namespace mpos::util
+
+#endif // MPOS_UTIL_ARENA_HH

@@ -3,10 +3,13 @@
  * Fixed-size host thread pool with futures.
  *
  * This is host-side orchestration machinery, not part of the simulated
- * machine: simulations stay single-threaded and deterministic, the
- * pool only lets several independent simulations run concurrently.
- * Sizing follows the MPOS_JOBS environment knob (default: all
- * hardware threads).
+ * machine: the pool lets several independent simulations run
+ * concurrently, each remaining deterministic. (A single simulation
+ * can additionally spread its simulated CPUs over host threads via
+ * the epoch/barrier parallel core, sim/parallel.hh, which owns its
+ * own gang rather than using this pool; mpos_bench clamps the
+ * product of the two knobs to the host.) Sizing follows the
+ * MPOS_JOBS environment knob (default: all hardware threads).
  */
 
 #ifndef MPOS_UTIL_THREADPOOL_HH

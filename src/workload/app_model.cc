@@ -84,6 +84,9 @@ SyntheticApp::maybeJump()
 void
 SyntheticApp::emitWork(UserScript &s, uint32_t instrs)
 {
+    // The whole chunk stages into the SoA batch and lands in the
+    // script with one flush; the item order is exactly what the
+    // per-item calls produced.
     uint32_t emitted = 0;
     const bool shared_write_ok = prm.sharedBytes > 0;
     while (emitted < instrs) {
@@ -94,7 +97,7 @@ SyntheticApp::emitWork(UserScript &s, uint32_t instrs)
             loopRepsLeft = 2 + uint32_t(rng.below(prm.maxLoopReps));
         }
 
-        s.ifetch(VaMap::textBase + codePos);
+        batch.ifetch(VaMap::textBase + codePos);
         for (uint32_t i = 0; i < instrPerLine; ++i) {
             if (!rng.chanceBelow(thDataRef))
                 continue;
@@ -104,9 +107,9 @@ SyntheticApp::emitWork(UserScript &s, uint32_t instrs)
                 a < prm.sharedBase + prm.sharedBytes;
             if (rng.chanceBelow(is_shared ? thSharedStore
                                           : thStore))
-                s.store(a);
+                batch.store(a);
             else
-                s.load(a);
+                batch.load(a);
         }
         emitted += instrPerLine;
 
@@ -124,6 +127,7 @@ SyntheticApp::emitWork(UserScript &s, uint32_t instrs)
         if (codePos >= prm.codeBytes)
             codePos = 0;
     }
+    batch.flush(s);
 }
 
 void

@@ -16,8 +16,8 @@
  * across a double run.
  *
  * Usage: mpos_fuzz [--seeds N] [--first-seed S] [--cpus a,b,c]
- *                  [--script-len N] [--cycles N] [--quiet]
- *                  [--faults] [--dump-dir D]
+ *                  [--script-len N] [--cycles N] [--sim-threads N]
+ *                  [--quiet] [--faults] [--dump-dir D]
  */
 
 #include <cstdio>
@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "sim/check/fuzz.hh"
+#include "sim/types.hh"
 
 namespace
 {
@@ -42,6 +43,11 @@ usage(const char *argv0)
         "  --cpus a,b,c    CPU counts to sweep (default 1,2,4)\n"
         "  --script-len N  script items per CPU (default 4000)\n"
         "  --cycles N      cycles per machine run (default 60000)\n"
+        "  --sim-threads N three-way differential: also run the "
+        "parallel\n"
+        "                  epoch/barrier core with N host threads "
+        "(default\n"
+        "                  MPOS_SIM_THREADS if set, else 1 = off)\n"
         "  --quiet         only print the summary\n"
         "  --faults        run the fault-injection campaign instead "
         "of the\n"
@@ -134,6 +140,11 @@ main(int argc, char **argv)
     uint64_t firstSeed = 1;
     std::vector<uint32_t> cpus = {1, 2, 4};
     mpos::sim::FuzzOptions opt;
+    // MPOS_SIM_THREADS reaches every constructed Machine anyway (the
+    // env override beats the config field), so honor it here too and
+    // get the third parallel run instead of a silent serial fallback.
+    if (const uint32_t forced = mpos::sim::simThreadsForced())
+        opt.simThreads = forced;
     bool quiet = false;
     bool faults = false;
     std::string dumpDir;
@@ -158,6 +169,10 @@ main(int argc, char **argv)
             opt.scriptLen = uint32_t(std::strtoul(v, nullptr, 10));
         } else if (const char *v = arg("--cycles")) {
             opt.runCycles = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = arg("--sim-threads")) {
+            opt.simThreads = uint32_t(std::strtoul(v, nullptr, 10));
+            if (!opt.simThreads)
+                opt.simThreads = 1;
         } else if (const char *v = arg("--dump-dir")) {
             dumpDir = v;
         } else if (!std::strcmp(argv[i], "--quiet")) {
@@ -199,13 +214,17 @@ main(int argc, char **argv)
                 (unsigned long long)res.checksPerformed,
                 res.failures.size());
     for (const mpos::sim::FuzzFailure &f : res.failures) {
+        std::string extra;
+        if (opt.simThreads > 1)
+            extra = " --sim-threads " + std::to_string(opt.simThreads);
         std::printf("  seed %llu cpus %u: minimal failing prefix %u "
                     "items\n    repro: mpos_fuzz --seeds 1 "
-                    "--first-seed %llu --cpus %u --script-len %u\n"
+                    "--first-seed %llu --cpus %u --script-len %u%s\n"
                     "    %s\n",
                     (unsigned long long)f.seed, f.numCpus,
                     f.minimalPrefix, (unsigned long long)f.seed,
-                    f.numCpus, f.minimalPrefix, f.detail.c_str());
+                    f.numCpus, f.minimalPrefix, extra.c_str(),
+                    f.detail.c_str());
     }
     return res.ok() ? 0 : 1;
 }

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Epoch-equivalence tests for the parallel epoch/barrier core.
+ *
+ * The parallel core is a pure optimization: speculative windows plus
+ * lockstep fallback must reproduce the serial fast path bit for bit.
+ * The matrix here drives seed x simulated-CPU x host-sim-thread
+ * combinations through the three-way fuzz differential (fast vs
+ * one-tick reference vs parallel) and through full kernel workloads,
+ * asserting identical event streams, counters, and cycle accounts.
+ * A separate test pins the engagement rules: any layer that observes
+ * mid-window state must force the serial core.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "sim/check/fuzz.hh"
+#include "sim/machine.hh"
+#include "sim/parallel.hh"
+
+using namespace mpos;
+
+namespace
+{
+
+core::ExperimentConfig
+workloadConfig(uint64_t seed, uint32_t num_cpus, uint32_t sim_threads)
+{
+    core::ExperimentConfig cfg;
+    cfg.kind = workload::WorkloadKind::Pmake;
+    cfg.warmupCycles = 100000;
+    cfg.measureCycles = 400000;
+    cfg.options.seed = seed;
+    cfg.machine.numCpus = num_cpus;
+    cfg.machine.simThreads = sim_threads;
+    return cfg;
+}
+
+void
+expectSameResults(core::Experiment &a, core::Experiment &b)
+{
+    EXPECT_EQ(a.machine().now(), b.machine().now());
+    EXPECT_EQ(a.machine().memory().busTransactions(),
+              b.machine().memory().busTransactions());
+    EXPECT_EQ(a.misses().total(), b.misses().total());
+    EXPECT_EQ(a.elapsed(), b.elapsed());
+    const sim::CycleAccount eacc = a.account(), pacc = b.account();
+    for (unsigned m = 0; m < 3; ++m) {
+        EXPECT_EQ(eacc.total[m], pacc.total[m]) << "total mode " << m;
+        EXPECT_EQ(eacc.stall[m], pacc.stall[m]) << "stall mode " << m;
+    }
+}
+
+} // namespace
+
+/**
+ * The headline matrix: every (seed, simulated CPUs, host sim-threads)
+ * combination must produce a monitor event stream and final machine
+ * state bit-identical to the serial fast path AND to the one-tick
+ * reference core. runDifferential does the three-way comparison.
+ */
+TEST(ParallelCore, EpochEquivalenceMatrix)
+{
+    for (uint64_t seed : {3u, 9u}) {
+        for (uint32_t cpus : {1u, 2u, 4u}) {
+            for (uint32_t threads : {1u, 2u, 4u}) {
+                SCOPED_TRACE("seed " + std::to_string(seed) +
+                             " cpus " + std::to_string(cpus) +
+                             " threads " + std::to_string(threads));
+                sim::FuzzOptions opt;
+                opt.numCpus = cpus;
+                opt.scriptLen = 1500;
+                opt.runCycles = 25000;
+                opt.simThreads = threads;
+                const sim::FuzzOutcome out =
+                    sim::runDifferential(seed, opt);
+                EXPECT_TRUE(out.ok) << out.detail;
+            }
+        }
+    }
+}
+
+/** Full kernel workload, serial vs parallel core, all counters. */
+TEST(ParallelCore, PmakeMatchesSerialFastPath)
+{
+    for (uint32_t threads : {2u, 4u}) {
+        SCOPED_TRACE("threads " + std::to_string(threads));
+        core::Experiment serial(workloadConfig(7, 4, 1));
+        serial.run();
+        core::Experiment parallel(workloadConfig(7, 4, threads));
+        parallel.run();
+        expectSameResults(serial, parallel);
+    }
+}
+
+/** An 8-CPU machine -- the bench headliner's shape -- too. */
+TEST(ParallelCore, EightCpuPmakeMatchesSerialFastPath)
+{
+    core::Experiment serial(workloadConfig(7, 8, 1));
+    serial.run();
+    core::Experiment parallel(workloadConfig(7, 8, 4));
+    parallel.run();
+    expectSameResults(serial, parallel);
+}
+
+/**
+ * The equivalence above must not be vacuous: on a plain fast-path
+ * machine the parallel core has to engage and actually commit
+ * speculative windows (if every window aborted into the lockstep
+ * fallback, the whole feature would be dead weight).
+ */
+TEST(ParallelCore, CommitsWindowsOnAWorkload)
+{
+    core::Experiment exp(workloadConfig(7, 4, 4));
+    exp.run();
+    const sim::ParallelCore *par = exp.machine().parallel();
+    ASSERT_NE(par, nullptr);
+    EXPECT_EQ(par->threads(), 4u);
+    const sim::ParallelCore::Stats &st = par->stats();
+    EXPECT_GT(st.windows, 0u) << "no speculative window ever "
+                                 "committed; the core is vacuous";
+    EXPECT_GT(st.windowCycles, 0u);
+    EXPECT_GT(st.windowItems, 0u);
+}
+
+/** Engagement rules: anything observing mid-window state forces the
+ *  serial core, as does a machine the windows cannot handle. */
+TEST(ParallelCore, SerialFallbackGating)
+{
+    sim::MachineConfig base;
+    base.simThreads = 4;
+
+    {
+        sim::Machine m(base);
+        EXPECT_NE(m.parallel(), nullptr) << "plain fast-path machine "
+                                            "should engage";
+    }
+    {
+        sim::MachineConfig cfg = base;
+        cfg.simThreads = 1;
+        sim::Machine m(cfg);
+        EXPECT_EQ(m.parallel(), nullptr);
+    }
+    {
+        sim::MachineConfig cfg = base;
+        cfg.numCpus = 1; // more threads than CPUs cannot help
+        sim::Machine m(cfg);
+        EXPECT_EQ(m.parallel(), nullptr);
+    }
+    {
+        sim::MachineConfig cfg = base;
+        cfg.check = true; // checker observes mid-window state
+        sim::Machine m(cfg);
+        EXPECT_EQ(m.parallel(), nullptr);
+    }
+    {
+        sim::MachineConfig cfg = base;
+        cfg.slowSim = true; // reference core is the whole point
+        sim::Machine m(cfg);
+        EXPECT_EQ(m.parallel(), nullptr);
+    }
+    {
+        sim::MachineConfig cfg = base;
+        cfg.busOccupancy = 2; // occupancy queue is a shared write
+        sim::Machine m(cfg);
+        EXPECT_EQ(m.parallel(), nullptr);
+    }
+    {
+        sim::MachineConfig cfg = base;
+        cfg.watchdogCycles = 1000000; // polls mid-window
+        sim::Machine m(cfg);
+        EXPECT_EQ(m.parallel(), nullptr);
+    }
+    {
+        sim::MachineConfig cfg = base;
+        cfg.faultSeed = 1; // fault plan perturbs mid-window
+        sim::Machine m(cfg);
+        EXPECT_EQ(m.parallel(), nullptr);
+    }
+}

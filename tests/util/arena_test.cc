@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the bump-pointer arena and the arena-backed vector that
+ * carry the parallel core's per-window capture records.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "util/arena.hh"
+
+using mpos::util::Arena;
+using mpos::util::ArenaVector;
+
+TEST(Arena, AllocationsAreDisjointAndAligned)
+{
+    Arena a(256);
+    char *p1 = static_cast<char *>(a.allocate(100));
+    char *p2 = static_cast<char *>(a.allocate(100));
+    ASSERT_NE(p1, nullptr);
+    ASSERT_NE(p2, nullptr);
+    // Writing one allocation must not disturb the other.
+    std::memset(p1, 0xaa, 100);
+    std::memset(p2, 0xbb, 100);
+    EXPECT_EQ(uint8_t(p1[99]), 0xaa);
+    EXPECT_EQ(uint8_t(p2[0]), 0xbb);
+
+    void *p3 = a.allocate(1, 64);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p3) % 64, 0u);
+}
+
+TEST(Arena, GrowsAcrossChunks)
+{
+    Arena a(64); // tiny first chunk forces refills immediately
+    for (int i = 0; i < 100; ++i) {
+        void *p = a.allocate(48);
+        ASSERT_NE(p, nullptr);
+        std::memset(p, i, 48); // must be writable storage
+    }
+    EXPECT_GE(a.capacityBytes(), 100u * 48u);
+    EXPECT_EQ(a.allocatedBytes(), 100u * 48u);
+}
+
+TEST(Arena, OversizedRequestGetsItsOwnChunk)
+{
+    Arena a(64);
+    void *p = a.allocate(10000);
+    ASSERT_NE(p, nullptr);
+    std::memset(p, 0xcd, 10000);
+    EXPECT_GE(a.capacityBytes(), 10000u);
+}
+
+TEST(Arena, ResetRecyclesWithoutReleasingChunks)
+{
+    Arena a(128);
+    for (int i = 0; i < 50; ++i)
+        a.allocate(64);
+    const size_t cap = a.capacityBytes();
+    EXPECT_GT(cap, 0u);
+
+    a.reset();
+    EXPECT_EQ(a.allocatedBytes(), 0u);
+    EXPECT_EQ(a.capacityBytes(), cap) << "reset must retain chunks";
+
+    // Steady state: the same volume fits in the retained chunks.
+    for (int i = 0; i < 50; ++i)
+        a.allocate(64);
+    EXPECT_EQ(a.capacityBytes(), cap) << "no new chunk in steady state";
+}
+
+TEST(Arena, MakeConstructsInPlace)
+{
+    struct Rec
+    {
+        uint64_t a;
+        uint32_t b;
+    };
+    Arena ar;
+    Rec *r = ar.make<Rec>(Rec{7, 9});
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->a, 7u);
+    EXPECT_EQ(r->b, 9u);
+
+    int *xs = ar.makeArray<int>(10);
+    for (int i = 0; i < 10; ++i)
+        xs[i] = i * i;
+    EXPECT_EQ(xs[9], 81);
+}
+
+TEST(ArenaVector, PushBackPreservesOrderAcrossGrowth)
+{
+    Arena ar(64);
+    ArenaVector<uint64_t> v(ar);
+    EXPECT_TRUE(v.empty());
+    // Push well past several doublings (initial capacity is 64).
+    for (uint64_t i = 0; i < 1000; ++i)
+        v.push_back(i * 3);
+    ASSERT_EQ(v.size(), 1000u);
+    for (uint64_t i = 0; i < 1000; ++i)
+        ASSERT_EQ(v[size_t(i)], i * 3) << "index " << i;
+
+    // Range iteration sees the same sequence.
+    uint64_t expect = 0;
+    for (uint64_t x : v) {
+        ASSERT_EQ(x, expect * 3);
+        ++expect;
+    }
+    EXPECT_EQ(expect, 1000u);
+
+    v.clear();
+    EXPECT_TRUE(v.empty());
+    v.push_back(42);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0], 42u);
+}
