@@ -7,6 +7,7 @@
 #include <filesystem>
 
 #include "bench/analyses.hh"
+#include "core/warmcache.hh"
 #include "sim/trace/trace.hh"
 #include "util/json.hh"
 
@@ -356,6 +357,7 @@ writeJobProfile(FILE *f, const sim::trace::Profiler &pf)
 void
 writeJson(const std::string &path, bool smoke, unsigned jobs,
           uint32_t sim_threads, const ObsOptions &obs,
+          const core::WarmStartCache *warm_cache,
           core::ExperimentRunner &runner,
           const std::vector<AnalysisRecord> &analyses,
           double totalWall)
@@ -446,6 +448,22 @@ writeJson(const std::string &path, bool smoke, unsigned jobs,
                      i + 1 < analyses.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
+    if (warm_cache) {
+        // Host self-profile: how much warmup simulation the warm-start
+        // cache saved (or banked) this invocation.
+        const core::WarmCacheStats ws = warm_cache->stats();
+        std::fprintf(
+            f,
+            "  \"snapshot_cache\": {\"dir\": \"%s\", "
+            "\"hits\": %llu, \"misses\": %llu, \"stores\": %llu, "
+            "\"bytes_read\": %llu, \"bytes_written\": %llu},\n",
+            jsonEscape(warm_cache->directory()).c_str(),
+            (unsigned long long)ws.hits,
+            (unsigned long long)ws.misses,
+            (unsigned long long)ws.stores,
+            (unsigned long long)ws.bytesRead,
+            (unsigned long long)ws.bytesWritten);
+    }
     std::fprintf(f,
                  "  \"monitor_events_total\": %llu,\n"
                  "  \"events_per_second\": %.0f,\n"
@@ -497,6 +515,15 @@ usage()
         "non-zero)\n"
         "  --job-timeout S per-attempt wall-clock budget for each "
         "simulation job\n"
+        "  --snapshot-dir D warm-start cache: jobs sharing a warm "
+        "prefix (machine\n"
+        "                  geometry + workload + seed + warmup) fork "
+        "from one memoized\n"
+        "                  end-of-warmup snapshot, in-process and via "
+        "D across\n"
+        "                  invocations (also: MPOS_SNAPSHOT_DIR). "
+        "Measured output is\n"
+        "                  byte-identical with or without the cache\n"
         "  --retries N     attempts per job; retries reseed "
         "deterministically\n"
         "  --fault-job J   inject a guaranteed watchdog trip into job "
@@ -518,7 +545,8 @@ usage()
         "Environment: MPOS_CYCLES, MPOS_WARMUP, MPOS_SEED, "
         "MPOS_JOBS, MPOS_CHECK,\n"
         "MPOS_WATCHDOG (forward-progress budget in cycles), "
-        "MPOS_FAULTS (fault seed).\n");
+        "MPOS_FAULTS (fault seed),\n"
+        "MPOS_SNAPSHOT_DIR (same as --snapshot-dir).\n");
 }
 
 } // namespace
@@ -540,6 +568,9 @@ benchMain(int argc, char **argv)
         simThreads = 1;
     uint32_t retries = 1;
     double jobTimeout = 0;
+    std::string snapshotDir;
+    if (const char *env = std::getenv("MPOS_SNAPSHOT_DIR"))
+        snapshotDir = env;
     ObsOptions obs;
     obs.dir = "mpos_bench_obs";
 
@@ -576,6 +607,8 @@ benchMain(int argc, char **argv)
             keepGoing = true;
         } else if (arg == "--job-timeout") {
             jobTimeout = std::strtod(value("--job-timeout"), nullptr);
+        } else if (arg == "--snapshot-dir") {
+            snapshotDir = value("--snapshot-dir");
         } else if (arg == "--retries") {
             retries = uint32_t(
                 std::strtoul(value("--retries"), nullptr, 10));
@@ -668,6 +701,15 @@ benchMain(int argc, char **argv)
     ropt.jobs = jobs;
     ropt.maxAttempts = retries ? retries : 1;
     ropt.jobTimeoutSec = jobTimeout;
+    // The warm-start cache outlives the runner (jobs hold a raw
+    // pointer); null when disabled, so the default path is untouched.
+    std::unique_ptr<core::WarmStartCache> warmCache;
+    if (!snapshotDir.empty()) {
+        std::filesystem::create_directories(snapshotDir);
+        warmCache =
+            std::make_unique<core::WarmStartCache>(snapshotDir);
+        ropt.warmCache = warmCache.get();
+    }
     BenchContext ctx(ropt);
     ctx.setSimThreads(simThreads);
     if (!faultJob.empty())
@@ -778,8 +820,20 @@ benchMain(int argc, char **argv)
 
     const double totalWall = secondsSince(t0);
     writeJson(jsonPath, smoke, ctx.runner().jobs(), simThreads, obs,
-              ctx.runner(),
-              records, totalWall);
+              warmCache.get(), ctx.runner(), records, totalWall);
+    if (warmCache) {
+        const core::WarmCacheStats ws = warmCache->stats();
+        std::fprintf(stderr,
+                     "[mpos_bench] snapshot cache: %llu hit(s), %llu "
+                     "miss(es), %llu store(s), %llu B read, %llu B "
+                     "written (%s)\n",
+                     (unsigned long long)ws.hits,
+                     (unsigned long long)ws.misses,
+                     (unsigned long long)ws.stores,
+                     (unsigned long long)ws.bytesRead,
+                     (unsigned long long)ws.bytesWritten,
+                     snapshotDir.c_str());
+    }
 
     size_t failed = 0;
     for (const auto &r : records)

@@ -1,52 +1,16 @@
 #include "core/experiment.hh"
 
-#include <algorithm>
 #include <chrono>
 
+#include "core/warmcache.hh"
+#include "sim/phase.hh"
+#include "sim/snapshot/container.hh"
 #include "util/error.hh"
 #include "util/logging.hh"
+#include "workload/wstate.hh"
 
 namespace mpos::core
 {
-
-namespace
-{
-
-/**
- * Run the machine for @a cycles with an optional host wall-clock
- * deadline. Machine::run(a); run(b) is equivalent to run(a + b), so
- * slicing never perturbs simulated events -- the timeout is pure
- * host-side policy, checked between slices (overshoot is bounded by
- * one slice).
- */
-void
-runWithDeadline(sim::Machine &m, sim::Cycle cycles, double budget_s,
-                std::chrono::steady_clock::time_point deadline,
-                sim::Cycle done_before, sim::Cycle total_cycles)
-{
-    if (budget_s <= 0) {
-        m.run(cycles);
-        return;
-    }
-    const sim::Cycle slice = std::max<sim::Cycle>(cycles / 64, 1);
-    sim::Cycle left = cycles;
-    while (left) {
-        const sim::Cycle step = std::min(slice, left);
-        m.run(step);
-        left -= step;
-        if (left && std::chrono::steady_clock::now() >= deadline) {
-            util::raise(util::ErrCode::Timeout,
-                        "experiment timed out after %.3f s "
-                        "(%llu of %llu cycles)",
-                        budget_s,
-                        static_cast<unsigned long long>(
-                            done_before + cycles - left),
-                        static_cast<unsigned long long>(total_cycles));
-        }
-    }
-}
-
-} // namespace
 
 Experiment::Experiment(const ExperimentConfig &config)
     : cfg(config)
@@ -104,6 +68,58 @@ Experiment::Experiment(const ExperimentConfig &config)
 
 Experiment::~Experiment() = default;
 
+uint64_t
+Experiment::warmKey() const
+{
+    return warmConfigHash(cfg); // cfg was resolved by the constructor
+}
+
+std::vector<uint8_t>
+Experiment::saveSnapshot() const
+{
+    using sim::snapshot::Section;
+    const workload::StateCodec codec(*wl);
+    util::ByteWriter mw, kw, ww;
+    mach->saveState(mw);
+    k->saveState(kw, codec);
+    wl->saveState(ww);
+    std::vector<std::pair<Section, std::vector<uint8_t>>> sections;
+    sections.emplace_back(Section::Machine, mw.take());
+    sections.emplace_back(Section::Kernel, kw.take());
+    sections.emplace_back(Section::Workload, ww.take());
+    return sim::snapshot::pack(warmKey(), std::move(sections));
+}
+
+void
+Experiment::restoreSnapshot(const std::vector<uint8_t> &image)
+{
+    using sim::snapshot::Section;
+    const auto parsed = sim::snapshot::parse(image);
+    if (parsed.configHash() != warmKey())
+        util::raise(util::ErrCode::SnapshotCorrupt,
+                    "snapshot config hash %016llx does not match this "
+                    "experiment's %016llx",
+                    static_cast<unsigned long long>(parsed.configHash()),
+                    static_cast<unsigned long long>(warmKey()));
+
+    // Order matters: behaviors reconstructed during the kernel
+    // restore point into the workload's shared structures, which must
+    // already hold their restored values.
+    {
+        util::ByteReader r(parsed.section(Section::Workload));
+        wl->restoreState(r);
+    }
+    {
+        const workload::StateCodec codec(*wl);
+        util::ByteReader r(parsed.section(Section::Kernel));
+        k->restoreState(r, codec);
+    }
+    {
+        util::ByteReader r(parsed.section(Section::Machine));
+        mach->restoreState(r);
+    }
+}
+
 void
 Experiment::run()
 {
@@ -111,17 +127,35 @@ Experiment::run()
         util::panic("Experiment::run called twice");
     ran = true;
 
-    const sim::Cycle total = cfg.warmupCycles + cfg.measureCycles;
-    const auto deadline =
+    sim::PhaseDeadline dl;
+    dl.budgetSeconds = cfg.timeoutSeconds;
+    dl.deadline =
         std::chrono::steady_clock::now() +
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
             std::chrono::duration<double>(cfg.timeoutSeconds));
+    dl.totalCycles = cfg.warmupCycles + cfg.measureCycles;
 
     if (sim::trace::Metrics *mx = mach->metrics())
         mx->markPhase(mach->now(), "warmup");
 
-    runWithDeadline(*mach, cfg.warmupCycles, cfg.timeoutSeconds,
-                    deadline, 0, total);
+    // Warm start: restore a memoized end-of-warmup image when one
+    // exists, otherwise simulate the warmup and memoize it. Observers
+    // attach only after this point, so the restored machine is
+    // indistinguishable from one that simulated its own warmup.
+    bool warmed = false;
+    if (cfg.warmCache && cfg.warmupCycles) {
+        const uint64_t key = warmKey();
+        if (WarmStartCache::Image img = cfg.warmCache->lookup(key)) {
+            restoreSnapshot(*img);
+            warmed = true;
+        }
+    }
+    if (!warmed) {
+        dl.doneBefore = 0;
+        sim::runPhase(*mach, cfg.warmupCycles, dl);
+        if (cfg.warmCache && cfg.warmupCycles)
+            cfg.warmCache->store(warmKey(), saveSnapshot());
+    }
 
     // Snapshot warm state, then attach the measurement apparatus.
     baseAccount = mach->totalAccount();
@@ -155,8 +189,8 @@ Experiment::run()
         pf->resetCycles(mach->now());
 
     const sim::Cycle start = mach->now();
-    runWithDeadline(*mach, cfg.measureCycles, cfg.timeoutSeconds,
-                    deadline, cfg.warmupCycles, total);
+    dl.doneBefore = cfg.warmupCycles;
+    sim::runPhase(*mach, cfg.measureCycles, dl);
     measuredCycles = mach->now() - start;
 
     // Close the observability outputs at the measurement edge so

@@ -29,6 +29,8 @@
 namespace mpos::core
 {
 
+class WarmStartCache;
+
 /** Everything needed to run one measured workload. */
 struct ExperimentConfig
 {
@@ -57,6 +59,17 @@ struct ExperimentConfig
      * workload's recommended pool size.
      */
     bool useRecommendedPool = true;
+
+    /**
+     * Warm-start cache; null disables (the default, zero overhead).
+     * When set, run() asks the cache for a warm image keyed by
+     * warmConfigHash(resolved config) and restores it instead of
+     * simulating the warmup; on a miss it simulates the warmup and
+     * stores the image. Host-side policy only: measured events and
+     * statistics are identical either way (the differential fuzzer
+     * and the golden corpus assert this).
+     */
+    WarmStartCache *warmCache = nullptr;
 };
 
 /** A configured, runnable experiment. */
@@ -100,6 +113,25 @@ class Experiment
     /// @}
 
     const ExperimentConfig &config() const { return cfg; }
+
+    /// @name Snapshot / warm start
+    /// @{
+    /** Warm-image cache key of the *resolved* configuration. */
+    uint64_t warmKey() const;
+
+    /**
+     * Full machine+kernel+workload state as a snapshot container
+     * image (may be taken at any point between run slices).
+     */
+    std::vector<uint8_t> saveSnapshot() const;
+
+    /**
+     * Restore a snapshot image into this (not-yet-run) experiment.
+     * The image's config hash must equal warmKey(); structural
+     * mismatches raise util::SimError(SnapshotCorrupt).
+     */
+    void restoreSnapshot(const std::vector<uint8_t> &image);
+    /// @}
 
   private:
     ExperimentConfig cfg;

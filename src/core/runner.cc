@@ -92,6 +92,7 @@ ExperimentRunner::submit(std::string name,
         for (uint32_t attempt = 1; attempt <= tries; ++attempt) {
             ExperimentConfig cfg = slot->cfg;
             cfg.timeoutSeconds = opt.jobTimeoutSec;
+            cfg.warmCache = opt.warmCache;
             if (attempt > 1) {
                 if (opt.retryBackoffMs) {
                     std::this_thread::sleep_for(

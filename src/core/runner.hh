@@ -81,6 +81,12 @@ struct RunnerOptions
     uint32_t maxAttempts = 1; ///< Per-job tries; retries reseed.
     double jobTimeoutSec = 0; ///< Per-attempt wall budget; 0 = none.
     unsigned retryBackoffMs = 25; ///< Host sleep before each retry.
+    /**
+     * Warm-start cache shared by every job; null disables. The key is
+     * computed from each attempt's *effective* config, so a reseeded
+     * retry never reuses the failed seed's warm image.
+     */
+    WarmStartCache *warmCache = nullptr;
 };
 
 /** Schedules ExperimentConfig jobs over a host thread pool. */

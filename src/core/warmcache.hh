@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Cross-process warm-start cache for experiment sweeps.
+ *
+ * "Warm up then measure" means every job spends its first
+ * warmupCycles reaching steady state before any observer attaches.
+ * That prefix is fully determined by the event-affecting slice of the
+ * configuration (machine geometry and timing, kernel tuning, workload
+ * kind/options/seed, warmup length) -- so jobs sharing that slice can
+ * fork from one memoized warm image instead of each re-simulating the
+ * warmup. warmConfigHash() fingerprints exactly that slice;
+ * measurement-phase-only knobs (measure length, observer and checker
+ * selection, host scheduling policy) are deliberately excluded, which
+ * is what lets analysis jobs of different measure lengths share the
+ * standard runs' images.
+ *
+ * WarmStartCache memoizes images in-process (shared read-only
+ * buffers; concurrent runner jobs restore from the same bytes) and,
+ * when given a directory, persists them as one file per key so later
+ * process invocations warm-start too. Corrupt or version-mismatched
+ * files are treated as misses (the container checksum guards them),
+ * and a hash collision across genuinely different configs is guarded
+ * by the restore-side structural validation.
+ */
+
+#ifndef MPOS_CORE_WARMCACHE_HH
+#define MPOS_CORE_WARMCACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mpos::core
+{
+
+struct ExperimentConfig;
+
+/**
+ * Fingerprint of the event-affecting configuration slice that
+ * determines the warm state. Callers must pass the *resolved* config
+ * (after Experiment's constructor normalization: layout geometry
+ * copied from the machine, the recommended page pool applied);
+ * Experiment::warmKey() does this for you.
+ */
+uint64_t warmConfigHash(const ExperimentConfig &cfg);
+
+/** Cache hit/miss accounting, for the bench self-profile. */
+struct WarmCacheStats
+{
+    uint64_t hits = 0;        ///< In-memory or on-disk image reused.
+    uint64_t misses = 0;      ///< Warmup simulated from scratch.
+    uint64_t stores = 0;      ///< Images saved after a cold warmup.
+    uint64_t bytesRead = 0;   ///< Snapshot bytes loaded from disk.
+    uint64_t bytesWritten = 0; ///< Snapshot bytes written to disk.
+};
+
+/** Keyed store of warm machine images; safe for concurrent jobs. */
+class WarmStartCache
+{
+  public:
+    /** Read-only shared image bytes (a full snapshot container). */
+    using Image = std::shared_ptr<const std::vector<uint8_t>>;
+
+    /** @param directory On-disk cache dir; empty = in-memory only.
+     *  The directory must already exist (the bench creates it). */
+    explicit WarmStartCache(std::string directory = "");
+
+    /**
+     * Image for key, or null. Checks the in-process map first, then
+     * the directory; a disk hit is promoted into the map. Counts one
+     * hit or miss.
+     */
+    Image lookup(uint64_t key);
+
+    /**
+     * Memoize (and, with a directory, persist) the image for key.
+     * Racing stores of the same key are harmless: both attempts carry
+     * identical bytes (same key => same warm prefix => same state).
+     */
+    Image store(uint64_t key, std::vector<uint8_t> bytes);
+
+    WarmCacheStats stats() const;
+    const std::string &directory() const { return dir; }
+
+  private:
+    std::string filePath(uint64_t key) const;
+
+    mutable std::mutex mu;
+    std::string dir;
+    std::unordered_map<uint64_t, Image> mem;
+    WarmCacheStats st;
+};
+
+} // namespace mpos::core
+
+#endif // MPOS_CORE_WARMCACHE_HH

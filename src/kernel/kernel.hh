@@ -193,6 +193,21 @@ class Kernel : public sim::Executor
     uint64_t diskRequests() const { return disk.requests; }
     /// @}
 
+    /// @name Snapshot save/restore
+    /// Serializes the whole kernel object graph: process table (with
+    /// behaviors, via the workload-supplied codec), scheduler queues,
+    /// lock table, VM (page tables, free list, text page cache,
+    /// shared map), file system (buffer cache, disk, ttys), the timed
+    /// event queue, per-CPU clock/context nesting state, the RNG, and
+    /// every counter. Scratch buffers (chunkBuf, the lazily built
+    /// idle chunk) are rebuilt on demand and deliberately excluded.
+    /// The target kernel must have been built from the same config;
+    /// structural mismatches raise util::SimError(SnapshotCorrupt).
+    /// @{
+    void saveState(util::ByteWriter &w, const BehaviorCodec &codec) const;
+    void restoreState(util::ByteReader &r, const BehaviorCodec &codec);
+    /// @}
+
   private:
     using Script = std::vector<ScriptItem>;
 
@@ -247,6 +262,9 @@ class Kernel : public sim::Executor
     void freePage(Script &s, uint64_t ppage);
     /** Drop one reference; frees the page when the count hits zero. */
     void releasePage(Script &s, uint64_t ppage);
+    /** Release all private resident pages of p, sorted by vpage so the
+     *  resulting free-list order is hash-layout independent. */
+    void releasePrivatePages(Script &s, Process &p);
     void reclaimPages(Script &s, CpuId cpu);
     /**
      * Make vaddr resident for process p, emitting any allocation or
@@ -331,6 +349,8 @@ class Kernel : public sim::Executor
     std::vector<uint8_t> pageHeldCode;
     /** Per physical page reference counts (COW sharing). */
     std::vector<uint16_t> pageRefs;
+    /** Reusable victim buffer for releasePrivatePages (not state). */
+    std::vector<std::pair<Addr, uint64_t>> reclaimScratch;
 
     /** Shared-memory region: vpage -> ppage (eager allocation). */
     std::unordered_map<Addr, uint64_t> sharedMap;

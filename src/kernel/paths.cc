@@ -251,6 +251,28 @@ Kernel::releasePage(Script &s, uint64_t ppage)
         freePage(s, ppage);
 }
 
+void
+Kernel::releasePrivatePages(Script &s, Process &p)
+{
+    // Release in vpage order: the page table is an unordered map, and
+    // the order this walk frees pages determines the free-list order,
+    // which feeds every later allocation (and hence the reference
+    // stream). A sorted walk keeps the stream independent of hash
+    // layout -- in particular across a snapshot restore, which rebuilds
+    // the map with a different insertion history.
+    auto &victims = reclaimScratch;
+    victims.clear();
+    victims.reserve(p.pageTable.size());
+    for (const auto &[vp, pte] : p.pageTable) {
+        if (pte.present && !pte.shared && !pte.text)
+            victims.emplace_back(vp, pte.ppage);
+    }
+    if (victims.size() > 1)
+        std::sort(victims.begin(), victims.end());
+    for (const auto &[vp, pp] : victims)
+        releasePage(s, pp);
+}
+
 uint64_t
 Kernel::ensureResident(Script &s, CpuId cpu, Process &p, Addr vaddr,
                        bool for_write)
@@ -878,10 +900,7 @@ Kernel::bodyExec(Script &s, CpuId cpu, Process &p, uint32_t image_id)
     emitLock(s, shrLock(p.slot));
     emitTextByName(s, "pagefree");
     emitLock(s, Memlock);
-    for (const auto &[vp, pte] : p.pageTable) {
-        if (pte.present && !pte.shared && !pte.text)
-            releasePage(s, pte.ppage);
-    }
+    releasePrivatePages(s, p);
     emitUnlock(s, Memlock);
     p.pageTable.clear();
     emitTouch(s, map.pageTableAddr(p.slot), 1024, true);
@@ -905,10 +924,7 @@ Kernel::bodyExit(Script &s, CpuId cpu, Process &p)
     emitLock(s, shrLock(p.slot));
     emitTextByName(s, "pagefree");
     emitLock(s, Memlock);
-    for (const auto &[vp, pte] : p.pageTable) {
-        if (pte.present && !pte.shared && !pte.text)
-            releasePage(s, pte.ppage);
-    }
+    releasePrivatePages(s, p);
     emitUnlock(s, Memlock);
     p.pageTable.clear();
     emitUnlock(s, shrLock(p.slot));

@@ -22,6 +22,12 @@
 #include "sim/cpu.hh"
 #include "sim/types.hh"
 
+namespace mpos::util
+{
+class ByteWriter;
+class ByteReader;
+} // namespace mpos::util
+
 namespace mpos::kernel
 {
 
@@ -181,6 +187,22 @@ class AppBehavior
      * hundred instructions). Must append at least one item.
      */
     virtual void chunk(Process &p, UserScript &s) = 0;
+};
+
+/**
+ * Serializer for AppBehavior objects, supplied by the workload layer
+ * (which knows the concrete behavior types) to Kernel::saveState /
+ * restoreState. save() must emit a leading type tag that load() uses
+ * to reconstruct the right class wired to the right shared workload
+ * structures.
+ */
+class BehaviorCodec
+{
+  public:
+    virtual ~BehaviorCodec() = default;
+
+    virtual void save(util::ByteWriter &w, const AppBehavior &b) const = 0;
+    virtual std::unique_ptr<AppBehavior> load(util::ByteReader &r) const = 0;
 };
 
 /** A process control block. */

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sim/types.hh"
+#include "util/binio.hh"
 
 namespace mpos::sim
 {
@@ -163,6 +164,38 @@ class Cache
     uint64_t residentLines() const;
 
     const std::string &name() const { return label; }
+
+    /// @name Snapshot save/restore
+    /// The packed tag/valid/dirty words and LRU ranks are the whole
+    /// mutable state; geometry comes from the constructor and is
+    /// validated on restore.
+    /// @{
+    void
+    saveState(util::ByteWriter &w) const
+    {
+        w.u64(uint64_t(ways.size()));
+        for (const Way &way : ways) {
+            w.u64(way.tv);
+            w.u32(way.lru);
+        }
+    }
+
+    void
+    restoreState(util::ByteReader &r)
+    {
+        const uint64_t n = r.u64();
+        if (n != ways.size())
+            util::raise(util::ErrCode::SnapshotCorrupt,
+                        "cache %s: snapshot has %llu ways, machine "
+                        "has %zu",
+                        label.c_str(), (unsigned long long)n,
+                        ways.size());
+        for (Way &way : ways) {
+            way.tv = r.u64();
+            way.lru = r.u32();
+        }
+    }
+    /// @}
 
   private:
     struct Way

@@ -1,5 +1,6 @@
 #include "sim/check/checker.hh"
 
+#include <algorithm>
 #include <bit>
 #include <cstdarg>
 #include <cstdio>
@@ -25,6 +26,14 @@ Checker::Checker(const MachineConfig &config)
       lineShift(uint32_t(std::countr_zero(cfg.lineBytes))),
       osDepth(cfg.numCpus, -1), lastOsCycle(cfg.numCpus, 0)
 {
+}
+
+void
+Checker::onRestore()
+{
+    lastBusCycle = 0;
+    std::fill(osDepth.begin(), osDepth.end(), int8_t(-1));
+    std::fill(lastOsCycle.begin(), lastOsCycle.end(), Cycle(0));
 }
 
 void

@@ -119,6 +119,16 @@ class Checker : public MonitorObserver
      */
     void checkAll(const Machine &m);
 
+    /**
+     * The machine was re-seeded from a snapshot: everything this
+     * checker derived from the event stream so far (OS entry/exit
+     * depth, cycle monotonicity watermarks) describes a history the
+     * restored machine never lived. Reset it to the pre-first-event
+     * state; the stateless sweeps keep validating the restored state
+     * directly.
+     */
+    void onRestore();
+
     /// @name MonitorObserver (event-stream well-formedness)
     /// @{
     void busTransaction(const BusRecord &rec) override;

@@ -5,6 +5,9 @@
 
 #include "sim/check/checker.hh"
 #include "sim/machine.hh"
+#include "sim/phase.hh"
+#include "sim/snapshot/container.hh"
+#include "util/binio.hh"
 #include "util/error.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -462,7 +465,9 @@ runOne(uint64_t seed, const FuzzOptions &opt, uint32_t prefix_len,
         cpu.pushSeq(scripts[c]);
     }
 
-    m.run(opt.runCycles);
+    // The same phase driver the experiment harness uses (no deadline
+    // here), so fuzzed runs and measured runs slice identically.
+    runPhase(m, opt.runCycles);
     if (chk) {
         chk->checkAll(m);
         violations = chk->violations();
@@ -473,7 +478,180 @@ runOne(uint64_t seed, const FuzzOptions &opt, uint32_t prefix_len,
     state = capture(m, pool);
 }
 
+/**
+ * Common per-machine setup for the snapshot differential: checker in
+ * collect mode with the identity oracle, scripted executor, recorder.
+ * Wiring only -- none of this is snapshot state.
+ */
+struct FuzzRig
+{
+    Machine m;
+    ScriptedExecutor exec;
+    EventRecorder rec;
+
+    FuzzRig(const MachineConfig &cfg, const FuzzOptions &opt)
+        : m(cfg, opt.numLocks), exec(m)
+    {
+        if (Checker *chk = m.checker()) {
+            chk->setAbortOnViolation(false);
+            chk->setMappingValidator(identityValidator);
+        }
+        m.setExecutor(&exec);
+        m.monitor().attach(&rec);
+    }
+
+    void
+    finish(std::vector<std::string> &violations, uint64_t &checks)
+    {
+        if (Checker *chk = m.checker()) {
+            chk->checkAll(m);
+            const auto v = chk->violations();
+            violations.insert(violations.end(), v.begin(), v.end());
+            checks += chk->stats().total();
+        }
+    }
+};
+
 } // namespace
+
+FuzzOutcome
+runSnapshotDifferential(uint64_t seed, const FuzzOptions &opt,
+                        Cycle snapshot_at)
+{
+    const MachineConfig cfg = opt.machineConfig();
+    const Cycle cut = std::min(std::max<Cycle>(snapshot_at, 1),
+                               opt.runCycles - 1);
+
+    std::vector<std::vector<ScriptItem>> scripts =
+        buildFuzzScripts(seed, opt);
+    util::Rng rng(seed ^ 0xf02277a5f9a3e1cdULL);
+    const std::vector<Addr> pool = buildPool(rng, opt, cfg);
+
+    FuzzOutcome out;
+
+    // Uninterrupted reference run.
+    std::vector<Event> refEv;
+    StateSnapshot refState;
+    {
+        FuzzRig rig(cfg, opt);
+        for (CpuId c = 0; c < rig.m.numCpus(); ++c) {
+            Cpu &cpu = rig.m.cpu(c);
+            cpu.ctx.mode = ExecMode::User;
+            cpu.ctx.op = OsOp::None;
+            cpu.ctx.pid = Pid(c % maxFuzzPid);
+            cpu.pushSeq(scripts[c]);
+        }
+        runPhase(rig.m, opt.runCycles);
+        rig.finish(out.violations, out.checksPerformed);
+        refEv = std::move(rig.rec.events);
+        refState = capture(rig.m, pool);
+    }
+
+    // Interrupted run: cut at `cut`, serialize through the container,
+    // restore into a brand-new machine, continue there.
+    std::vector<Event> ev;
+    StateSnapshot endState;
+    {
+        std::vector<uint8_t> image;
+        {
+            FuzzRig rig(cfg, opt);
+            for (CpuId c = 0; c < rig.m.numCpus(); ++c) {
+                Cpu &cpu = rig.m.cpu(c);
+                cpu.ctx.mode = ExecMode::User;
+                cpu.ctx.op = OsOp::None;
+                cpu.ctx.pid = Pid(c % maxFuzzPid);
+                cpu.pushSeq(scripts[c]);
+            }
+            runPhase(rig.m, cut);
+            rig.finish(out.violations, out.checksPerformed);
+            util::ByteWriter w;
+            rig.m.saveState(w);
+            std::vector<std::pair<snapshot::Section,
+                                  std::vector<uint8_t>>> sections;
+            sections.emplace_back(snapshot::Section::Machine, w.take());
+            image = snapshot::pack(seed, std::move(sections));
+            ev = std::move(rig.rec.events);
+        }
+        {
+            // The restored machine gets fresh wiring (executor,
+            // recorder, checker); per-CPU contexts and script queues
+            // come from the snapshot, so no re-initialization here.
+            FuzzRig rig(cfg, opt);
+            const auto parsed = snapshot::parse(image);
+            util::ByteReader r(
+                parsed.section(snapshot::Section::Machine));
+            rig.m.restoreState(r);
+            runPhase(rig.m, opt.runCycles - cut);
+            rig.finish(out.violations, out.checksPerformed);
+            ev.insert(ev.end(), rig.rec.events.begin(),
+                      rig.rec.events.end());
+            endState = capture(rig.m, pool);
+        }
+    }
+
+    out.eventsCompared = refEv.size();
+    std::ostringstream detail;
+    if (!out.violations.empty()) {
+        out.ok = false;
+        detail << out.violations.size() << " invariant violation(s), "
+               << "first: " << out.violations.front();
+    } else if (ev != refEv) {
+        out.ok = false;
+        const size_t n = std::min(ev.size(), refEv.size());
+        size_t i = 0;
+        while (i < n && ev[i] == refEv[i])
+            ++i;
+        detail << "snapshot-at-" << cut
+               << " event stream diverges at index " << i
+               << " (snapshotted " << ev.size() << " events, reference "
+               << refEv.size() << "): snapshotted="
+               << (i < ev.size() ? describeEvent(ev[i])
+                                 : std::string("<end>"))
+               << " reference="
+               << (i < refEv.size() ? describeEvent(refEv[i])
+                                    : std::string("<end>"));
+    } else if (!(endState == refState)) {
+        out.ok = false;
+        detail << "final machine state differs after a snapshot at "
+               << cut << " cycles (identical event streams)";
+    }
+    out.detail = detail.str();
+    return out;
+}
+
+FuzzMatrixResult
+runSnapshotMatrix(uint64_t first_seed, uint32_t num_seeds,
+                  const std::vector<uint32_t> &cpu_counts,
+                  const FuzzOptions &base, Cycle snapshot_at,
+                  const std::function<void(uint64_t, uint32_t,
+                                           const FuzzOutcome &)>
+                      &progress)
+{
+    FuzzMatrixResult result;
+    for (uint32_t cpus : cpu_counts) {
+        FuzzOptions opt = base;
+        opt.numCpus = cpus;
+        for (uint64_t s = first_seed; s < first_seed + num_seeds;
+             ++s) {
+            const FuzzOutcome out =
+                runSnapshotDifferential(s, opt, snapshot_at);
+            ++result.runs;
+            result.eventsCompared += out.eventsCompared;
+            result.checksPerformed += out.checksPerformed;
+            if (!out.ok) {
+                FuzzFailure f;
+                f.seed = s;
+                f.numCpus = cpus;
+                f.minimalPrefix = 0; // repro = seed + cut point
+                f.detail = out.detail;
+                result.failures.push_back(std::move(f));
+            }
+            if (progress)
+                progress(s, cpus, out);
+        }
+    }
+    return result;
+}
 
 FuzzOutcome
 runDifferential(uint64_t seed, const FuzzOptions &opt,
@@ -609,7 +787,7 @@ runFaulted(uint64_t seed, const FuzzOptions &opt)
     }
 
     try {
-        m.run(opt.runCycles);
+        runPhase(m, opt.runCycles);
     } catch (const util::SimError &e) {
         rec.tripped = true;
         rec.errorCode = e.codeName();

@@ -129,6 +129,33 @@ FuzzMatrixResult runFuzzMatrix(
                              const FuzzOutcome &)> &progress = nullptr);
 
 /**
+ * Snapshot differential: run a seed's scripts uninterrupted on the
+ * fast core, then again with the run cut at snapshot_at cycles -- the
+ * machine state is serialized through the snapshot container, restored
+ * into a brand-new machine, and the run continued there. The property:
+ * the interrupted run's concatenated monitor event stream and its
+ * final machine state must be bit-identical to the uninterrupted
+ * run's, and the coherence checker must stay clean across the restore
+ * boundary. snapshot_at is clamped to [1, runCycles - 1].
+ */
+FuzzOutcome runSnapshotDifferential(uint64_t seed,
+                                    const FuzzOptions &opt,
+                                    Cycle snapshot_at);
+
+/**
+ * Sweep seeds [first_seed, first_seed + num_seeds) over the given CPU
+ * counts through runSnapshotDifferential. Failures carry the detail
+ * text directly (no prefix minimization: the repro is already just a
+ * seed and a cut point).
+ */
+FuzzMatrixResult runSnapshotMatrix(
+    uint64_t first_seed, uint32_t num_seeds,
+    const std::vector<uint32_t> &cpu_counts, const FuzzOptions &base,
+    Cycle snapshot_at,
+    const std::function<void(uint64_t seed, uint32_t cpus,
+                             const FuzzOutcome &)> &progress = nullptr);
+
+/**
  * One fault-injection campaign run. The campaign's property is not
  * differential equivalence but *reproducibility of failure*: the same
  * seed must produce the same fault schedule, fire the same faults,

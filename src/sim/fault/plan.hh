@@ -24,6 +24,7 @@
 #include <string>
 
 #include "sim/types.hh"
+#include "util/binio.hh"
 
 namespace mpos::sim
 {
@@ -105,6 +106,31 @@ class FaultPlan
      * retry tests and `mpos_bench --fault-job`.
      */
     static uint64_t firstTrippingSeed(uint64_t from, Cycle horizon);
+
+    /// @name Snapshot save/restore
+    /// Only the runtime counters travel; the static schedule is
+    /// redrawn from the seed (which the config hash covers).
+    /// @{
+    void
+    saveState(util::ByteWriter &w) const
+    {
+        w.u32(slotAllocs);
+        w.u32(shmAllocs);
+        w.u32(lockAllocs);
+        w.u64(chunks);
+        w.u32(fired);
+    }
+
+    void
+    restoreState(util::ByteReader &r)
+    {
+        slotAllocs = r.u32();
+        shmAllocs = r.u32();
+        lockAllocs = r.u32();
+        chunks = r.u64();
+        fired = r.u32();
+    }
+    /// @}
 
   private:
     bool countFired() { ++fired; return true; }

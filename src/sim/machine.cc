@@ -319,4 +319,77 @@ Machine::run(Cycle cycles)
         runFast(target);
 }
 
+void
+Machine::saveState(util::ByteWriter &w) const
+{
+    w.u64(currentCycle);
+    w.u32(uint32_t(cpus.size()));
+    for (const Cpu &c : cpus) {
+        w.u8(uint8_t(c.ctx.mode));
+        w.u8(uint8_t(c.ctx.op));
+        w.u16(c.ctx.routine);
+        w.i64(c.ctx.pid);
+        w.u64(c.busyUntil);
+        w.u64(c.nextPollAt);
+        w.u32(c.intrDisable);
+        for (unsigned m = 0; m < 3; ++m) {
+            w.u64(c.account.total[m]);
+            w.u64(c.account.stall[m]);
+        }
+        c.tlb.saveState(w);
+        c.script.saveState(w);
+    }
+    mem.saveState(w);
+    syncTransport.saveState(w);
+    w.u64(mon.transactions());
+    w.u64(mon.osTransactions());
+    w.b(plan != nullptr);
+    if (plan)
+        plan->saveState(w);
+}
+
+void
+Machine::restoreState(util::ByteReader &r)
+{
+    currentCycle = r.u64();
+    const uint32_t n = r.u32();
+    if (n != cpus.size())
+        util::raise(util::ErrCode::SnapshotCorrupt,
+                    "machine: snapshot has %u cpus, machine has %zu",
+                    n, cpus.size());
+    for (Cpu &c : cpus) {
+        c.ctx.mode = ExecMode(r.u8());
+        c.ctx.op = OsOp(r.u8());
+        c.ctx.routine = r.u16();
+        c.ctx.pid = Pid(r.i64());
+        c.busyUntil = r.u64();
+        c.nextPollAt = r.u64();
+        c.intrDisable = r.u32();
+        for (unsigned m = 0; m < 3; ++m) {
+            c.account.total[m] = r.u64();
+            c.account.stall[m] = r.u64();
+        }
+        c.tlb.restoreState(r);
+        c.script.restoreState(r);
+    }
+    mem.restoreState(r);
+    syncTransport.restoreState(r);
+    const uint64_t tx = r.u64();
+    const uint64_t txos = r.u64();
+    mon.restoreCounters(tx, txos);
+    const bool had_plan = r.b();
+    if (had_plan != (plan != nullptr))
+        util::raise(util::ErrCode::SnapshotCorrupt,
+                    "machine: snapshot %s a fault plan, machine %s",
+                    had_plan ? "has" : "lacks",
+                    plan ? "has one" : "has none");
+    if (plan)
+        plan->restoreState(r);
+    // Anything the checker inferred from events preceding the restore
+    // (notably the kernel-boot idle enters emitted before observers
+    // could see them) describes a history this machine never lived.
+    if (chk)
+        chk->onRestore();
+}
+
 } // namespace mpos::sim

@@ -136,6 +136,23 @@ class Machine
     /** Aggregate cycle accounting over all CPUs. */
     CycleAccount totalAccount() const;
 
+    /// @name Snapshot save/restore
+    /// Serializes every cycle-determining structure: the clock, each
+    /// CPU's context/busy horizon/accounting/TLB/pending script, the
+    /// coherent memory system, the sync transport, the monitor's
+    /// always-on counters, and the fault plan's runtime counters.
+    /// Observer layers (checker, watchdog, tracer, metrics, profiler)
+    /// are wiring, not state: a restored machine reconstructs them
+    /// fresh, exactly as an uninterrupted run would have them at the
+    /// same point with no observers attached during the skipped span.
+    /// Restoring requires a machine built from the same config (the
+    /// caller guards this with the config hash); structural mismatches
+    /// raise util::SimError(SnapshotCorrupt).
+    /// @{
+    void saveState(util::ByteWriter &w) const;
+    void restoreState(util::ByteReader &r);
+    /// @}
+
   private:
     /**
      * Execute one script item on a CPU at time now. Returns true if

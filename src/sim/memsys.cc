@@ -343,4 +343,56 @@ MemorySystem::flushICachesForPage(Addr ppage)
     }
 }
 
+void
+MemorySystem::saveState(util::ByteWriter &w) const
+{
+    w.u32(uint32_t(hier.size()));
+    for (const CpuCaches &h : hier) {
+        h.icache.saveState(w);
+        h.l1d.saveState(w);
+        h.l2d.saveState(w);
+        w.u64(uint64_t(h.l2state.size()));
+        w.raw(h.l2state.data(), h.l2state.size());
+    }
+    w.u64(uint64_t(sharers.size()));
+    w.raw(sharers.data(), sharers.size());
+    w.u64(busBusyUntil);
+    w.u64(txTotal);
+}
+
+void
+MemorySystem::restoreState(util::ByteReader &r)
+{
+    const uint32_t ncpus = r.u32();
+    if (ncpus != hier.size())
+        util::raise(util::ErrCode::SnapshotCorrupt,
+                    "memsys: snapshot has %u cpus, machine has %zu",
+                    ncpus, hier.size());
+    for (CpuCaches &h : hier) {
+        h.icache.restoreState(r);
+        h.l1d.restoreState(r);
+        h.l2d.restoreState(r);
+        const uint64_t ns = r.u64();
+        if (ns != h.l2state.size())
+            util::raise(util::ErrCode::SnapshotCorrupt,
+                        "memsys: l2state size %llu vs %zu",
+                        (unsigned long long)ns, h.l2state.size());
+        r.raw(h.l2state.data(), h.l2state.size());
+        for (Coh s : h.l2state) {
+            if (uint8_t(s) > uint8_t(Coh::Modified))
+                util::raise(util::ErrCode::SnapshotCorrupt,
+                            "memsys: invalid MESI state byte %u",
+                            unsigned(s));
+        }
+    }
+    const uint64_t nf = r.u64();
+    if (nf != sharers.size())
+        util::raise(util::ErrCode::SnapshotCorrupt,
+                    "memsys: snoop filter size %llu vs %zu",
+                    (unsigned long long)nf, sharers.size());
+    r.raw(sharers.data(), sharers.size());
+    busBusyUntil = r.u64();
+    txTotal = r.u64();
+}
+
 } // namespace mpos::sim

@@ -22,6 +22,7 @@
 #include "sim/monitor.hh"
 #include "sim/types.hh"
 #include "util/arena.hh"
+#include "util/binio.hh"
 
 namespace mpos::sim
 {
@@ -227,6 +228,15 @@ class MemorySystem
             mon.evict(ev.rec.cpu, ev.rec.cache, ev.rec.lineAddr,
                       ev.rec.ctx);
     }
+
+    /// @name Snapshot save/restore
+    /// Every cache's packed tags, the per-CPU MESI arrays, the snoop
+    /// filter, bus occupancy horizon and transaction counter; all
+    /// geometry is reconstructed from config and validated.
+    /// @{
+    void saveState(util::ByteWriter &w) const;
+    void restoreState(util::ByteReader &r);
+    /// @}
 
   private:
     /** Out-of-line checker trampoline so the inline hit path only

@@ -184,6 +184,18 @@ class Monitor
     uint64_t transactions() const { return txCount; }
     uint64_t osTransactions() const { return txOs; }
 
+    /**
+     * Restore the always-on transaction counters (snapshot restore).
+     * Observers are wiring, not state: a restored machine re-attaches
+     * them exactly as a cold run would after warmup.
+     */
+    void
+    restoreCounters(uint64_t tx_count, uint64_t tx_os)
+    {
+        txCount = tx_count;
+        txOs = tx_os;
+    }
+
   private:
     std::vector<MonitorObserver *> observers;
     uint64_t txCount = 0;

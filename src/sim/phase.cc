@@ -1,0 +1,37 @@
+#include "sim/phase.hh"
+
+#include <algorithm>
+
+#include "sim/machine.hh"
+#include "util/error.hh"
+
+namespace mpos::sim
+{
+
+void
+runPhase(Machine &m, Cycle cycles, const PhaseDeadline &dl)
+{
+    if (dl.budgetSeconds <= 0) {
+        m.run(cycles);
+        return;
+    }
+    const Cycle slice = std::max<Cycle>(cycles / 64, 1);
+    Cycle left = cycles;
+    while (left) {
+        const Cycle step = std::min(slice, left);
+        m.run(step);
+        left -= step;
+        if (left && std::chrono::steady_clock::now() >= dl.deadline) {
+            util::raise(util::ErrCode::Timeout,
+                        "experiment timed out after %.3f s "
+                        "(%llu of %llu cycles)",
+                        dl.budgetSeconds,
+                        static_cast<unsigned long long>(
+                            dl.doneBefore + cycles - left),
+                        static_cast<unsigned long long>(
+                            dl.totalCycles));
+        }
+    }
+}
+
+} // namespace mpos::sim

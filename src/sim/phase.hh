@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared simulation-phase driver: advance a machine by a cycle count
+ * under an optional host wall-clock deadline.
+ *
+ * Machine::run(a); run(b) is equivalent to run(a + b), so slicing a
+ * phase never perturbs simulated events -- the timeout is pure
+ * host-side policy, checked between slices (overshoot is bounded by
+ * one slice). core::Experiment uses it for both the warmup and
+ * measurement phases, and the differential fuzzer's runs go through
+ * the same helper so every caller slices identically.
+ */
+
+#ifndef MPOS_SIM_PHASE_HH
+#define MPOS_SIM_PHASE_HH
+
+#include <chrono>
+
+#include "sim/types.hh"
+
+namespace mpos::sim
+{
+
+class Machine;
+
+/** Host-side deadline context for runPhase; default = no deadline. */
+struct PhaseDeadline
+{
+    /** Wall-clock budget in seconds; <= 0 disables the deadline. */
+    double budgetSeconds = 0;
+    /** Absolute deadline (caller-computed once per whole run). */
+    std::chrono::steady_clock::time_point deadline{};
+    /** Cycles already completed before this phase (for the message). */
+    Cycle doneBefore = 0;
+    /** Total cycles of the whole run (for the message). */
+    Cycle totalCycles = 0;
+};
+
+/**
+ * Advance m by cycles. With a positive budget the phase runs in
+ * cycles/64 slices and raises util::SimError(Timeout) once the
+ * deadline passes between slices; otherwise it is one plain run().
+ */
+void runPhase(Machine &m, Cycle cycles, const PhaseDeadline &dl = {});
+
+} // namespace mpos::sim
+
+#endif // MPOS_SIM_PHASE_HH

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "sim/types.hh"
+#include "util/binio.hh"
 
 namespace mpos::sim
 {
@@ -85,6 +86,53 @@ class SyncTransport
     {
         return cachedAt[lock_id];
     }
+
+    /// @name Snapshot save/restore
+    /// @{
+    void
+    saveState(util::ByteWriter &w) const
+    {
+        w.u32(uint32_t(perLock.size()));
+        for (const SyncOpCounts &c : perLock) {
+            w.u64(c.uncachedOps);
+            w.u64(c.cachedOps);
+        }
+        for (uint32_t m : cachedAt)
+            w.u32(m);
+        w.u32(uint32_t(stall.size()));
+        for (Cycle s : stall)
+            w.u64(s);
+        w.u64(uncachedOpsTotal);
+        w.u64(cachedOpsTotal);
+    }
+
+    void
+    restoreState(util::ByteReader &r)
+    {
+        const uint32_t nl = r.u32();
+        if (nl != perLock.size())
+            util::raise(util::ErrCode::SnapshotCorrupt,
+                        "syncbus: snapshot has %u locks, machine has "
+                        "%zu",
+                        nl, perLock.size());
+        for (SyncOpCounts &c : perLock) {
+            c.uncachedOps = r.u64();
+            c.cachedOps = r.u64();
+        }
+        for (uint32_t &m : cachedAt)
+            m = r.u32();
+        const uint32_t nc = r.u32();
+        if (nc != stall.size())
+            util::raise(util::ErrCode::SnapshotCorrupt,
+                        "syncbus: snapshot has %u cpus, machine has "
+                        "%zu",
+                        nc, stall.size());
+        for (Cycle &s : stall)
+            s = r.u64();
+        uncachedOpsTotal = r.u64();
+        cachedOpsTotal = r.u64();
+    }
+    /// @}
 
   private:
     /** Bus ops this event needs under the uncached sync-bus protocol. */

@@ -42,6 +42,7 @@ enum class ErrCode : uint8_t
     Timeout,           ///< Per-job host wall-clock budget exceeded.
     JobFailed,         ///< A runner job has no result to hand out.
     FaultInjected,     ///< A FaultPlan fault fired (campaign runs).
+    SnapshotCorrupt,   ///< A machine snapshot failed validation.
 };
 
 inline const char *
@@ -54,6 +55,7 @@ errCodeName(ErrCode code)
     case ErrCode::Timeout: return "timeout";
     case ErrCode::JobFailed: return "job-failed";
     case ErrCode::FaultInjected: return "fault-injected";
+    case ErrCode::SnapshotCorrupt: return "snapshot-corrupt";
     }
     return "unknown";
 }

@@ -11,6 +11,7 @@
 #ifndef MPOS_UTIL_RNG_HH
 #define MPOS_UTIL_RNG_HH
 
+#include <array>
 #include <cstdint>
 
 namespace mpos::util
@@ -116,6 +117,26 @@ class Rng
             ++n;
         return n;
     }
+
+    /// @name Explicit state save/restore
+    /// The snapshot layer checkpoints every stream mid-run; a restored
+    /// generator continues the exact draw sequence of the original.
+    /// @{
+    std::array<uint64_t, 4>
+    saveState() const
+    {
+        return {state[0], state[1], state[2], state[3]};
+    }
+
+    void
+    restoreState(const std::array<uint64_t, 4> &s)
+    {
+        state[0] = s[0];
+        state[1] = s[1];
+        state[2] = s[2];
+        state[3] = s[3];
+    }
+    /// @}
 
   private:
     static uint64_t

@@ -24,6 +24,8 @@
 namespace mpos::workload
 {
 
+class StateCodec;
+
 using kernel::AppBehavior;
 using kernel::Process;
 using kernel::Sys;
@@ -164,6 +166,11 @@ class SyntheticApp : public AppBehavior
 
     Addr pickDataAddr();
     void maybeJump();
+
+    /** Snapshot serializer: reads/writes the cursors, spans and
+     *  thresholds verbatim (after an exec transition they derive from
+     *  a superseded params draw, so recomputation would diverge). */
+    friend class StateCodec;
 };
 
 /**

@@ -27,6 +27,8 @@ class EdSession : public SyntheticApp
     uint32_t tty;
     uint32_t saveFile;
     uint32_t inputs = 0;
+
+    friend class StateCodec;
 };
 
 AppParams edParams(uint64_t seed);

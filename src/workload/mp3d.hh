@@ -29,6 +29,8 @@ class Mp3dProc : public SyntheticApp
     uint32_t stepPhase = 0;
     uint32_t myGeneration = 0;
     bool atBarrier = false;
+
+    friend class StateCodec;
 };
 
 AppParams mp3dParams(Mp3dShared *state, uint64_t seed);

@@ -39,6 +39,8 @@ class OracleServer : public SyntheticApp
     OracleShared *st;
     int txPhase = 0;
     uint64_t done = 0;
+
+    friend class StateCodec;
 };
 
 AppParams oracleParams(OracleShared *state, uint64_t seed);

@@ -95,6 +95,12 @@ CompileJob::CompileJob(PmakeShared *state, uint64_t seed)
     st->nextFile += 4;
 }
 
+CompileJob::CompileJob(PmakeShared *state, const AppParams &params)
+    : SyntheticApp(params), st(state), srcFile(0), tmpFile(0),
+      asmFile(0), objFile(0)
+{
+}
+
 void
 CompileJob::chunk(Process &p, UserScript &s)
 {

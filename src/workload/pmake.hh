@@ -27,6 +27,8 @@ class MakeDriver : public SyntheticApp, public ForkableBehavior
 
   private:
     PmakeShared *st;
+
+    friend class StateCodec;
 };
 
 /** One compile job: cpp, cc1, as phases. */
@@ -38,11 +40,21 @@ class CompileJob : public SyntheticApp
     void chunk(Process &p, UserScript &s) override;
 
   private:
+    /**
+     * Snapshot-restore constructor: unlike the public one, draws no
+     * file ids from the shared state (the codec overwrites them with
+     * the serialized values, and PmakeShared::nextFile was restored
+     * separately).
+     */
+    CompileJob(PmakeShared *state, const AppParams &params);
+
     PmakeShared *st;
     uint32_t srcFile, tmpFile, asmFile, objFile;
     int phase = 0;
     uint64_t done = 0;
     int ioStep = 0;
+
+    friend class StateCodec;
 };
 
 /** Parameter sets for the pipeline stages. */

@@ -125,6 +125,18 @@ class Workload : public kernel::KernelClient
     uint64_t mp3dSteps() const { return mp3d ? mp3d->steps : 0; }
     /// @}
 
+    /// @name Snapshot save/restore
+    /// Serializes the behavior-shared structures (Pmake job pool,
+    /// Mp3d barrier, Oracle SGA bookkeeping). Must run BEFORE
+    /// Kernel::restoreState on restore: behaviors reconstructed by the
+    /// codec point into these structures and must not see pre-restore
+    /// values. The workload must have been built with the same kind
+    /// and options (the caller guards this with the config hash).
+    /// @{
+    void saveState(util::ByteWriter &w) const;
+    void restoreState(util::ByteReader &r);
+    /// @}
+
   private:
     Workload(WorkloadKind kind, kernel::Kernel &k);
 
@@ -140,6 +152,10 @@ class Workload : public kernel::KernelClient
     std::unique_ptr<Mp3dShared> mp3d;
     std::unique_ptr<OracleShared> oracle;
     uint64_t seed = 7;
+
+    /** Snapshot serializer: wires restored behaviors to the shared
+     *  structures above. */
+    friend class StateCodec;
 };
 
 } // namespace mpos::workload

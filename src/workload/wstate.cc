@@ -1,0 +1,392 @@
+#include "workload/wstate.hh"
+
+#include "util/binio.hh"
+#include "util/error.hh"
+#include "workload/edit.hh"
+#include "workload/mp3d.hh"
+#include "workload/oracle.hh"
+#include "workload/pmake.hh"
+
+namespace mpos::workload
+{
+
+using util::ByteReader;
+using util::ByteWriter;
+using util::ErrCode;
+
+namespace
+{
+
+/** One-byte class tags; the on-disk format depends on these values. */
+enum class Tag : uint8_t
+{
+    MakeDriver = 0,
+    CompileJob = 1,
+    Mp3dProc = 2,
+    EdSession = 3,
+    OracleServer = 4,
+};
+
+void
+saveRng(ByteWriter &w, const util::Rng &rng)
+{
+    for (uint64_t word : rng.saveState())
+        w.u64(word);
+}
+
+void
+loadRng(ByteReader &r, util::Rng &rng)
+{
+    std::array<uint64_t, 4> st;
+    for (uint64_t &word : st)
+        word = r.u64();
+    rng.restoreState(st);
+}
+
+void
+saveParams(ByteWriter &w, const AppParams &p)
+{
+    w.u64(p.codeBytes);
+    w.u64(p.dataBytes);
+    w.f64(p.dataRefProb);
+    w.f64(p.storeFrac);
+    w.f64(p.hotCodeFrac);
+    w.f64(p.hotCodeProb);
+    w.f64(p.jumpProb);
+    w.f64(p.loopStartProb);
+    w.u32(p.maxLoopLines);
+    w.u32(p.maxLoopReps);
+    w.f64(p.hotDataFrac);
+    w.f64(p.hotDataProb);
+    w.u64(p.sharedBytes);
+    w.u64(p.sharedBase);
+    w.f64(p.sharedRefProb);
+    w.f64(p.sharedSweepProb);
+    w.f64(p.sharedStoreFrac);
+    w.f64(p.sharedHotFrac);
+    w.f64(p.sharedHotProb);
+    w.u32(p.chunkInstrs);
+    w.u64(p.seed);
+}
+
+AppParams
+loadParams(ByteReader &r)
+{
+    AppParams p;
+    p.codeBytes = r.u64();
+    p.dataBytes = r.u64();
+    p.dataRefProb = r.f64();
+    p.storeFrac = r.f64();
+    p.hotCodeFrac = r.f64();
+    p.hotCodeProb = r.f64();
+    p.jumpProb = r.f64();
+    p.loopStartProb = r.f64();
+    p.maxLoopLines = r.u32();
+    p.maxLoopReps = r.u32();
+    p.hotDataFrac = r.f64();
+    p.hotDataProb = r.f64();
+    p.sharedBytes = r.u64();
+    p.sharedBase = r.u64();
+    p.sharedRefProb = r.f64();
+    p.sharedSweepProb = r.f64();
+    p.sharedStoreFrac = r.f64();
+    p.sharedHotFrac = r.f64();
+    p.sharedHotProb = r.f64();
+    p.chunkInstrs = r.u32();
+    p.seed = r.u64();
+    return p;
+}
+
+void
+requireShared(const void *p, const char *what)
+{
+    if (!p)
+        util::raise(ErrCode::SnapshotCorrupt,
+                    "behavior snapshot references the %s shared state, "
+                    "which this workload does not have",
+                    what);
+}
+
+} // namespace
+
+void
+StateCodec::save(ByteWriter &w, const kernel::AppBehavior &b) const
+{
+    const auto *app = dynamic_cast<const SyntheticApp *>(&b);
+    if (!app)
+        util::raise(ErrCode::SnapshotCorrupt,
+                    "cannot snapshot a non-SyntheticApp behavior");
+
+    if (dynamic_cast<const MakeDriver *>(app))
+        w.u8(uint8_t(Tag::MakeDriver));
+    else if (dynamic_cast<const CompileJob *>(app))
+        w.u8(uint8_t(Tag::CompileJob));
+    else if (dynamic_cast<const Mp3dProc *>(app))
+        w.u8(uint8_t(Tag::Mp3dProc));
+    else if (dynamic_cast<const EdSession *>(app))
+        w.u8(uint8_t(Tag::EdSession));
+    else if (dynamic_cast<const OracleServer *>(app))
+        w.u8(uint8_t(Tag::OracleServer));
+    else
+        util::raise(ErrCode::SnapshotCorrupt,
+                    "cannot snapshot unknown SyntheticApp subclass");
+
+    // Base state.
+    const SyntheticApp &a = *app;
+    saveParams(w, a.prm);
+    saveRng(w, a.rng);
+    w.u64(a.codePos);
+    w.b(a.loopActive);
+    w.u64(a.loopStart);
+    w.u32(a.loopLines);
+    w.u32(a.loopRepsLeft);
+    w.u64(a.sweepPos);
+    w.u64(a.hotDataSpan);
+    w.u64(a.hotCodeSpan);
+    w.u64(a.sharedHotSpan);
+    w.u64(a.thDataRef);
+    w.u64(a.thStore);
+    w.u64(a.thJumpLine);
+    w.u64(a.thLoopStart);
+    w.u64(a.thHotCode);
+    w.u64(a.thHotData);
+    w.u64(a.thSharedRef);
+    w.u64(a.thSharedSweep);
+    w.u64(a.thSharedStore);
+    w.u64(a.thSharedHot);
+
+    // Class-specific state.
+    if (const auto *cj = dynamic_cast<const CompileJob *>(app)) {
+        w.u32(cj->srcFile);
+        w.u32(cj->tmpFile);
+        w.u32(cj->asmFile);
+        w.u32(cj->objFile);
+        w.i64(cj->phase);
+        w.u64(cj->done);
+        w.i64(cj->ioStep);
+    } else if (const auto *mp = dynamic_cast<const Mp3dProc *>(app)) {
+        w.u32(mp->stepPhase);
+        w.u32(mp->myGeneration);
+        w.b(mp->atBarrier);
+    } else if (const auto *ed = dynamic_cast<const EdSession *>(app)) {
+        w.u32(ed->tty);
+        w.u32(ed->saveFile);
+        w.u32(ed->inputs);
+    } else if (const auto *os = dynamic_cast<const OracleServer *>(app)) {
+        w.i64(os->txPhase);
+        w.u64(os->done);
+    }
+    // MakeDriver carries no state beyond the base.
+}
+
+std::unique_ptr<kernel::AppBehavior>
+StateCodec::load(ByteReader &r) const
+{
+    const Tag tag = Tag(r.u8());
+    const AppParams prm = loadParams(r);
+
+    // Construct the right class wired to the owning workload's shared
+    // structures. Every constructor here is side-effect-free with
+    // respect to that shared state (CompileJob uses its dedicated
+    // restore constructor); the base members the constructors derive
+    // are overwritten verbatim below.
+    std::unique_ptr<SyntheticApp> app;
+    switch (tag) {
+      case Tag::MakeDriver:
+        requireShared(wl.pmake.get(), "pmake");
+        app = std::make_unique<MakeDriver>(wl.pmake.get(), prm.seed);
+        break;
+      case Tag::CompileJob:
+        requireShared(wl.pmake.get(), "pmake");
+        app.reset(new CompileJob(wl.pmake.get(), prm));
+        break;
+      case Tag::Mp3dProc:
+        requireShared(wl.mp3d.get(), "mp3d");
+        app = std::make_unique<Mp3dProc>(wl.mp3d.get(), prm.seed);
+        break;
+      case Tag::EdSession:
+        app = std::make_unique<EdSession>(0, 0, prm.seed);
+        break;
+      case Tag::OracleServer:
+        requireShared(wl.oracle.get(), "oracle");
+        app = std::make_unique<OracleServer>(wl.oracle.get(), prm.seed);
+        break;
+      default:
+        util::raise(ErrCode::SnapshotCorrupt,
+                    "unknown behavior tag %u", unsigned(tag));
+    }
+
+    // Base state.
+    SyntheticApp &a = *app;
+    a.prm = prm;
+    loadRng(r, a.rng);
+    a.codePos = r.u64();
+    a.loopActive = r.b();
+    a.loopStart = r.u64();
+    a.loopLines = r.u32();
+    a.loopRepsLeft = r.u32();
+    a.sweepPos = r.u64();
+    a.hotDataSpan = r.u64();
+    a.hotCodeSpan = r.u64();
+    a.sharedHotSpan = r.u64();
+    a.thDataRef = r.u64();
+    a.thStore = r.u64();
+    a.thJumpLine = r.u64();
+    a.thLoopStart = r.u64();
+    a.thHotCode = r.u64();
+    a.thHotData = r.u64();
+    a.thSharedRef = r.u64();
+    a.thSharedSweep = r.u64();
+    a.thSharedStore = r.u64();
+    a.thSharedHot = r.u64();
+
+    // Class-specific state.
+    switch (tag) {
+      case Tag::CompileJob: {
+        auto &cj = static_cast<CompileJob &>(a);
+        cj.srcFile = r.u32();
+        cj.tmpFile = r.u32();
+        cj.asmFile = r.u32();
+        cj.objFile = r.u32();
+        cj.phase = int(r.i64());
+        cj.done = r.u64();
+        cj.ioStep = int(r.i64());
+        break;
+      }
+      case Tag::Mp3dProc: {
+        auto &mp = static_cast<Mp3dProc &>(a);
+        mp.stepPhase = r.u32();
+        mp.myGeneration = r.u32();
+        mp.atBarrier = r.b();
+        break;
+      }
+      case Tag::EdSession: {
+        auto &ed = static_cast<EdSession &>(a);
+        ed.tty = r.u32();
+        ed.saveFile = r.u32();
+        ed.inputs = r.u32();
+        break;
+      }
+      case Tag::OracleServer: {
+        auto &os = static_cast<OracleServer &>(a);
+        os.txPhase = int(r.i64());
+        os.done = r.u64();
+        break;
+      }
+      default:
+        break;
+    }
+    return app;
+}
+
+// ---------------------------------------------------------------------
+// Workload shared structures
+// ---------------------------------------------------------------------
+
+void
+Workload::saveState(ByteWriter &w) const
+{
+    w.b(pmake != nullptr);
+    if (pmake) {
+        const PmakeShared &s = *pmake;
+        w.u32(s.jobsRemaining);
+        w.u32(s.maxJobs);
+        w.u32(s.files);
+        w.u32(s.running);
+        w.u64(s.jobsCompleted);
+        w.u32(s.nextFile);
+        w.u32(s.imgCpp);
+        w.u32(s.imgCc1);
+        w.u32(s.imgAs);
+        saveRng(w, s.rng);
+    }
+    w.b(mp3d != nullptr);
+    if (mp3d) {
+        const Mp3dShared &s = *mp3d;
+        w.u32(uint32_t(s.cellLocks.size()));
+        for (uint32_t id : s.cellLocks)
+            w.u32(id);
+        w.u32(s.barrierLock);
+        w.u64(s.particleBase);
+        w.u64(s.particleBytes);
+        w.u64(s.steps);
+        w.u32(s.generation);
+        w.u32(s.arrived);
+        w.u32(s.nprocs);
+    }
+    w.b(oracle != nullptr);
+    if (oracle) {
+        const OracleShared &s = *oracle;
+        w.u32(uint32_t(s.latches.size()));
+        for (uint32_t id : s.latches)
+            w.u32(id);
+        w.u32(s.logLatch);
+        w.u32(s.logFile);
+        w.u32(s.dbFileBase);
+        w.u32(s.logBlock);
+        w.u64(s.sgaBase);
+        w.u64(s.sgaBytes);
+        w.u64(s.transactions);
+        saveRng(w, s.rng);
+    }
+}
+
+void
+Workload::restoreState(ByteReader &r)
+{
+    if (r.b() != (pmake != nullptr))
+        util::raise(ErrCode::SnapshotCorrupt,
+                    "workload snapshot pmake presence mismatch");
+    if (pmake) {
+        PmakeShared &s = *pmake;
+        s.jobsRemaining = r.u32();
+        s.maxJobs = r.u32();
+        s.files = r.u32();
+        s.running = r.u32();
+        s.jobsCompleted = r.u64();
+        s.nextFile = r.u32();
+        s.imgCpp = r.u32();
+        s.imgCc1 = r.u32();
+        s.imgAs = r.u32();
+        loadRng(r, s.rng);
+    }
+    if (r.b() != (mp3d != nullptr))
+        util::raise(ErrCode::SnapshotCorrupt,
+                    "workload snapshot mp3d presence mismatch");
+    if (mp3d) {
+        Mp3dShared &s = *mp3d;
+        s.cellLocks.clear();
+        const uint32_t n = r.u32();
+        s.cellLocks.reserve(n);
+        for (uint32_t i = 0; i < n; ++i)
+            s.cellLocks.push_back(r.u32());
+        s.barrierLock = r.u32();
+        s.particleBase = r.u64();
+        s.particleBytes = r.u64();
+        s.steps = r.u64();
+        s.generation = r.u32();
+        s.arrived = r.u32();
+        s.nprocs = r.u32();
+    }
+    if (r.b() != (oracle != nullptr))
+        util::raise(ErrCode::SnapshotCorrupt,
+                    "workload snapshot oracle presence mismatch");
+    if (oracle) {
+        OracleShared &s = *oracle;
+        s.latches.clear();
+        const uint32_t n = r.u32();
+        s.latches.reserve(n);
+        for (uint32_t i = 0; i < n; ++i)
+            s.latches.push_back(r.u32());
+        s.logLatch = r.u32();
+        s.logFile = r.u32();
+        s.dbFileBase = r.u32();
+        s.logBlock = r.u32();
+        s.sgaBase = r.u64();
+        s.sgaBytes = r.u64();
+        s.transactions = r.u64();
+        loadRng(r, s.rng);
+    }
+}
+
+} // namespace mpos::workload

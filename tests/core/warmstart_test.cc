@@ -1,0 +1,306 @@
+/** @file Warm-start cache tests.
+ *
+ *  The warm-start cache is host-side policy: restoring a memoized
+ *  end-of-warmup image must leave every measured statistic exactly as
+ *  a cold run produces it. These tests pin that equivalence, the
+ *  cross-process (on-disk) reuse path, the config-hash key's
+ *  sensitivity rules, and the runner interactions (retry-with-reseed
+ *  must never reuse the failed seed's image; a per-job wall budget
+ *  composes with warm starts).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "core/runner.hh"
+#include "core/warmcache.hh"
+#include "sim/fault/plan.hh"
+#include "util/error.hh"
+
+using namespace mpos;
+using namespace mpos::core;
+using workload::WorkloadKind;
+
+namespace
+{
+
+ExperimentConfig
+quickConfig(WorkloadKind kind, uint64_t seed = 7)
+{
+    ExperimentConfig cfg;
+    cfg.kind = kind;
+    cfg.warmupCycles = 300000;
+    cfg.measureCycles = 400000;
+    cfg.options.seed = seed;
+    return cfg;
+}
+
+/** Digest of everything an experiment measures, for exact compares. */
+std::string
+digest(Experiment &e)
+{
+    const sim::CycleAccount acc = e.account();
+    char buf[256];
+    std::snprintf(
+        buf, sizeof buf,
+        "elapsed=%llu misses=%llu cs=%llu tx=%llu "
+        "user=%llu os=%llu idle=%llu io=%llu",
+        (unsigned long long)e.elapsed(),
+        (unsigned long long)e.misses().total(),
+        (unsigned long long)e.kern().contextSwitches(),
+        (unsigned long long)e.machine().monitor().transactions(),
+        (unsigned long long)acc.total[0],
+        (unsigned long long)acc.total[1],
+        (unsigned long long)acc.total[2],
+        (unsigned long long)e.osOpCount(sim::OsOp::IoSyscall));
+    return buf;
+}
+
+std::string
+runDigest(ExperimentConfig cfg, WarmStartCache *cache)
+{
+    cfg.warmCache = cache;
+    Experiment e(cfg);
+    e.run();
+    return digest(e);
+}
+
+/** A fresh on-disk cache dir: images from earlier test-binary runs
+ *  under the same TempDir would otherwise satisfy the "cold" pass. */
+std::string
+freshDir(const char *leaf)
+{
+    const std::string dir = testing::TempDir() + "/" + leaf;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+} // namespace
+
+TEST(WarmKey, IgnoresMeasurePhaseKnobsOnly)
+{
+    const ExperimentConfig base = quickConfig(WorkloadKind::Pmake);
+    const uint64_t key = Experiment(base).warmKey();
+
+    // Measurement-phase knobs share the warm image.
+    {
+        ExperimentConfig c = base;
+        c.measureCycles *= 2;
+        c.collectMisses = false;
+        c.timeoutSeconds = 99;
+        EXPECT_EQ(Experiment(c).warmKey(), key);
+    }
+    // Anything event-affecting changes the key.
+    {
+        ExperimentConfig c = base;
+        c.options.seed += 1;
+        EXPECT_NE(Experiment(c).warmKey(), key);
+    }
+    {
+        ExperimentConfig c = base;
+        c.warmupCycles += 1;
+        EXPECT_NE(Experiment(c).warmKey(), key);
+    }
+    {
+        ExperimentConfig c = base;
+        c.machine.numCpus = 2;
+        EXPECT_NE(Experiment(c).warmKey(), key);
+    }
+    {
+        ExperimentConfig c = base;
+        c.kind = WorkloadKind::Multpgm;
+        EXPECT_NE(Experiment(c).warmKey(), key);
+    }
+    {
+        ExperimentConfig c = base;
+        c.machine.faultSeed = 1234;
+        EXPECT_NE(Experiment(c).warmKey(), key);
+    }
+}
+
+TEST(WarmStart, WarmRunMatchesColdRunExactly)
+{
+    const ExperimentConfig cfg = quickConfig(WorkloadKind::Pmake);
+    const std::string cold = runDigest(cfg, nullptr);
+
+    WarmStartCache cache; // in-memory only
+    // First cached run is a miss: it simulates the warmup, stores the
+    // image, and must still measure exactly what the cold run did.
+    EXPECT_EQ(runDigest(cfg, &cache), cold);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().stores, 1u);
+
+    // Second run restores the image instead of simulating the warmup.
+    EXPECT_EQ(runDigest(cfg, &cache), cold);
+    EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(WarmStart, EveryWorkloadKindRoundTrips)
+{
+    for (WorkloadKind kind :
+         {WorkloadKind::Pmake, WorkloadKind::Multpgm,
+          WorkloadKind::Oracle}) {
+        const ExperimentConfig cfg = quickConfig(kind);
+        WarmStartCache cache;
+        const std::string cold = runDigest(cfg, &cache);
+        EXPECT_EQ(runDigest(cfg, &cache), cold)
+            << "kind " << unsigned(kind);
+        EXPECT_EQ(cache.stats().hits, 1u) << "kind " << unsigned(kind);
+    }
+}
+
+TEST(WarmStart, RestoredRunIsCheckerClean)
+{
+    // Regression: kernel boot emits idle-loop osEnter events before
+    // any analysis observer attaches, and the checker (wired at
+    // machine construction) sees them. A restored machine skips the
+    // warmup that balances that stream, so the checker must drop its
+    // stream-derived state at restore or it reports a phantom
+    // "osEnter while already inside the OS" on the first CPU that
+    // was in user mode at the snapshot point.
+    ExperimentConfig cfg = quickConfig(WorkloadKind::Multpgm);
+    cfg.machine.numCpus = 8;
+    cfg.machine.check = true; // abort-on-violation: a false positive
+                              // kills the test process
+    WarmStartCache cache;
+    const std::string cold = runDigest(cfg, &cache);
+    EXPECT_EQ(runDigest(cfg, &cache), cold);
+    EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(WarmStart, DiskCacheWarmsALaterProcess)
+{
+    const std::string dir = freshDir("mpos_warm_disk");
+    const ExperimentConfig cfg = quickConfig(WorkloadKind::Multpgm);
+
+    std::string cold;
+    {
+        WarmStartCache first(dir);
+        cold = runDigest(cfg, &first);
+        EXPECT_EQ(first.stats().stores, 1u);
+        EXPECT_GT(first.stats().bytesWritten, 0u);
+    }
+    {
+        // A fresh cache instance = a new process invocation: the only
+        // way it can hit is through the on-disk image.
+        WarmStartCache second(dir);
+        EXPECT_EQ(runDigest(cfg, &second), cold);
+        EXPECT_EQ(second.stats().hits, 1u);
+        EXPECT_EQ(second.stats().misses, 0u);
+        EXPECT_GT(second.stats().bytesRead, 0u);
+    }
+}
+
+TEST(WarmStart, CorruptDiskImageIsAMissNotAnError)
+{
+    const std::string dir = freshDir("mpos_warm_corrupt");
+    const ExperimentConfig cfg = quickConfig(WorkloadKind::Oracle);
+
+    std::string cold;
+    std::string path;
+    {
+        WarmStartCache first(dir);
+        Experiment probe(cfg);
+        cold = runDigest(cfg, &first);
+        char name[32];
+        std::snprintf(name, sizeof name, "warm-%016llx",
+                      (unsigned long long)probe.warmKey());
+        path = dir + "/" + name;
+    }
+    // Truncate the stored image; the next cache must fall back to a
+    // cold warmup and still produce identical results.
+    {
+        FILE *f = fopen(path.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        fputs("not a snapshot", f);
+        fclose(f);
+    }
+    WarmStartCache second(dir);
+    EXPECT_EQ(runDigest(cfg, &second), cold);
+    EXPECT_EQ(second.stats().hits, 0u);
+    EXPECT_EQ(second.stats().misses, 1u);
+}
+
+TEST(WarmStart, RetriedJobNeverReusesTheFailedSeedsImage)
+{
+    // Find a fault seed whose plan trips but whose successor is
+    // benign, as in the resilience tests: attempt 1 dies, attempt 2
+    // reseeds (+1 to the workload AND fault seeds) and succeeds.
+    ExperimentConfig cfg = quickConfig(WorkloadKind::Pmake);
+    const sim::Cycle horizon = cfg.warmupCycles + cfg.measureCycles;
+    uint64_t seed = 0;
+    for (uint64_t s = 1; s < 4000; ++s) {
+        const sim::FaultPlan trip(s, horizon);
+        if (!trip.syntheticTripAt)
+            continue;
+        const sim::FaultPlan next(s + 1, horizon);
+        if (next.syntheticTripAt || next.slotExhaustAfter ||
+            next.shmExhaustAfter || next.userLockExhaustAfter)
+            continue;
+        seed = s;
+        break;
+    }
+    ASSERT_NE(seed, 0u) << "no trip-then-benign seed pair in 1..3999";
+    cfg.machine.faultHorizon = horizon;
+    cfg.machine.faultSeed = seed;
+
+    // The reseeded retry must compute a different warm key.
+    {
+        ExperimentConfig retried = cfg;
+        retried.options.seed += 1;
+        retried.machine.faultSeed += 1;
+        EXPECT_NE(Experiment(cfg).warmKey(),
+                  Experiment(retried).warmKey());
+    }
+
+    WarmStartCache cache;
+    RunnerOptions opt;
+    opt.jobs = 1;
+    opt.maxAttempts = 3;
+    opt.retryBackoffMs = 1;
+    opt.warmCache = &cache;
+    ExperimentRunner r(opt);
+    r.submit("flaky", cfg);
+
+    const ExperimentResult &res = r.result(0);
+    EXPECT_EQ(res.status, JobStatus::Ok) << res.error;
+    EXPECT_EQ(res.attempts, 2u);
+    // Both attempts were keyed differently, so neither could hit:
+    // a retry must never restore the failed seed's warm image.
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(WarmStart, JobTimeoutComposesWithWarmStarts)
+{
+    const ExperimentConfig cfg = quickConfig(WorkloadKind::Multpgm);
+    WarmStartCache cache;
+
+    RunnerOptions opt;
+    opt.jobs = 1;
+    opt.jobTimeoutSec = 300; // generous: exercises wiring, not racing
+    opt.warmCache = &cache;
+
+    ExperimentRunner r(opt);
+    r.submit("cold", cfg);
+    r.submit("warm", cfg);
+    r.waitAll();
+
+    EXPECT_TRUE(r.result(0).ok()) << r.result(0).error;
+    EXPECT_TRUE(r.result(1).ok()) << r.result(1).error;
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+
+    // Identical measured output either way.
+    char a[128], b[128];
+    std::snprintf(a, sizeof a, "%llu/%llu",
+                  (unsigned long long)r.get("cold").elapsed(),
+                  (unsigned long long)r.get("cold").misses().total());
+    std::snprintf(b, sizeof b, "%llu/%llu",
+                  (unsigned long long)r.get("warm").elapsed(),
+                  (unsigned long long)r.get("warm").misses().total());
+    EXPECT_STREQ(a, b);
+}

@@ -15,9 +15,16 @@
  * fault schedule and, when the run dies, byte-identical diagnostics
  * across a double run.
  *
+ * With --snapshot-at C the matrix instead checks the snapshot
+ * differential: each run is cut at cycle C, serialized through the
+ * snapshot container, restored into a fresh machine and continued --
+ * and must still produce the uninterrupted run's exact event stream
+ * and final state.
+ *
  * Usage: mpos_fuzz [--seeds N] [--first-seed S] [--cpus a,b,c]
  *                  [--script-len N] [--cycles N] [--sim-threads N]
- *                  [--quiet] [--faults] [--dump-dir D]
+ *                  [--snapshot-at C] [--quiet] [--faults]
+ *                  [--dump-dir D]
  */
 
 #include <cstdio>
@@ -48,6 +55,13 @@ usage(const char *argv0)
         "                  epoch/barrier core with N host threads "
         "(default\n"
         "                  MPOS_SIM_THREADS if set, else 1 = off)\n"
+        "  --snapshot-at C snapshot differential: cut every run at "
+        "cycle C,\n"
+        "                  save/restore through the snapshot container "
+        "into a\n"
+        "                  fresh machine, and require the identical "
+        "event\n"
+        "                  stream and final state (0 = off)\n"
         "  --quiet         only print the summary\n"
         "  --faults        run the fault-injection campaign instead "
         "of the\n"
@@ -145,6 +159,7 @@ main(int argc, char **argv)
     // get the third parallel run instead of a silent serial fallback.
     if (const uint32_t forced = mpos::sim::simThreadsForced())
         opt.simThreads = forced;
+    mpos::sim::Cycle snapshotAt = 0;
     bool quiet = false;
     bool faults = false;
     std::string dumpDir;
@@ -173,6 +188,8 @@ main(int argc, char **argv)
             opt.simThreads = uint32_t(std::strtoul(v, nullptr, 10));
             if (!opt.simThreads)
                 opt.simThreads = 1;
+        } else if (const char *v = arg("--snapshot-at")) {
+            snapshotAt = std::strtoull(v, nullptr, 10);
         } else if (const char *v = arg("--dump-dir")) {
             dumpDir = v;
         } else if (!std::strcmp(argv[i], "--quiet")) {
@@ -205,18 +222,33 @@ main(int argc, char **argv)
         }
     };
 
-    const mpos::sim::FuzzMatrixResult res = mpos::sim::runFuzzMatrix(
-        firstSeed, numSeeds, cpus, opt, progress);
+    const mpos::sim::FuzzMatrixResult res =
+        snapshotAt ? mpos::sim::runSnapshotMatrix(firstSeed, numSeeds,
+                                                  cpus, opt,
+                                                  snapshotAt, progress)
+                   : mpos::sim::runFuzzMatrix(firstSeed, numSeeds,
+                                              cpus, opt, progress);
 
-    std::printf("mpos_fuzz: %u runs, %llu monitor events compared, "
+    std::printf("mpos_fuzz%s: %u runs, %llu monitor events compared, "
                 "%llu invariant checks, %zu failure(s)\n",
-                res.runs, (unsigned long long)res.eventsCompared,
+                snapshotAt ? " --snapshot-at" : "", res.runs,
+                (unsigned long long)res.eventsCompared,
                 (unsigned long long)res.checksPerformed,
                 res.failures.size());
     for (const mpos::sim::FuzzFailure &f : res.failures) {
         std::string extra;
         if (opt.simThreads > 1)
             extra = " --sim-threads " + std::to_string(opt.simThreads);
+        if (snapshotAt) {
+            std::printf("  seed %llu cpus %u:\n    repro: mpos_fuzz "
+                        "--seeds 1 --first-seed %llu --cpus %u "
+                        "--snapshot-at %llu%s\n    %s\n",
+                        (unsigned long long)f.seed, f.numCpus,
+                        (unsigned long long)f.seed, f.numCpus,
+                        (unsigned long long)snapshotAt, extra.c_str(),
+                        f.detail.c_str());
+            continue;
+        }
         std::printf("  seed %llu cpus %u: minimal failing prefix %u "
                     "items\n    repro: mpos_fuzz --seeds 1 "
                     "--first-seed %llu --cpus %u --script-len %u%s\n"
