@@ -36,6 +36,8 @@ void prepare_fig11(BenchContext &ctx);
 void run_fig11(BenchContext &ctx);
 void prepare_ablation(BenchContext &ctx);
 void run_ablation(BenchContext &ctx);
+void prepare_scaling(BenchContext &ctx);
+void run_scaling(BenchContext &ctx);
 
 } // namespace mpos::bench
 

@@ -168,6 +168,9 @@ benchRegistry()
          prepare_fig11, run_fig11},
         {"ablation_optimizations", "Ablations: Sec. 4.2 proposals",
          NeedsNone, prepare_ablation, run_ablation},
+        {"scaling_protocols",
+         "Scaling: MSI vs MESI at 8-64 CPUs", NeedsNone,
+         prepare_scaling, run_scaling},
     };
     return entries;
 }
@@ -368,17 +371,24 @@ writeJson(const std::string &path, bool smoke, unsigned jobs,
                      path.c_str());
         return;
     }
+    sim::Protocol proto = sim::Protocol::Mesi;
+    if (const char *p = std::getenv("MPOS_PROTOCOL"))
+        sim::parseProtocol(p, proto);
     std::fprintf(f, "{\n  \"driver\": \"mpos_bench\",\n");
     std::fprintf(f,
                  "  \"config\": {\"measure_cycles\": %llu, "
                  "\"warmup_cycles\": %llu, \"seed\": %llu, "
-                 "\"jobs\": %u, \"sim_threads\": %u, \"smoke\": %s, "
+                 "\"jobs\": %u, \"sim_threads\": %u, "
+                 "\"protocol\": \"%s\", \"assoc\": %llu, "
+                 "\"cpus\": %llu, \"smoke\": %s, "
                  "\"trace\": %s, "
                  "\"metrics\": %s, \"profile\": %s},\n",
                  (unsigned long long)envOr("MPOS_CYCLES", 20000000),
                  (unsigned long long)envOr("MPOS_WARMUP", 8000000),
                  (unsigned long long)envOr("MPOS_SEED", 7), jobs,
-                 sim_threads,
+                 sim_threads, sim::protocolName(proto),
+                 (unsigned long long)envOr("MPOS_ASSOC", 1),
+                 (unsigned long long)envOr("MPOS_CPUS", 4),
                  smoke ? "true" : "false", obs.trace ? "true" : "false",
                  obs.metrics ? "true" : "false",
                  obs.profile ? "true" : "false");
@@ -504,6 +514,15 @@ usage()
         "  --check         run with the coherence/TLB/monitor "
         "invariant checkers on\n"
         "                  (slower; any violation aborts)\n"
+        "  --protocol P    coherence protocol for every job: mesi "
+        "(default), msi, mi\n"
+        "                  (sets MPOS_PROTOCOL)\n"
+        "  --assoc N       D-cache associativity for every job (L1 "
+        "and L2; sets\n"
+        "                  MPOS_ASSOC; default 1 = direct-mapped)\n"
+        "  --cpus N        simulated CPU count for every job (sets "
+        "MPOS_CPUS;\n"
+        "                  workload parallelism scales with it)\n"
         "  --golden-dir D  write each analysis's exact output to "
         "D/<name>.json\n"
         "                  (the golden-regression corpus)\n"
@@ -544,8 +563,9 @@ usage()
         "  --help          this text\n\n"
         "Environment: MPOS_CYCLES, MPOS_WARMUP, MPOS_SEED, "
         "MPOS_JOBS, MPOS_CHECK,\n"
-        "MPOS_WATCHDOG (forward-progress budget in cycles), "
-        "MPOS_FAULTS (fault seed),\n"
+        "MPOS_PROTOCOL, MPOS_ASSOC, MPOS_CPUS, "
+        "MPOS_WATCHDOG (forward-progress budget in cycles),\n"
+        "MPOS_FAULTS (fault seed), "
         "MPOS_SNAPSHOT_DIR (same as --snapshot-dir).\n");
 }
 
@@ -588,6 +608,14 @@ benchMain(int argc, char **argv)
             smoke = true;
         } else if (arg == "--check") {
             check = true;
+        } else if (arg == "--protocol") {
+            // Like --check: an env var, so it reaches every machine
+            // constructed by any job (validated in standardConfig).
+            setenv("MPOS_PROTOCOL", value("--protocol"), 1);
+        } else if (arg == "--assoc") {
+            setenv("MPOS_ASSOC", value("--assoc"), 1);
+        } else if (arg == "--cpus") {
+            setenv("MPOS_CPUS", value("--cpus"), 1);
         } else if (arg == "--list") {
             list = true;
         } else if (arg == "--json") {

@@ -21,13 +21,13 @@ LockStats::lockEvent(Cycle cycle, sim::CpuId cpu, uint32_t lock_id,
         p.lastAcquire = cycle;
         p.lastAcquirer = int32_t(cpu);
         p.disturbed = false;
-        p.inFailEpisode[cpu & 31] = false;
+        p.inFailEpisode[cpu & 63] = false;
         break;
 
       case LockEvent::AcquireFail:
         // Count one episode per spinning CPU, not every poll.
-        if (!p.inFailEpisode[cpu & 31]) {
-            p.inFailEpisode[cpu & 31] = true;
+        if (!p.inFailEpisode[cpu & 63]) {
+            p.inFailEpisode[cpu & 63] = true;
             ++p.failEpisodes;
         }
         if (p.lastAcquirer != int32_t(cpu))

@@ -77,7 +77,7 @@ struct LockProfile
     }
 
     uint64_t failEpisodes = 0; ///< Spin episodes (not single polls).
-    bool inFailEpisode[32] = {};
+    bool inFailEpisode[64] = {};
 };
 
 /** Listener aggregating kernel lock events. */

@@ -89,10 +89,11 @@ Kernel::describeSyncState() const
             continue;
         // Kernel locks are held by CPUs, user locks by processes.
         std::snprintf(buf, sizeof buf,
-                      "    %s: held_by=%s%d spinners=0x%x nap=%u\n",
+                      "    %s: held_by=%s%d spinners=0x%llx nap=%u\n",
                       lockName(id, nUserLocks).c_str(),
                       id < numKernelLocks ? "cpu" : "pid",
-                      int(l.heldByCpu), l.spinMask, l.napWaiters);
+                      int(l.heldByCpu),
+                      (unsigned long long)l.spinMask, l.napWaiters);
         out += buf;
     }
     for (uint32_t c = 0; c < m.numCpus(); ++c) {
@@ -486,7 +487,7 @@ Kernel::onLockAcquire(CpuId cpu, uint32_t lock_id)
 
     if (l.heldByCpu < 0) {
         l.heldByCpu = int32_t(cpu);
-        l.spinMask &= ~(1u << cpu);
+        l.spinMask &= ~(uint64_t(1) << cpu);
         // Holding a spinlock raises the interrupt level (spl): defer
         // external interrupts until release, as IRIX does.
         ++m.cpu(cpu).intrDisable;
@@ -509,7 +510,7 @@ Kernel::onLockAcquire(CpuId cpu, uint32_t lock_id)
     if (l.heldByCpu == int32_t(cpu))
         util::panic("cpu %u re-acquiring kernel lock %u", cpu, lock_id);
 
-    l.spinMask |= 1u << cpu;
+    l.spinMask |= uint64_t(1) << cpu;
     const Cycle cost =
         m.sync().access(cpu, lock_id, LockEvent::AcquireFail);
     m.charge(cpu, cost, true);
@@ -557,7 +558,7 @@ Kernel::onUserLockAcquire(CpuId cpu, uint32_t lock_id, uint32_t spins)
 
     if (l.heldByCpu < 0) {
         l.heldByCpu = int32_t(pid); // user locks are held by processes
-        l.spinMask &= ~(1u << cpu);
+        l.spinMask &= ~(uint64_t(1) << cpu);
         if (l.napWaiters > 0 && spins == 0)
             --l.napWaiters;
         const Cycle cost =
@@ -586,7 +587,7 @@ Kernel::onUserLockAcquire(CpuId cpu, uint32_t lock_id, uint32_t spins)
 
     sim::Cpu &c = m.cpu(cpu);
     if (spins + 1 < cfg.userLockSpins) {
-        l.spinMask |= 1u << cpu;
+        l.spinMask |= uint64_t(1) << cpu;
         c.pushFront(ScriptItem::mark(MarkerOp::UserLockAcquire, lock_id,
                                      spins + 1));
         c.pushFront(ScriptItem::think(cfg.spinGap));
@@ -595,7 +596,7 @@ Kernel::onUserLockAcquire(CpuId cpu, uint32_t lock_id, uint32_t spins)
 
     // After 20 unsuccessful spins the library calls sginap (paper
     // Sec. 4.1): reschedule, then retry from zero.
-    l.spinMask &= ~(1u << cpu);
+    l.spinMask &= ~(uint64_t(1) << cpu);
     ++l.napWaiters;
     c.pushFront(ScriptItem::mark(MarkerOp::UserLockAcquire, lock_id, 0));
     Process &p = *procs[uint32_t(pid)];

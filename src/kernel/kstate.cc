@@ -151,7 +151,7 @@ Kernel::saveState(ByteWriter &w, const BehaviorCodec &codec) const
     w.u32(uint32_t(locks.size()));
     for (const LockState &l : locks) {
         w.i64(l.heldByCpu);
-        w.u32(l.spinMask);
+        w.u64(l.spinMask);
         w.u32(l.napWaiters);
     }
     w.u32(nUserLocks);
@@ -322,7 +322,7 @@ Kernel::restoreState(ByteReader &r, const BehaviorCodec &codec)
     expect(r.u32(), locks.size(), "lock table size");
     for (LockState &l : locks) {
         l.heldByCpu = int32_t(r.i64());
-        l.spinMask = r.u32();
+        l.spinMask = r.u64();
         l.napWaiters = r.u32();
     }
     nUserLocks = r.u32();

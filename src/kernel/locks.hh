@@ -53,7 +53,7 @@ std::string lockName(uint32_t lock_id, uint32_t num_user_locks = 0);
 struct LockState
 {
     int32_t heldByCpu = -1;   ///< CPU currently holding (kernel view).
-    uint32_t spinMask = 0;    ///< CPUs actively spinning on it.
+    uint64_t spinMask = 0;    ///< CPUs actively spinning on it.
     uint32_t napWaiters = 0;  ///< Processes that sginapped on it.
 };
 

@@ -160,8 +160,24 @@ Cache::invalidateAssoc(Addr line)
     Way *w = findWay(line);
     if (!w)
         return false;
+    compactRanks(setIndex(line), w->lru);
     w->tv = 0;
+    w->lru = 0;
     return true;
+}
+
+void
+Cache::compactRanks(uint64_t set, uint32_t removed)
+{
+    // Keep the set's valid LRU ranks a dense 0..k-1 permutation when
+    // a way vanishes. promote() and the eviction scan both assume
+    // density; leaving the freed rank as a hole lets a later
+    // fill+promote push two ways onto the same rank, after which the
+    // victim choice is arbitrary instead of least-recently-used.
+    Way *base = &ways[set * assoc_];
+    for (uint32_t i = 0; i < assoc_; ++i)
+        if (base[i].valid() && base[i].lru > removed)
+            --base[i].lru;
 }
 
 void

@@ -104,10 +104,14 @@ class Cache
     void
     invalidateRange(Addr lo, Addr hi, Fn &&cb)
     {
-        for (auto &w : ways) {
+        for (uint64_t i = 0; i < ways.size(); ++i) {
+            Way &w = ways[i];
             const Addr tag = w.tag();
             if (w.valid() && tag >= lo && tag < hi) {
+                if (assoc_ > 1)
+                    compactRanks(i / assoc_, w.lru);
                 w.tv = 0;
+                w.lru = 0;
                 cb(tag);
             }
         }
@@ -231,6 +235,10 @@ class Cache
 
     /** invalidate() for the associative case. */
     bool invalidateAssoc(Addr line);
+
+    /** Re-densify a set's LRU ranks after the way holding rank
+     *  `removed` was invalidated. */
+    void compactRanks(uint64_t set, uint32_t removed);
 
     Way *findWay(Addr line);
     const Way *findWay(Addr line) const;

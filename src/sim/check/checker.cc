@@ -57,7 +57,7 @@ Checker::onLineEvent(Addr line)
 {
     ++stats_.lineChecks;
 
-    uint32_t trueMask = 0;
+    uint64_t trueMask = 0;
     uint32_t owners = 0; // CPUs holding the line Modified or Exclusive
     for (CpuId c = 0; c < cfg.numCpus; ++c) {
         const CpuCaches &h = mem->caches(c);
@@ -65,6 +65,13 @@ Checker::onLineEvent(Addr line)
         const bool inL2 = h.l2d.contains(line);
         const bool inL1 = h.l1d.contains(line);
 
+        if ((st == Coh::Exclusive && cfg.protocol != Protocol::Mesi) ||
+            (st == Coh::Shared && cfg.protocol == Protocol::Mi)) {
+            violation("protocol legality: cpu %u line %llx in state %u "
+                      "which protocol %s cannot produce",
+                      c, (unsigned long long)line, unsigned(st),
+                      protocolName(cfg.protocol));
+        }
         if ((st != Coh::Invalid) != inL2) {
             violation("tag/state mismatch: cpu %u line %llx state %u "
                       "but L2 tag array %s it",
@@ -77,7 +84,7 @@ Checker::onLineEvent(Addr line)
                       c, (unsigned long long)line);
         }
         if (st != Coh::Invalid)
-            trueMask |= 1u << c;
+            trueMask |= uint64_t(1) << c;
         if (st == Coh::Modified || st == Coh::Exclusive)
             ++owners;
     }
@@ -91,26 +98,29 @@ Checker::onLineEvent(Addr line)
                   (unsigned long long)line, std::popcount(trueMask));
     }
 
-    const uint32_t filter = mem->sharersMask(line);
+    const uint64_t filter = mem->sharersMask(line);
     if ((filter & trueMask) != trueMask) {
-        violation("snoop filter unsound: line %llx filter mask %02x "
-                  "misses true sharers %02x",
-                  (unsigned long long)line, filter, trueMask);
+        violation("snoop filter unsound: line %llx filter mask %llx "
+                  "misses true sharers %llx",
+                  (unsigned long long)line,
+                  (unsigned long long)filter,
+                  (unsigned long long)trueMask);
     }
 }
 
 void
 Checker::onSyncEvent(CpuId cpu, uint32_t lock_id, uint32_t num_locks,
-                     uint32_t cached_mask)
+                     uint64_t cached_mask)
 {
     ++stats_.syncEvents;
     if (cpu >= cfg.numCpus)
         violation("sync event from invalid cpu %u", cpu);
     if (lock_id >= num_locks)
         violation("sync event for lock %u of %u", lock_id, num_locks);
-    if (cfg.numCpus < 32 && (cached_mask >> cfg.numCpus) != 0) {
-        violation("lock %u cached-at mask %x names a CPU beyond %u",
-                  lock_id, cached_mask, cfg.numCpus);
+    if (cfg.numCpus < 64 && (cached_mask >> cfg.numCpus) != 0) {
+        violation("lock %u cached-at mask %llx names a CPU beyond %u",
+                  lock_id, (unsigned long long)cached_mask,
+                  cfg.numCpus);
     }
 }
 
@@ -315,11 +325,11 @@ Checker::checkAll(const Machine &m)
 
     const SyncTransport &sync = m.sync();
     for (uint32_t id = 0; id < sync.numLocks(); ++id) {
-        const uint32_t mask = sync.cachedAtMask(id);
-        if (cfg.numCpus < 32 && (mask >> cfg.numCpus) != 0) {
-            violation("lock %u cached-at mask %x names a CPU beyond "
+        const uint64_t mask = sync.cachedAtMask(id);
+        if (cfg.numCpus < 64 && (mask >> cfg.numCpus) != 0) {
+            violation("lock %u cached-at mask %llx names a CPU beyond "
                       "%u",
-                      id, mask, cfg.numCpus);
+                      id, (unsigned long long)mask, cfg.numCpus);
         }
     }
 }

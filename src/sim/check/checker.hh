@@ -9,6 +9,8 @@
  *
  *  - SWMR: at most one Modified/Exclusive copy of a line machine-wide,
  *    and no other copy of any kind coexisting with it.
+ *  - Protocol legality: no state a protocol cannot produce (Exclusive
+ *    under MSI or MI, Shared under MI) ever appears in any L2.
  *  - Snoop-filter soundness: the per-line sharers bitmask is a
  *    superset of the true sharer set (a filter that under-reports
  *    would skip a required snoop and silently corrupt miss classes).
@@ -100,7 +102,7 @@ class Checker : public MonitorObserver
 
     /** One sync-transport lock event was accounted. */
     void onSyncEvent(CpuId cpu, uint32_t lock_id, uint32_t num_locks,
-                     uint32_t cached_mask);
+                     uint64_t cached_mask);
 
     /** A TLB entry was used for a successful translation. */
     void checkTlbEntry(CpuId cpu, const TlbEntry &e);

@@ -296,6 +296,7 @@ FuzzOptions::machineConfig() const
 {
     MachineConfig cfg;
     cfg.numCpus = numCpus;
+    cfg.protocol = protocol;
     cfg.icacheBytes = 4096;
     cfg.l1dBytes = 2048;
     cfg.l2dBytes = 4096;

@@ -39,6 +39,8 @@ struct FuzzOptions
     Cycle runCycles = 60000;   ///< Cycles each machine is advanced.
     uint32_t numLocks = 8;
     uint32_t poolLines = 96;   ///< Hot shared pool of line addresses.
+    /** Coherence protocol both machines run under. */
+    Protocol protocol = Protocol::Mesi;
 
     /**
      * Host sim-threads for a third, parallel-core run (1 = off).

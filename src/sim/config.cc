@@ -54,10 +54,17 @@ validateConfig(const MachineConfig &cfg)
 
     if (cfg.numCpus == 0)
         util::raise(ErrCode::BadConfig, "numCpus is zero");
-    if (cfg.numCpus > 8)
+    if (cfg.numCpus > 64)
         util::raise(ErrCode::BadConfig,
-                    "snoop filter supports at most 8 CPUs, got %u",
+                    "the per-line sharer bitmasks (snoop filter, sync "
+                    "transport, lock spin masks) hold at most 64 CPUs, "
+                    "got %u",
                     cfg.numCpus);
+
+    if (uint8_t(cfg.protocol) >= numProtocols)
+        util::raise(ErrCode::BadConfig,
+                    "unknown coherence protocol %u",
+                    unsigned(cfg.protocol));
 
     if (!std::has_single_bit(cfg.lineBytes))
         util::raise(ErrCode::BadConfig,

@@ -103,8 +103,8 @@ MemorySystem::snoopRead(CpuId requester, Addr line)
     // reference mode always walks everything to double-check the
     // filter.
     if (!slowSim) {
-        uint32_t m = sharers[line >> lineShift] &
-                     uint8_t(~(1u << requester));
+        uint64_t m = sharers[line >> lineShift] &
+                     ~(uint64_t(1) << requester);
         const bool shared = m != 0;
         // The parallel probe cuts every window before a miss with
         // remote sharers, so a capturing thread can never reach a
@@ -141,8 +141,8 @@ void
 MemorySystem::snoopInvalidate(CpuId requester, Addr line)
 {
     if (!slowSim) {
-        uint32_t m = sharers[line >> lineShift] &
-                     uint8_t(~(1u << requester));
+        uint64_t m = sharers[line >> lineShift] &
+                     ~(uint64_t(1) << requester);
         // See snoopRead: stores with remote sharers cut the window.
         if (winCap && m)
             util::panic("speculative window invalidated a shared line");
@@ -236,14 +236,23 @@ MemorySystem::dataAccessSlow(CpuId cpu, Addr addr, bool is_write,
     // L2 miss: full bus transaction.
     const Cycle delay = acquireBus(now);
     Coh newState;
-    if (is_write) {
+    if (is_write || cfg.protocol == Protocol::Mi) {
+        // MI has no shared states: even a read miss must steal the
+        // line outright, invalidating every remote copy. The read
+        // still appears on the bus as a plain Read.
         snoopInvalidate(cpu, line);
         newState = Coh::Modified;
-        record(now + delay, cpu, line, BusOp::ReadEx, CacheKind::Data,
+        record(now + delay, cpu, line,
+               is_write ? BusOp::ReadEx : BusOp::Read, CacheKind::Data,
                ctx);
     } else {
         const bool shared = snoopRead(cpu, line);
-        newState = shared ? Coh::Shared : Coh::Exclusive;
+        // MESI fills Exclusive when no other cache answered; MSI has
+        // no E state, so every read miss fills Shared and the first
+        // write pays an Upgrade even on a private line.
+        newState = (cfg.protocol == Protocol::Mesi && !shared)
+                       ? Coh::Exclusive
+                       : Coh::Shared;
         record(now + delay, cpu, line, BusOp::Read, CacheKind::Data,
                ctx);
     }
@@ -270,8 +279,12 @@ MemorySystem::ifetchMiss(CpuId cpu, Addr line, Cycle now,
 
     const Cycle delay = acquireBus(now);
     // A dirty data copy in any D-cache must be flushed before the
-    // fetch; downgrading through snoopRead models that.
-    snoopRead(cpu, line);
+    // fetch; downgrading through snoopRead models that. MI has no
+    // Shared state to downgrade into, so it invalidates instead.
+    if (cfg.protocol == Protocol::Mi)
+        snoopInvalidate(cpu, line);
+    else
+        snoopRead(cpu, line);
     record(now + delay, cpu, line, BusOp::Read, CacheKind::Instr, ctx);
     const Victim v = h.icache.fill(line);
     if (v.valid) {
@@ -311,7 +324,9 @@ MemorySystem::bypassAccess(CpuId cpu, Addr addr, bool is_write,
     // the requester's cache, so no displacement occurs.
     const Addr line = addr & ~Addr(cfg.lineBytes - 1);
     const Cycle delay = acquireBus(now);
-    if (is_write)
+    // MI: even the non-caching read must invalidate (a remote M copy
+    // cannot legally downgrade to S under MI).
+    if (is_write || cfg.protocol == Protocol::Mi)
         snoopInvalidate(cpu, line);
     else
         snoopRead(cpu, line);
@@ -355,7 +370,8 @@ MemorySystem::saveState(util::ByteWriter &w) const
         w.raw(h.l2state.data(), h.l2state.size());
     }
     w.u64(uint64_t(sharers.size()));
-    w.raw(sharers.data(), sharers.size());
+    for (uint64_t m : sharers)
+        w.u64(m);
     w.u64(busBusyUntil);
     w.u64(txTotal);
 }
@@ -381,8 +397,17 @@ MemorySystem::restoreState(util::ByteReader &r)
         for (Coh s : h.l2state) {
             if (uint8_t(s) > uint8_t(Coh::Modified))
                 util::raise(util::ErrCode::SnapshotCorrupt,
-                            "memsys: invalid MESI state byte %u",
+                            "memsys: invalid coherence state byte %u",
                             unsigned(s));
+            // A snapshot may only contain states its protocol can
+            // produce (MSI never E; MI never S or E).
+            if ((s == Coh::Exclusive &&
+                 cfg.protocol != Protocol::Mesi) ||
+                (s == Coh::Shared && cfg.protocol == Protocol::Mi))
+                util::raise(util::ErrCode::SnapshotCorrupt,
+                            "memsys: state %u illegal under protocol "
+                            "%s", unsigned(s),
+                            protocolName(cfg.protocol));
         }
     }
     const uint64_t nf = r.u64();
@@ -390,7 +415,8 @@ MemorySystem::restoreState(util::ByteReader &r)
         util::raise(util::ErrCode::SnapshotCorrupt,
                     "memsys: snoop filter size %llu vs %zu",
                     (unsigned long long)nf, sharers.size());
-    r.raw(sharers.data(), sharers.size());
+    for (uint64_t &m : sharers)
+        m = r.u64();
     busBusyUntil = r.u64();
     txTotal = r.u64();
 }

@@ -3,13 +3,17 @@
  * The coherent memory system: per-CPU cache hierarchies snooping a
  * shared bus, with the monitor observing every transaction.
  *
- * Data caches are kept coherent with a MESI write-invalidate protocol
- * at the L2 (the 4D/340 used the Illinois protocol); the L1 D-cache is
- * maintained strictly inclusive in the L2 so a single snoop level
- * suffices. Instruction caches are not snooped on writes -- as on the
- * R3000 -- and are flushed explicitly by the kernel when a physical
- * page that held code is reallocated (the source of the paper's Inval
- * misses).
+ * Data caches are kept coherent with a write-invalidate protocol at
+ * the L2, selected by MachineConfig::protocol: MESI (the 4D/340's
+ * Illinois protocol, the default), MSI (no Exclusive state: read
+ * misses always fill Shared and the first write to any read line
+ * costs an Upgrade), or MI (ownership only: every fill installs
+ * Modified, so even read misses invalidate remote copies). The L1
+ * D-cache is maintained strictly inclusive in the L2 so a single
+ * snoop level suffices. Instruction caches are not snooped on writes
+ * -- as on the R3000 -- and are flushed explicitly by the kernel when
+ * a physical page that held code is reallocated (the source of the
+ * paper's Inval misses).
  */
 
 #ifndef MPOS_SIM_MEMSYS_HH
@@ -52,7 +56,12 @@ struct WindowCapture
     util::ArenaVector<Event> events;
 };
 
-/** MESI line states, tracked at the L2. */
+/**
+ * Coherence line states, tracked at the L2. All protocols share this
+ * one state space; a protocol simply never produces the states it
+ * lacks (MSI never fills Exclusive, MI never Shared or Exclusive),
+ * and the checker enforces that per MachineConfig::protocol.
+ */
 enum class Coh : uint8_t { Invalid, Shared, Exclusive, Modified };
 
 /** Outcome of one reference through the hierarchy. */
@@ -71,7 +80,7 @@ struct CpuCaches
     Cache icache;
     Cache l1d;
     Cache l2d;
-    /** MESI state per resident L2 line, parallel array by set/way. */
+    /** Coherence state per resident L2 line, indexed by line. */
     std::vector<Coh> l2state;
 
     Coh
@@ -189,7 +198,7 @@ class MemorySystem
      * per-CPU l2state arrays so bus transactions on unshared lines
      * skip the snoop walk entirely.
      */
-    uint8_t sharersMask(Addr line) const
+    uint64_t sharersMask(Addr line) const
     {
         return sharers[line >> lineShift];
     }
@@ -274,9 +283,9 @@ class MemorySystem
         h.setState(line, st);
         const uint64_t idx = line >> lineShift;
         if (st == Coh::Invalid)
-            sharers[idx] &= uint8_t(~(1u << h.cpu));
+            sharers[idx] &= ~(uint64_t(1) << h.cpu);
         else
-            sharers[idx] |= uint8_t(1u << h.cpu);
+            sharers[idx] |= uint64_t(1) << h.cpu;
     }
 
     MachineConfig cfg;
@@ -286,7 +295,7 @@ class MemorySystem
      *  path in the simulator. */
     std::vector<CpuCaches> hier;
     /** Per-line snoop filter: bit c set iff CPU c holds the line. */
-    std::vector<uint8_t> sharers;
+    std::vector<uint64_t> sharers;
     /** log2(lineBytes). */
     uint32_t lineShift = 0;
     /** ~(lineBytes - 1): address -> line address. */

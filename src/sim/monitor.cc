@@ -1,6 +1,7 @@
 #include "sim/monitor.hh"
 
 #include <algorithm>
+#include <cstring>
 
 namespace mpos::sim
 {
@@ -38,6 +39,35 @@ execModeName(ExecMode mode)
       case ExecMode::Idle: return "idle";
     }
     return "?";
+}
+
+const char *
+protocolName(Protocol p)
+{
+    switch (p) {
+      case Protocol::Mesi: return "mesi";
+      case Protocol::Msi: return "msi";
+      case Protocol::Mi: return "mi";
+    }
+    return "?";
+}
+
+bool
+parseProtocol(const char *name, Protocol &out)
+{
+    if (!std::strcmp(name, "mesi")) {
+        out = Protocol::Mesi;
+        return true;
+    }
+    if (!std::strcmp(name, "msi")) {
+        out = Protocol::Msi;
+        return true;
+    }
+    if (!std::strcmp(name, "mi")) {
+        out = Protocol::Mi;
+        return true;
+    }
+    return false;
 }
 
 const char *

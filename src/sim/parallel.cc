@@ -111,7 +111,7 @@ ParallelCore::probeCpu(CpuId cpu, Worker &w, ProbeResult &out)
     out.committed = 0;
 
     const Addr lineMask = ~Addr(cfg.lineBytes - 1);
-    const uint8_t ownBit = uint8_t(1u << cpu);
+    const uint64_t ownBit = uint64_t(1) << cpu;
     const Cycle lineExec = m.lineExecCycles;
 
     auto &touched = w.touchedSets;
@@ -148,7 +148,7 @@ ParallelCore::probeCpu(CpuId cpu, Worker &w, ProbeResult &out)
         const Addr line = pa & lineMask;
         const uint64_t l1k = kL1 | h.l1d.setOf(line);
         const uint64_t l2k = kL2 | h.l2d.setOf(line);
-        const uint8_t remote = mem.sharersMask(line) & ~ownBit;
+        const uint64_t remote = mem.sharersMask(line) & ~ownBit;
         if (changed.count(line) || touched.count(l1k) ||
             touched.count(l2k)) {
             // An earlier probed fill may have changed what this
@@ -328,7 +328,7 @@ ParallelCore::mergeAndReplay()
         size_t i;
         CpuId cpu;
     };
-    Cursor curs[8];
+    Cursor curs[64];
     uint32_t ncur = 0;
     for (uint32_t w = 0; w < nThreads; ++w) {
         uint32_t slot = 0;
@@ -393,7 +393,7 @@ ParallelCore::tryWindow(Cycle target)
     // byte, which is why every store line is in its write set.
     accessMap.clear();
     for (CpuId c = 0; c < uint32_t(m.cpus.size()); ++c) {
-        const uint8_t bit = uint8_t(1u << c);
+        const uint64_t bit = uint64_t(1) << c;
         for (Addr line : probes[c].footprint)
             accessMap[line].first |= bit;
         for (Addr line : probes[c].writeSet) {
@@ -403,8 +403,8 @@ ParallelCore::tryWindow(Cycle target)
         }
     }
     for (const auto &kv : accessMap) {
-        const uint8_t readers = kv.second.first;
-        const uint8_t writers = kv.second.second;
+        const uint64_t readers = kv.second.first;
+        const uint64_t writers = kv.second.second;
         if (!writers)
             continue;
         if ((writers & (writers - 1)) || (readers & ~writers)) {

@@ -128,7 +128,7 @@ class ParallelCore
     std::vector<ProbeResult> probes; ///< Indexed by CPU.
     std::vector<std::thread> gang;   ///< nThreads - 1 helpers.
     /** Conflict-check scratch: line -> (reader mask, writer mask). */
-    std::unordered_map<Addr, std::pair<uint8_t, uint8_t>> accessMap;
+    std::unordered_map<Addr, std::pair<uint64_t, uint64_t>> accessMap;
 
     /** Window parameters, written by the coordinator before the
      *  phase is published (release) and read by workers after it

@@ -31,8 +31,10 @@
 namespace mpos::sim::snapshot
 {
 
-/** Bumped whenever the serialized state layout changes. */
-constexpr uint32_t formatVersion = 1;
+/** Bumped whenever the serialized state layout changes.
+ *  v2: sharer/spin/cached-at bitmasks widened to 64 bits for N-CPU
+ *  machines. */
+constexpr uint32_t formatVersion = 2;
 
 /** Section tags (stable 32-bit constants, not an index). */
 enum class Section : uint32_t

@@ -15,10 +15,8 @@ SyncTransport::SyncTransport(const MachineConfig &config,
     : cfg(config), perLock(num_locks), cachedAt(num_locks, 0),
       stall(cfg.numCpus, 0)
 {
-    if (cfg.numCpus > 32)
-        util::raise(util::ErrCode::BadConfig,
-                    "SyncTransport supports at most 32 CPUs (got %u)",
-                    cfg.numCpus);
+    // The 64-CPU cap of the cachedAt bitmasks is enforced centrally
+    // by validateConfig before any transport is built.
 }
 
 uint32_t
@@ -39,8 +37,8 @@ SyncTransport::uncachedOpsFor(LockEvent ev) const
 uint32_t
 SyncTransport::cachedOpsFor(CpuId cpu, uint32_t lock_id, LockEvent ev)
 {
-    const uint32_t me = 1u << cpu;
-    uint32_t &mask = cachedAt[lock_id];
+    const uint64_t me = uint64_t(1) << cpu;
+    uint64_t &mask = cachedAt[lock_id];
     switch (ev) {
       case LockEvent::AcquireSuccess:
       case LockEvent::Release:

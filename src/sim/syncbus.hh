@@ -82,7 +82,7 @@ class SyncTransport
     void setWatchdog(Watchdog *w) { wd = w; }
 
     /** Bitmask of CPUs caching lock_id's line (for the checker). */
-    uint32_t cachedAtMask(uint32_t lock_id) const
+    uint64_t cachedAtMask(uint32_t lock_id) const
     {
         return cachedAt[lock_id];
     }
@@ -97,8 +97,8 @@ class SyncTransport
             w.u64(c.uncachedOps);
             w.u64(c.cachedOps);
         }
-        for (uint32_t m : cachedAt)
-            w.u32(m);
+        for (uint64_t m : cachedAt)
+            w.u64(m);
         w.u32(uint32_t(stall.size()));
         for (Cycle s : stall)
             w.u64(s);
@@ -119,8 +119,8 @@ class SyncTransport
             c.uncachedOps = r.u64();
             c.cachedOps = r.u64();
         }
-        for (uint32_t &m : cachedAt)
-            m = r.u32();
+        for (uint64_t &m : cachedAt)
+            m = r.u64();
         const uint32_t nc = r.u32();
         if (nc != stall.size())
             util::raise(util::ErrCode::SnapshotCorrupt,
@@ -144,7 +144,7 @@ class SyncTransport
     MachineConfig cfg;
     std::vector<SyncOpCounts> perLock;
     /** Bitmask of CPUs whose cache currently holds each lock's line. */
-    std::vector<uint32_t> cachedAt;
+    std::vector<uint64_t> cachedAt;
     std::vector<Cycle> stall;
     uint64_t uncachedOpsTotal = 0;
     uint64_t cachedOpsTotal = 0;

@@ -154,6 +154,33 @@ simThreadsForced()
     return threads;
 }
 
+/**
+ * Coherence protocol policy for the data caches.
+ *
+ * Mesi is the machine the paper measured: the Illinois write-invalidate
+ * protocol of the 4D/340, where a read miss with no other cached copy
+ * fills Exclusive and the first write to an E line upgrades to M
+ * silently (no bus transaction).
+ *
+ * Msi drops the Exclusive state: every read miss fills Shared, so the
+ * first write to any previously read line costs an Upgrade bus
+ * transaction even when no other cache holds it.
+ *
+ * Mi is the trivial ownership-only protocol: every fill installs the
+ * line Modified, so even read misses invalidate all remote copies and
+ * no line is ever shared between caches.
+ */
+enum class Protocol : uint8_t { Mesi, Msi, Mi };
+
+/** Number of distinct Protocol values (for validation/sweeps). */
+constexpr uint32_t numProtocols = 3;
+
+/** Name of a Protocol for reports/flags ("mesi", "msi", "mi"). */
+const char *protocolName(Protocol p);
+
+/** Parse a protocol name; returns false if unknown. */
+bool parseProtocol(const char *name, Protocol &out);
+
 /** Bus transaction kinds. */
 enum class BusOp : uint8_t
 {
@@ -172,6 +199,8 @@ const char *busOpName(BusOp op);
 struct MachineConfig
 {
     uint32_t numCpus = 4;
+    /** Data-cache coherence protocol (Mesi = the measured machine). */
+    Protocol protocol = Protocol::Mesi;
     uint32_t lineBytes = 16;
     uint32_t icacheBytes = 64 * 1024;
     uint32_t icacheAssoc = 1;

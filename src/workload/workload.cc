@@ -1,5 +1,7 @@
 #include "workload/workload.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 #include "workload/edit.hh"
 #include "workload/mp3d.hh"
@@ -18,6 +20,26 @@ workloadName(WorkloadKind kind)
       case WorkloadKind::Oracle: return "Oracle";
     }
     return "?";
+}
+
+WorkloadOptions
+scaledOptions(WorkloadOptions base, uint32_t num_cpus)
+{
+    if (num_cpus <= 4)
+        return base;
+    // Grow linearly from the paper's 4-CPU sizing: more make jobs
+    // (and files to keep them coming), more typists, more servers,
+    // and one Mp3d particle process per CPU.
+    const uint32_t f = num_cpus / 4;
+    base.pmakeFiles *= f;
+    // Process-level knobs are capped so a fully loaded Multpgm mix
+    // (make + jobs + mp3d + editors) stays inside the kernel's
+    // widest process table (256 slots, see kernel::LayoutConfig).
+    base.pmakeMaxJobs = std::max(base.pmakeMaxJobs, num_cpus);
+    base.editSessions = std::min(base.editSessions * f, 40u);
+    base.oracleServers = std::min(base.oracleServers * f, 48u);
+    base.mp3dProcs = num_cpus;
+    return base;
 }
 
 Workload::Workload(WorkloadKind kind, kernel::Kernel &k)

@@ -207,6 +207,26 @@ TEST(LockStats, FailEpisodesCountSpinsOnce)
     EXPECT_GT(ls.failsPerMs(1, 33000), 0.0);
 }
 
+TEST(LockStats, HighCpusDoNotAliasFailEpisodes)
+{
+    // Episode tracking is per CPU up to the 64-CPU machine cap: a
+    // spinner on CPU 32 must not alias CPU 0's in-episode bit (the
+    // old 32-slot table masked with cpu & 31 and merged them).
+    LockStats ls(4);
+    ls.lockEvent(0, 32, 1, LockEvent::AcquireFail, 1);
+    ls.lockEvent(1, 0, 1, LockEvent::AcquireFail, 2);
+    ls.lockEvent(2, 63, 1, LockEvent::AcquireFail, 3);
+    EXPECT_EQ(ls.profile(1).failEpisodes, 3u);
+    // Continued spinning by the same CPUs stays within one episode.
+    ls.lockEvent(3, 32, 1, LockEvent::AcquireFail, 3);
+    ls.lockEvent(4, 63, 1, LockEvent::AcquireFail, 3);
+    EXPECT_EQ(ls.profile(1).failEpisodes, 3u);
+    // Success ends CPU 32's episode; its next fail starts a new one.
+    ls.lockEvent(5, 32, 1, LockEvent::AcquireSuccess, 2);
+    ls.lockEvent(6, 32, 1, LockEvent::AcquireFail, 3);
+    EXPECT_EQ(ls.profile(1).failEpisodes, 4u);
+}
+
 TEST(StallModel, PaperMath)
 {
     // 1000 misses x 35 cycles over 100000 non-idle cycles = 35%.

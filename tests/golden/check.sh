@@ -33,6 +33,15 @@ export MPOS_CYCLES=300000
 export MPOS_WARMUP=150000
 export MPOS_SEED=7
 
+# Optional machine overrides for the non-default golden corpora (the
+# 8-CPU MESI smoke corpus in smoke8/ pins both).
+if [ -n "${MPOS_GOLDEN_CPUS:-}" ]; then
+    export MPOS_CPUS="$MPOS_GOLDEN_CPUS"
+fi
+if [ -n "${MPOS_GOLDEN_PROTOCOL:-}" ]; then
+    export MPOS_PROTOCOL="$MPOS_GOLDEN_PROTOCOL"
+fi
+
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 

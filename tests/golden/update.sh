@@ -13,11 +13,20 @@ set -eu
 
 bench="${1:?usage: update.sh <mpos_bench binary> [sim_tests binary]}"
 sim_tests="${2:-}"
-golden="$(cd "$(dirname "$0")" && pwd)"
+# MPOS_GOLDEN_DIR regenerates an alternate corpus (e.g. smoke8/);
+# combine with MPOS_GOLDEN_CPUS/MPOS_GOLDEN_PROTOCOL, as in check.sh.
+golden="${MPOS_GOLDEN_DIR:-$(cd "$(dirname "$0")" && pwd)}"
+mkdir -p "$golden"
 
 export MPOS_CYCLES=300000
 export MPOS_WARMUP=150000
 export MPOS_SEED=7
+if [ -n "${MPOS_GOLDEN_CPUS:-}" ]; then
+    export MPOS_CPUS="$MPOS_GOLDEN_CPUS"
+fi
+if [ -n "${MPOS_GOLDEN_PROTOCOL:-}" ]; then
+    export MPOS_PROTOCOL="$MPOS_GOLDEN_PROTOCOL"
+fi
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT

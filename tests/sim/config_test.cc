@@ -3,8 +3,9 @@
  * Tests for the central machine-configuration validator.
  *
  * Every geometry rule the simulator relies on (power-of-two sets,
- * line/page/memory divisibility, the 8-CPU snoop-filter width, the
- * sim-thread cap) is checked in one place -- validateConfig, run from
+ * line/page/memory divisibility, the 64-CPU sharer-bitmask width,
+ * the protocol id, the sim-thread cap) is checked in one place --
+ * validateConfig, run from
  * the Machine and MemorySystem constructor init-lists -- and each
  * violation must surface as a typed SimError(BadConfig), not as an
  * assert or a wrong simulation.
@@ -51,8 +52,36 @@ TEST(ConfigValidation, CpuCountBounds)
     MachineConfig cfg;
     cfg.numCpus = 0;
     expectRejected(cfg, "zero CPUs");
-    cfg.numCpus = 9; // snoop-filter bitmaps are one byte wide
-    expectRejected(cfg, "more CPUs than the snoop filter tracks");
+    cfg.numCpus = 65; // sharer bitmasks are one uint64_t wide
+    expectRejected(cfg, "more CPUs than the sharer masks track");
+    cfg.numCpus = 64; // the widest machine the masks support
+    EXPECT_NO_THROW(sim::validateConfig(cfg));
+}
+
+TEST(ConfigValidation, ProtocolBounds)
+{
+    MachineConfig cfg;
+    for (const auto p : {sim::Protocol::Mesi, sim::Protocol::Msi,
+                         sim::Protocol::Mi}) {
+        cfg.protocol = p;
+        EXPECT_NO_THROW(sim::validateConfig(cfg));
+    }
+    cfg.protocol = sim::Protocol(sim::numProtocols);
+    expectRejected(cfg, "protocol id past the known protocols");
+}
+
+TEST(ConfigValidation, ProtocolNamesRoundTrip)
+{
+    for (uint8_t i = 0; i < sim::numProtocols; ++i) {
+        const auto p = sim::Protocol(i);
+        sim::Protocol parsed;
+        ASSERT_TRUE(sim::parseProtocol(sim::protocolName(p), parsed))
+            << sim::protocolName(p);
+        EXPECT_EQ(parsed, p);
+    }
+    sim::Protocol parsed;
+    EXPECT_FALSE(sim::parseProtocol("moesi", parsed));
+    EXPECT_FALSE(sim::parseProtocol("", parsed));
 }
 
 TEST(ConfigValidation, LineAndPageGeometry)
@@ -134,7 +163,7 @@ TEST(ConfigValidation, MachineConstructorRejectsBadGeometry)
     cfg.lineBytes = 24;
     EXPECT_THROW({ sim::Machine m(cfg); }, SimError);
 
-    MachineConfig nine;
-    nine.numCpus = 9;
-    EXPECT_THROW({ sim::Machine m(nine); }, SimError);
+    MachineConfig wide;
+    wide.numCpus = 65;
+    EXPECT_THROW({ sim::Machine m(wide); }, SimError);
 }

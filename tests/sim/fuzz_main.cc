@@ -22,9 +22,9 @@
  * and final state.
  *
  * Usage: mpos_fuzz [--seeds N] [--first-seed S] [--cpus a,b,c]
- *                  [--script-len N] [--cycles N] [--sim-threads N]
- *                  [--snapshot-at C] [--quiet] [--faults]
- *                  [--dump-dir D]
+ *                  [--protocol p,q] [--script-len N] [--cycles N]
+ *                  [--sim-threads N] [--snapshot-at C] [--quiet]
+ *                  [--faults] [--dump-dir D]
  */
 
 #include <cstdio>
@@ -48,6 +48,8 @@ usage(const char *argv0)
         "  --seeds N       seeds per CPU count (default 64)\n"
         "  --first-seed S  first seed (default 1)\n"
         "  --cpus a,b,c    CPU counts to sweep (default 1,2,4)\n"
+        "  --protocol p,q  coherence protocols to sweep: any of\n"
+        "                  mesi,msi,mi (default mesi)\n"
         "  --script-len N  script items per CPU (default 4000)\n"
         "  --cycles N      cycles per machine run (default 60000)\n"
         "  --sim-threads N three-way differential: also run the "
@@ -135,7 +137,7 @@ parseCpuList(const char *s)
     for (const char *p = s; *p;) {
         char *end = nullptr;
         const unsigned long v = std::strtoul(p, &end, 10);
-        if (end == p || v == 0 || v > 8) {
+        if (end == p || v == 0 || v > 64) {
             std::fprintf(stderr, "bad CPU list '%s'\n", s);
             std::exit(2);
         }
@@ -143,6 +145,30 @@ parseCpuList(const char *s)
         p = (*end == ',') ? end + 1 : end;
     }
     return cpus;
+}
+
+std::vector<mpos::sim::Protocol>
+parseProtocolList(const char *s)
+{
+    std::vector<mpos::sim::Protocol> protos;
+    for (const char *p = s; *p;) {
+        const char *end = p;
+        while (*end && *end != ',')
+            ++end;
+        const std::string name(p, end);
+        mpos::sim::Protocol proto;
+        if (!mpos::sim::parseProtocol(name.c_str(), proto)) {
+            std::fprintf(stderr, "bad protocol list '%s'\n", s);
+            std::exit(2);
+        }
+        protos.push_back(proto);
+        p = *end ? end + 1 : end;
+    }
+    if (protos.empty()) {
+        std::fprintf(stderr, "bad protocol list '%s'\n", s);
+        std::exit(2);
+    }
+    return protos;
 }
 
 } // namespace
@@ -153,6 +179,8 @@ main(int argc, char **argv)
     uint32_t numSeeds = 64;
     uint64_t firstSeed = 1;
     std::vector<uint32_t> cpus = {1, 2, 4};
+    std::vector<mpos::sim::Protocol> protos = {
+        mpos::sim::Protocol::Mesi};
     mpos::sim::FuzzOptions opt;
     // MPOS_SIM_THREADS reaches every constructed Machine anyway (the
     // env override beats the config field), so honor it here too and
@@ -180,6 +208,8 @@ main(int argc, char **argv)
             firstSeed = std::strtoull(v, nullptr, 10);
         } else if (const char *v = arg("--cpus")) {
             cpus = parseCpuList(v);
+        } else if (const char *v = arg("--protocol")) {
+            protos = parseProtocolList(v);
         } else if (const char *v = arg("--script-len")) {
             opt.scriptLen = uint32_t(std::strtoul(v, nullptr, 10));
         } else if (const char *v = arg("--cycles")) {
@@ -202,32 +232,52 @@ main(int argc, char **argv)
         }
     }
 
-    if (faults)
+    if (faults) {
+        // The fault campaign checks failure reproducibility, not the
+        // protocol differential; it runs under the first protocol.
+        opt.protocol = protos.front();
         return faultCampaignMain(firstSeed, numSeeds, cpus, opt,
                                  quiet, dumpDir);
+    }
 
     uint32_t done = 0;
-    const uint32_t total = numSeeds * uint32_t(cpus.size());
-    const auto progress = [&](uint64_t seed, uint32_t ncpus,
-                              const mpos::sim::FuzzOutcome &out) {
-        ++done;
-        if (!out.ok) {
-            std::fprintf(stderr,
-                         "[fuzz] FAIL seed=%llu cpus=%u: %s\n",
-                         (unsigned long long)seed, ncpus,
-                         out.detail.c_str());
-        } else if (!quiet && done % 16 == 0) {
-            std::fprintf(stderr, "[fuzz] %u/%u runs ok\n", done,
-                         total);
-        }
-    };
+    const uint32_t total =
+        numSeeds * uint32_t(cpus.size()) * uint32_t(protos.size());
 
-    const mpos::sim::FuzzMatrixResult res =
-        snapshotAt ? mpos::sim::runSnapshotMatrix(firstSeed, numSeeds,
-                                                  cpus, opt,
-                                                  snapshotAt, progress)
-                   : mpos::sim::runFuzzMatrix(firstSeed, numSeeds,
-                                              cpus, opt, progress);
+    mpos::sim::FuzzMatrixResult res;
+    std::vector<const char *> failProto; // parallel to res.failures
+    for (const mpos::sim::Protocol proto : protos) {
+        opt.protocol = proto;
+        const char *pname = mpos::sim::protocolName(proto);
+        const auto progress = [&](uint64_t seed, uint32_t ncpus,
+                                  const mpos::sim::FuzzOutcome &out) {
+            ++done;
+            if (!out.ok) {
+                std::fprintf(
+                    stderr,
+                    "[fuzz] FAIL seed=%llu cpus=%u protocol=%s: %s\n",
+                    (unsigned long long)seed, ncpus, pname,
+                    out.detail.c_str());
+            } else if (!quiet && done % 16 == 0) {
+                std::fprintf(stderr, "[fuzz] %u/%u runs ok\n", done,
+                             total);
+            }
+        };
+        const mpos::sim::FuzzMatrixResult sub =
+            snapshotAt
+                ? mpos::sim::runSnapshotMatrix(firstSeed, numSeeds,
+                                               cpus, opt, snapshotAt,
+                                               progress)
+                : mpos::sim::runFuzzMatrix(firstSeed, numSeeds, cpus,
+                                           opt, progress);
+        res.runs += sub.runs;
+        res.eventsCompared += sub.eventsCompared;
+        res.checksPerformed += sub.checksPerformed;
+        for (const mpos::sim::FuzzFailure &f : sub.failures) {
+            res.failures.push_back(f);
+            failProto.push_back(pname);
+        }
+    }
 
     std::printf("mpos_fuzz%s: %u runs, %llu monitor events compared, "
                 "%llu invariant checks, %zu failure(s)\n",
@@ -235,28 +285,29 @@ main(int argc, char **argv)
                 (unsigned long long)res.eventsCompared,
                 (unsigned long long)res.checksPerformed,
                 res.failures.size());
-    for (const mpos::sim::FuzzFailure &f : res.failures) {
-        std::string extra;
+    for (size_t i = 0; i < res.failures.size(); ++i) {
+        const mpos::sim::FuzzFailure &f = res.failures[i];
+        std::string extra = std::string(" --protocol ") + failProto[i];
         if (opt.simThreads > 1)
-            extra = " --sim-threads " + std::to_string(opt.simThreads);
+            extra += " --sim-threads " + std::to_string(opt.simThreads);
         if (snapshotAt) {
-            std::printf("  seed %llu cpus %u:\n    repro: mpos_fuzz "
-                        "--seeds 1 --first-seed %llu --cpus %u "
-                        "--snapshot-at %llu%s\n    %s\n",
+            std::printf("  seed %llu cpus %u protocol %s:\n    repro: "
+                        "mpos_fuzz --seeds 1 --first-seed %llu "
+                        "--cpus %u --snapshot-at %llu%s\n    %s\n",
                         (unsigned long long)f.seed, f.numCpus,
-                        (unsigned long long)f.seed, f.numCpus,
-                        (unsigned long long)snapshotAt, extra.c_str(),
-                        f.detail.c_str());
+                        failProto[i], (unsigned long long)f.seed,
+                        f.numCpus, (unsigned long long)snapshotAt,
+                        extra.c_str(), f.detail.c_str());
             continue;
         }
-        std::printf("  seed %llu cpus %u: minimal failing prefix %u "
-                    "items\n    repro: mpos_fuzz --seeds 1 "
+        std::printf("  seed %llu cpus %u protocol %s: minimal failing "
+                    "prefix %u items\n    repro: mpos_fuzz --seeds 1 "
                     "--first-seed %llu --cpus %u --script-len %u%s\n"
                     "    %s\n",
                     (unsigned long long)f.seed, f.numCpus,
-                    f.minimalPrefix, (unsigned long long)f.seed,
-                    f.numCpus, f.minimalPrefix, extra.c_str(),
-                    f.detail.c_str());
+                    failProto[i], f.minimalPrefix,
+                    (unsigned long long)f.seed, f.numCpus,
+                    f.minimalPrefix, extra.c_str(), f.detail.c_str());
     }
     return res.ok() ? 0 : 1;
 }

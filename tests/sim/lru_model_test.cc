@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Replacement-policy conformance: the packed per-way LRU bookkeeping
+ * in sim::Cache is checked against a brute-force reference model (a
+ * recency-ordered list per set) -- exhaustively for every short
+ * access sequence over a tiny cache, then with long random streams
+ * over several geometries, and finally assoc=1 is pinned to the
+ * plain direct-mapped discipline (victim = the set's sole occupant).
+ */
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "sim/cache.hh"
+#include "util/rng.hh"
+
+using mpos::sim::Addr;
+using mpos::sim::Cache;
+using mpos::sim::Victim;
+
+namespace
+{
+
+/** Brute-force true-LRU reference: per set, a most-recent-first list
+ *  of resident line addresses. */
+class ModelCache
+{
+  public:
+    ModelCache(uint64_t bytes, uint32_t assoc, uint32_t line_bytes)
+        : ways(assoc), lineBytes(line_bytes),
+          setsOf(bytes / (uint64_t(assoc) * line_bytes)),
+          sets(setsOf)
+    {
+    }
+
+    bool
+    touch(Addr addr)
+    {
+        auto &s = sets[setIdx(addr)];
+        const Addr line = lineOf(addr);
+        for (size_t i = 0; i < s.size(); ++i) {
+            if (s[i] == line) {
+                s.erase(s.begin() + long(i));
+                s.insert(s.begin(), line);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Returns the displaced line, if the fill evicted one. */
+    std::optional<Addr>
+    fill(Addr addr)
+    {
+        if (touch(addr))
+            return std::nullopt; // already resident: refresh only
+        auto &s = sets[setIdx(addr)];
+        s.insert(s.begin(), lineOf(addr));
+        if (s.size() > ways) {
+            const Addr victim = s.back();
+            s.pop_back();
+            return victim;
+        }
+        return std::nullopt;
+    }
+
+    bool
+    contains(Addr addr) const
+    {
+        const auto &s = sets[setIdx(addr)];
+        const Addr line = lineOf(addr);
+        for (const Addr a : s)
+            if (a == line)
+                return true;
+        return false;
+    }
+
+    bool
+    invalidate(Addr addr)
+    {
+        auto &s = sets[setIdx(addr)];
+        const Addr line = lineOf(addr);
+        for (size_t i = 0; i < s.size(); ++i) {
+            if (s[i] == line) {
+                s.erase(s.begin() + long(i));
+                return true;
+            }
+        }
+        return false;
+    }
+
+  private:
+    Addr lineOf(Addr a) const { return a & ~Addr(lineBytes - 1); }
+    uint64_t
+    setIdx(Addr a) const
+    {
+        return (a / lineBytes) % setsOf;
+    }
+
+    uint64_t ways;
+    uint32_t lineBytes;
+    uint64_t setsOf;
+    std::vector<std::vector<Addr>> sets;
+};
+
+/** Drive both implementations with one access and compare outcomes:
+ *  hit/miss agreement, victim agreement, residency agreement. */
+void
+step(Cache &c, ModelCache &m, Addr a, bool inval,
+     const std::vector<Addr> &universe)
+{
+    if (inval) {
+        EXPECT_EQ(c.invalidate(a), m.invalidate(a)) << std::hex << a;
+    } else {
+        const bool hit = c.touch(a);
+        EXPECT_EQ(hit, m.touch(a)) << std::hex << a;
+        if (!hit) {
+            const Victim v = c.fill(a);
+            const auto mv = m.fill(a);
+            EXPECT_EQ(v.valid, mv.has_value()) << std::hex << a;
+            if (v.valid && mv)
+                EXPECT_EQ(v.lineAddr, *mv) << std::hex << a;
+        }
+    }
+    for (const Addr u : universe)
+        EXPECT_EQ(c.contains(u), m.contains(u)) << std::hex << u;
+}
+
+} // namespace
+
+/** Every access sequence of length 6 from an 8-line universe over a
+ *  one-set 3-way cache: eviction order must match the model exactly.
+ *  One set means every access contends, so this exhausts the LRU
+ *  update orderings (8^6 = 262,144 sequences). */
+TEST(LruModel, ExhaustiveShortSequencesOneSet)
+{
+    constexpr uint32_t lineBytes = 16;
+    constexpr int universeLines = 8;
+    constexpr int depth = 6;
+    std::vector<Addr> universe;
+    for (int i = 0; i < universeLines; ++i)
+        universe.push_back(Addr(i) * lineBytes);
+
+    uint64_t total = 1;
+    for (int i = 0; i < depth; ++i)
+        total *= universeLines;
+
+    for (uint64_t seq = 0; seq < total; ++seq) {
+        Cache c("t", 3 * lineBytes, 3, lineBytes); // 1 set, 3 ways
+        ModelCache m(3 * lineBytes, 3, lineBytes);
+        uint64_t s = seq;
+        for (int i = 0; i < depth; ++i) {
+            step(c, m, universe[s % universeLines], false, universe);
+            s /= universeLines;
+        }
+        if (::testing::Test::HasFailure()) {
+            ADD_FAILURE() << "first failing sequence id " << seq;
+            return;
+        }
+    }
+}
+
+/** Long random streams (touch/fill/invalidate mixed) across the
+ *  associativities the machine config can select. */
+TEST(LruModel, RandomStreamsAcrossGeometries)
+{
+    constexpr uint32_t lineBytes = 16;
+    const struct
+    {
+        uint64_t bytes;
+        uint32_t assoc;
+    } geoms[] = {
+        {256, 1}, {256, 2}, {512, 4}, {1024, 8}, {2048, 16},
+    };
+
+    for (const auto &g : geoms) {
+        Cache c("t", g.bytes, g.assoc, lineBytes);
+        ModelCache m(g.bytes, g.assoc, lineBytes);
+        mpos::util::Rng rng(g.bytes ^ g.assoc);
+        const uint64_t lines = g.bytes / lineBytes;
+        std::vector<Addr> universe;
+        for (uint64_t i = 0; i < lines * 3; ++i)
+            universe.push_back(Addr(i) * lineBytes);
+
+        for (int i = 0; i < 20000; ++i) {
+            const Addr a =
+                universe[rng.below(uint64_t(universe.size()))];
+            step(c, m, a, rng.below(8) == 0, universe);
+            if (::testing::Test::HasFailure()) {
+                ADD_FAILURE() << "geometry " << g.bytes << "B/"
+                              << g.assoc << "-way, op " << i;
+                return;
+            }
+        }
+        EXPECT_EQ(c.checkIntegrity([](const std::string &what) {
+                      ADD_FAILURE() << what;
+                  }),
+                  0u)
+            << g.bytes << "B/" << g.assoc << "-way";
+    }
+}
+
+/** assoc=1 must behave exactly as a classic direct-mapped cache: a
+ *  fill's victim is whatever the modulo-indexed set held. */
+TEST(LruModel, Assoc1IsDirectMapped)
+{
+    constexpr uint32_t lineBytes = 16;
+    constexpr uint64_t bytes = 512; // 32 sets
+    const uint64_t numSets = bytes / lineBytes;
+    Cache c("t", bytes, 1, lineBytes);
+    std::vector<std::optional<Addr>> direct(numSets);
+    mpos::util::Rng rng(11);
+
+    for (int i = 0; i < 50000; ++i) {
+        const Addr a = Addr(rng.below(numSets * 4)) * lineBytes;
+        const uint64_t set = (a / lineBytes) % numSets;
+        const bool hit = c.touch(a);
+        EXPECT_EQ(hit, direct[set] == a) << std::hex << a;
+        if (!hit) {
+            const Victim v = c.fill(a);
+            EXPECT_EQ(v.valid, direct[set].has_value());
+            if (v.valid && direct[set])
+                EXPECT_EQ(v.lineAddr, *direct[set]);
+            direct[set] = a;
+        }
+        if (::testing::Test::HasFailure()) {
+            ADD_FAILURE() << "op " << i;
+            return;
+        }
+    }
+}

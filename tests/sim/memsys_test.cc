@@ -271,7 +271,8 @@ TEST_P(CoherenceStress, SingleWriterAndInclusion)
                         EXPECT_FALSE(mem.caches(c).l2d.contains(line));
                     }
                     // Snoop filter: bit c mirrors the coherence state.
-                    const bool bit = mem.sharersMask(line) & (1u << c);
+                    const bool bit =
+                        mem.sharersMask(line) & (uint64_t(1) << c);
                     EXPECT_EQ(bit, st != Coh::Invalid);
                 }
                 EXPECT_LE(modified, 1);
@@ -285,3 +286,29 @@ TEST_P(CoherenceStress, SingleWriterAndInclusion)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CoherenceStress,
                          ::testing::Values(3, 17, 4242));
+
+TEST(WideMachine, SixtyFourCpuSharerMaskTracksHighCpus)
+{
+    MachineConfig cfg;
+    cfg.numCpus = 64;
+    cfg.memBytes = 1024 * 1024; // keep the 64-CPU test allocation small
+    Monitor mon;
+    Tally tally;
+    mon.attach(&tally);
+    MonitorContext ctx;
+    MemorySystem mem(cfg, mon);
+
+    const Addr line = 0x1000;
+    for (CpuId c = 0; c < 64; ++c)
+        mem.dataAccess(c, line, false, Cycle(c), ctx);
+    EXPECT_EQ(mem.sharersMask(line), ~uint64_t(0));
+    for (CpuId c : {CpuId(0), CpuId(31), CpuId(32), CpuId(63)})
+        EXPECT_EQ(mem.caches(c).getState(line), Coh::Shared) << c;
+
+    // A store from CPU 63 must invalidate all 63 remote copies.
+    mem.dataAccess(63, line, true, 100, ctx);
+    EXPECT_EQ(tally.invalSharings, 63u);
+    EXPECT_EQ(mem.sharersMask(line), uint64_t(1) << 63);
+    EXPECT_EQ(mem.caches(63).getState(line), Coh::Modified);
+    EXPECT_EQ(mem.caches(0).getState(line), Coh::Invalid);
+}

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Protocol-conformance litmus tests: table-driven two- and four-CPU
+ * access interleavings with the EXACT resulting coherence states and
+ * bus-event tallies each protocol must produce.
+ *
+ *   mesi - the measured machine (Illinois): read miss fills E when no
+ *          other cache answers, silent E->M on write, Upgrade only
+ *          from Shared, clean E eviction without writeback.
+ *   msi  - no Exclusive: every read miss fills Shared and the first
+ *          write pays an Upgrade even on a private line.
+ *   mi   - no shared states at all: every fill (even a read miss)
+ *          steals the line, invalidating all remote copies.
+ *
+ * A remote dirty copy killed by snoopInvalidate transfers with the
+ * requester's fill transaction and is NOT a separate Writeback;
+ * writebacks appear only when a dirty line is evicted by capacity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/memsys.hh"
+
+using namespace mpos::sim;
+
+namespace
+{
+
+/** Observer tallying the bus events a litmus row pins down. */
+struct Tally : MonitorObserver
+{
+    uint64_t reads = 0, readex = 0, upgrades = 0, writebacks = 0;
+    uint64_t evicts = 0, invalSharings = 0;
+
+    void
+    busTransaction(const BusRecord &r) override
+    {
+        switch (r.op) {
+          case BusOp::Read: ++reads; break;
+          case BusOp::ReadEx: ++readex; break;
+          case BusOp::Upgrade: ++upgrades; break;
+          case BusOp::Writeback: ++writebacks; break;
+          default: break;
+        }
+    }
+    void evict(CpuId, CacheKind, Addr, const MonitorContext &) override
+    {
+        ++evicts;
+    }
+    void invalSharing(CpuId, CacheKind, Addr) override
+    {
+        ++invalSharings;
+    }
+};
+
+struct Step
+{
+    CpuId cpu;
+    Addr addr;
+    bool write;
+};
+
+/** Expected final coherence state of one line in one CPU's L2. */
+struct EndState
+{
+    CpuId cpu;
+    Addr addr;
+    Coh st;
+};
+
+struct Counts
+{
+    uint64_t reads = 0, readex = 0, upgrades = 0, writebacks = 0;
+    uint64_t evicts = 0, invalSharings = 0;
+};
+
+struct Litmus
+{
+    const char *name;
+    Protocol proto;
+    std::vector<Step> steps;
+    std::vector<EndState> states;
+    Counts want;
+};
+
+constexpr Addr A = 0x1000;
+/** Conflicts with A in the 256 KB direct-mapped L2. */
+constexpr Addr B = 0x1000 + 256 * 1024;
+
+const Litmus litmusTable[] = {
+    // ------------------------------------------------ MESI --------
+    {"mesi/read-miss-fills-exclusive", Protocol::Mesi,
+     {{0, A, false}},
+     {{0, A, Coh::Exclusive}},
+     {.reads = 1}},
+
+    {"mesi/silent-upgrade-e-to-m", Protocol::Mesi,
+     {{0, A, false}, {0, A, true}},
+     {{0, A, Coh::Modified}},
+     {.reads = 1}}, // no Upgrade: the E->M transition is bus-silent
+
+    {"mesi/second-reader-downgrades", Protocol::Mesi,
+     {{0, A, false}, {1, A, false}},
+     {{0, A, Coh::Shared}, {1, A, Coh::Shared}},
+     {.reads = 2}},
+
+    {"mesi/upgrade-from-shared-invalidates", Protocol::Mesi,
+     {{0, A, false}, {1, A, false}, {0, A, true}},
+     {{0, A, Coh::Modified}, {1, A, Coh::Invalid}},
+     {.reads = 2, .upgrades = 1, .invalSharings = 1}},
+
+    {"mesi/write-miss-steals-dirty-copy", Protocol::Mesi,
+     {{0, A, true}, {1, A, true}},
+     {{0, A, Coh::Invalid}, {1, A, Coh::Modified}},
+     {.readex = 2, .invalSharings = 1}},
+
+    {"mesi/clean-exclusive-evicts-silently", Protocol::Mesi,
+     {{0, A, false}, {0, B, false}},
+     {{0, A, Coh::Invalid}, {0, B, Coh::Exclusive}},
+     {.reads = 2, .evicts = 1}}, // E is clean: no writeback
+
+    {"mesi/dirty-eviction-writes-back", Protocol::Mesi,
+     {{0, A, true}, {0, B, false}},
+     {{0, A, Coh::Invalid}, {0, B, Coh::Exclusive}},
+     {.reads = 1, .readex = 1, .writebacks = 1, .evicts = 1}},
+
+    {"mesi/four-cpu-broadcast-invalidate", Protocol::Mesi,
+     {{0, A, false}, {1, A, false}, {2, A, false}, {3, A, false},
+      {2, A, true}},
+     {{0, A, Coh::Invalid}, {1, A, Coh::Invalid},
+      {2, A, Coh::Modified}, {3, A, Coh::Invalid}},
+     {.reads = 4, .upgrades = 1, .invalSharings = 3}},
+
+    // ------------------------------------------------- MSI --------
+    {"msi/read-miss-fills-shared", Protocol::Msi,
+     {{0, A, false}},
+     {{0, A, Coh::Shared}},
+     {.reads = 1}},
+
+    {"msi/private-write-still-pays-upgrade", Protocol::Msi,
+     {{0, A, false}, {0, A, true}},
+     {{0, A, Coh::Modified}},
+     // The crucial MSI difference: no E, so the write hits Shared and
+     // must broadcast an Upgrade even with zero remote copies.
+     {.reads = 1, .upgrades = 1}},
+
+    {"msi/two-readers-both-shared", Protocol::Msi,
+     {{0, A, false}, {1, A, false}},
+     {{0, A, Coh::Shared}, {1, A, Coh::Shared}},
+     {.reads = 2}},
+
+    {"msi/upgrade-invalidates-reader", Protocol::Msi,
+     {{0, A, false}, {1, A, false}, {1, A, true}},
+     {{0, A, Coh::Invalid}, {1, A, Coh::Modified}},
+     {.reads = 2, .upgrades = 1, .invalSharings = 1}},
+
+    {"msi/reader-downgrades-writer", Protocol::Msi,
+     {{0, A, true}, {1, A, false}},
+     {{0, A, Coh::Shared}, {1, A, Coh::Shared}},
+     {.reads = 1, .readex = 1}},
+
+    {"msi/four-cpu-broadcast-invalidate", Protocol::Msi,
+     {{0, A, false}, {1, A, false}, {2, A, false}, {3, A, false},
+      {3, A, true}},
+     {{0, A, Coh::Invalid}, {1, A, Coh::Invalid},
+      {2, A, Coh::Invalid}, {3, A, Coh::Modified}},
+     {.reads = 4, .upgrades = 1, .invalSharings = 3}},
+
+    // -------------------------------------------------- MI --------
+    {"mi/read-miss-fills-modified", Protocol::Mi,
+     {{0, A, false}},
+     {{0, A, Coh::Modified}},
+     {.reads = 1}},
+
+    {"mi/write-hit-is-silent", Protocol::Mi,
+     {{0, A, false}, {0, A, true}},
+     {{0, A, Coh::Modified}},
+     {.reads = 1}}, // already M after the read: nothing on the bus
+
+    {"mi/remote-read-steals-the-line", Protocol::Mi,
+     {{0, A, false}, {1, A, false}},
+     {{0, A, Coh::Invalid}, {1, A, Coh::Modified}},
+     {.reads = 2, .invalSharings = 1}},
+
+    {"mi/remote-read-steals-dirty-line", Protocol::Mi,
+     {{0, A, true}, {1, A, false}},
+     {{0, A, Coh::Invalid}, {1, A, Coh::Modified}},
+     {.reads = 1, .readex = 1, .invalSharings = 1}},
+
+    {"mi/dirty-eviction-writes-back", Protocol::Mi,
+     {{0, A, false}, {0, B, false}},
+     // Even a read-only line is M under MI, so eviction writes back.
+     {{0, A, Coh::Invalid}, {0, B, Coh::Modified}},
+     {.reads = 2, .writebacks = 1, .evicts = 1}},
+
+    {"mi/four-cpu-line-ping-pong", Protocol::Mi,
+     {{0, A, false}, {1, A, true}, {2, A, false}, {3, A, false}},
+     {{0, A, Coh::Invalid}, {1, A, Coh::Invalid},
+      {2, A, Coh::Invalid}, {3, A, Coh::Modified}},
+     {.reads = 3, .readex = 1, .invalSharings = 3}},
+};
+
+class ProtocolLitmus : public ::testing::TestWithParam<Litmus>
+{
+};
+
+} // namespace
+
+TEST_P(ProtocolLitmus, MatchesExpectedStatesAndBusEvents)
+{
+    const Litmus &t = GetParam();
+    MachineConfig cfg;
+    cfg.protocol = t.proto;
+    Monitor mon;
+    Tally tally;
+    mon.attach(&tally);
+    MonitorContext ctx;
+    MemorySystem mem(cfg, mon);
+
+    Cycle now = 0;
+    for (const Step &s : t.steps)
+        mem.dataAccess(s.cpu, s.addr, s.write, now++, ctx);
+
+    for (const EndState &e : t.states)
+        EXPECT_EQ(mem.caches(e.cpu).getState(e.addr), e.st)
+            << t.name << ": cpu " << e.cpu;
+
+    EXPECT_EQ(tally.reads, t.want.reads) << t.name;
+    EXPECT_EQ(tally.readex, t.want.readex) << t.name;
+    EXPECT_EQ(tally.upgrades, t.want.upgrades) << t.name;
+    EXPECT_EQ(tally.writebacks, t.want.writebacks) << t.name;
+    EXPECT_EQ(tally.evicts, t.want.evicts) << t.name;
+    EXPECT_EQ(tally.invalSharings, t.want.invalSharings) << t.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, ProtocolLitmus, ::testing::ValuesIn(litmusTable),
+    [](const ::testing::TestParamInfo<Litmus> &info) {
+        // gtest test names permit [A-Za-z0-9_] only.
+        std::string n = info.param.name;
+        for (char &c : n)
+            if (c == '/' || c == '-')
+                c = '_';
+        return n;
+    });

@@ -109,3 +109,22 @@ TEST(SyncBus, HighLocalityMeansFewCachedOps)
     EXPECT_EQ(st.counts(0).uncachedOps,
               100u * (cfg.syncOpsPerAcquire + 1));
 }
+
+TEST(SyncBus, SixtyFourCpuCachedMaskUsesHighBits)
+{
+    MachineConfig cfg;
+    cfg.numCpus = 64;
+    cfg.memBytes = 1024 * 1024; // keep the big machine's test cheap
+    cfg.cachedLockRmw = true;
+    SyncTransport st(cfg, 4);
+    // CPU 63's fetch must set bit 63, not alias into the low word.
+    st.access(63, 0, LockEvent::AcquireSuccess);
+    EXPECT_EQ(st.cachedAtMask(0), uint64_t(1) << 63);
+    // A spinner on CPU 32 joins the mask.
+    st.access(32, 0, LockEvent::AcquireFail);
+    EXPECT_EQ(st.cachedAtMask(0),
+              (uint64_t(1) << 63) | (uint64_t(1) << 32));
+    // Release by the owner invalidates every other cached copy.
+    st.access(63, 0, LockEvent::Release);
+    EXPECT_EQ(st.cachedAtMask(0), uint64_t(1) << 63);
+}

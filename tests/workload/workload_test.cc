@@ -171,3 +171,34 @@ TEST(Workload, SeedChangesSchedule)
     }
     EXPECT_NE(sw[0], sw[1]);
 }
+
+TEST(Workload, ScaledOptionsIdentityAtFourCpus)
+{
+    const WorkloadOptions base;
+    for (uint32_t n : {1u, 2u, 4u}) {
+        const WorkloadOptions s = workload::scaledOptions(base, n);
+        EXPECT_EQ(s.pmakeFiles, base.pmakeFiles) << n;
+        EXPECT_EQ(s.pmakeMaxJobs, base.pmakeMaxJobs) << n;
+        EXPECT_EQ(s.editSessions, base.editSessions) << n;
+        EXPECT_EQ(s.oracleServers, base.oracleServers) << n;
+        EXPECT_EQ(s.mp3dProcs, base.mp3dProcs) << n;
+    }
+}
+
+TEST(Workload, ScaledOptionsGrowWithCpus)
+{
+    const WorkloadOptions base;
+    const WorkloadOptions s8 = workload::scaledOptions(base, 8);
+    EXPECT_EQ(s8.pmakeFiles, base.pmakeFiles * 2);
+    EXPECT_EQ(s8.pmakeMaxJobs, 8u);
+    EXPECT_EQ(s8.editSessions, base.editSessions * 2);
+    EXPECT_EQ(s8.mp3dProcs, 8u);
+
+    // The biggest machine: process-level knobs are capped so a full
+    // Multpgm mix fits the kernel's widest process table.
+    const WorkloadOptions s64 = workload::scaledOptions(base, 64);
+    EXPECT_EQ(s64.pmakeMaxJobs, 64u);
+    EXPECT_EQ(s64.editSessions, 40u);
+    EXPECT_EQ(s64.oracleServers, 48u);
+    EXPECT_EQ(s64.mp3dProcs, 64u);
+}
