@@ -7,6 +7,7 @@
 #include <filesystem>
 
 #include "bench/analyses.hh"
+#include "core/service.hh"
 #include "core/warmcache.hh"
 #include "sim/trace/trace.hh"
 #include "util/json.hh"
@@ -67,6 +68,16 @@ BenchContext::submitJob(const std::string &name,
                      (unsigned long long)cfg.machine.faultSeed,
                      (unsigned long long)cfg.machine.faultHorizon);
     }
+    planned_.emplace_back(name, cfg);
+    if (planOnly_)
+        return;
+    if (journal_) {
+        // Write-ahead: the plan record is durable before the job can
+        // run, so a resumed sweep rebuilds the report in submission
+        // order no matter where a kill landed.
+        journal_->appendPlan(name,
+                             core::SweepJournal::jobConfigHash(cfg));
+    }
     runner_.submit(name, cfg);
 }
 
@@ -80,8 +91,9 @@ void
 BenchContext::prepareStandard(workload::WorkloadKind kind)
 {
     const std::string name = standardJobName(kind);
-    if (runner_.find(name) != core::ExperimentRunner::npos)
-        return;
+    for (const auto &[n, c] : planned_)
+        if (n == name)
+            return;
     // Resim recording is always on for the shared runs: the recorder
     // is a passive monitor observer (it cannot perturb simulated
     // events), and having the stream lets Figure 6 replay the same
@@ -102,8 +114,9 @@ void
 BenchContext::submit(const std::string &name,
                      const core::ExperimentConfig &cfg)
 {
-    if (runner_.find(name) != core::ExperimentRunner::npos)
-        return;
+    for (const auto &[n, c] : planned_)
+        if (n == name)
+            return;
     submitJob(name, cfg);
 }
 
@@ -486,6 +499,108 @@ writeJson(const std::string &path, bool smoke, unsigned jobs,
     std::fclose(f);
 }
 
+/**
+ * One job row of the deterministic (journal-mode) report, built
+ * either from a live runner slot or from a replayed JobEnd record.
+ */
+struct MergedJobRow
+{
+    std::string name;
+    std::string workload;
+    uint32_t cpus = 0;
+    uint64_t measureCycles = 0;
+    uint64_t invariantChecks = 0;
+    uint64_t monitorTransactions = 0;
+    std::string status = "pending";
+    std::string error;
+    uint32_t attempts = 0;
+    bool ok = false;
+};
+
+/**
+ * Journal-mode report: the same shape as writeJson, but every
+ * wall-clock-derived field is zeroed and the rows come from the
+ * merged plan -- so a sweep that was killed and resumed writes a
+ * byte-identical file to one that ran uninterrupted (the
+ * crash-recovery matrix diffs exactly this).
+ */
+void
+writeJsonJournal(const std::string &path, bool smoke, unsigned jobs,
+                 uint32_t sim_threads, const std::string &cache_dir,
+                 bool have_cache,
+                 const std::vector<MergedJobRow> &rows,
+                 const std::vector<AnalysisRecord> &analyses)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "mpos_bench: cannot write %s\n",
+                     path.c_str());
+        return;
+    }
+    sim::Protocol proto = sim::Protocol::Mesi;
+    if (const char *p = std::getenv("MPOS_PROTOCOL"))
+        sim::parseProtocol(p, proto);
+    std::fprintf(f, "{\n  \"driver\": \"mpos_bench\",\n");
+    std::fprintf(f,
+                 "  \"config\": {\"measure_cycles\": %llu, "
+                 "\"warmup_cycles\": %llu, \"seed\": %llu, "
+                 "\"jobs\": %u, \"sim_threads\": %u, "
+                 "\"protocol\": \"%s\", \"assoc\": %llu, "
+                 "\"cpus\": %llu, \"smoke\": %s, "
+                 "\"journal\": true},\n",
+                 (unsigned long long)envOr("MPOS_CYCLES", 20000000),
+                 (unsigned long long)envOr("MPOS_WARMUP", 8000000),
+                 (unsigned long long)envOr("MPOS_SEED", 7), jobs,
+                 sim_threads, sim::protocolName(proto),
+                 (unsigned long long)envOr("MPOS_ASSOC", 1),
+                 (unsigned long long)envOr("MPOS_CPUS", 4),
+                 smoke ? "true" : "false");
+
+    std::fprintf(f, "  \"jobs\": [\n");
+    uint64_t monitorEvents = 0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const MergedJobRow &r = rows[i];
+        monitorEvents += r.monitorTransactions;
+        std::fprintf(
+            f,
+            "    {\"name\": \"%s\", \"workload\": \"%s\", "
+            "\"cpus\": %u, \"measure_cycles\": %llu, "
+            "\"invariant_checks\": %llu, "
+            "\"monitor_events\": %llu, "
+            "\"status\": \"%s\", \"attempts\": %u, "
+            "\"error\": \"%s\", \"ok\": %s}%s\n",
+            jsonEscape(r.name).c_str(), r.workload.c_str(), r.cpus,
+            (unsigned long long)r.measureCycles,
+            (unsigned long long)r.invariantChecks,
+            (unsigned long long)r.monitorTransactions,
+            r.status.c_str(), r.attempts, jsonEscape(r.error).c_str(),
+            r.ok ? "true" : "false",
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+
+    std::fprintf(f, "  \"analyses\": [\n");
+    for (size_t i = 0; i < analyses.size(); ++i) {
+        const auto &a = analyses[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"status\": \"%s\", "
+                     "\"error\": \"%s\"}%s\n",
+                     a.name, a.ok ? "ok" : "error",
+                     jsonEscape(a.error).c_str(),
+                     i + 1 < analyses.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    if (have_cache) {
+        std::fprintf(f,
+                     "  \"snapshot_cache\": {\"dir\": \"%s\"},\n",
+                     jsonEscape(cache_dir).c_str());
+    }
+    std::fprintf(f,
+                 "  \"monitor_events_total\": %llu\n}\n",
+                 (unsigned long long)monitorEvents);
+    std::fclose(f);
+}
+
 void
 usage()
 {
@@ -560,6 +675,30 @@ usage()
         "  --obs-dir D     output directory for traces/profiles "
         "(default\n"
         "                  mpos_bench_obs)\n"
+        "  --journal D     crash-recoverable sweep: write-ahead "
+        "journal in\n"
+        "                  D/sweep.mpj; the JSON report becomes "
+        "deterministic\n"
+        "                  (wall-clock fields dropped) so kill+resume "
+        "is\n"
+        "                  byte-identical to an uninterrupted run\n"
+        "  --resume        replay the journal first: completed "
+        "analyses re-emit\n"
+        "                  their journaled output, only unfinished "
+        "work re-runs\n"
+        "                  (requires --journal; incompatible with "
+        "--trace/\n"
+        "                  --metrics/--profile, as is --journal)\n"
+        "  --dry-run       print the planned job list (validated "
+        "JSON) and exit\n"
+        "                  without simulating\n"
+        "  --serve PATH    persistent daemon on a Unix socket: "
+        "newline-delimited\n"
+        "                  JSON requests, admission control, journal "
+        "recovery\n"
+        "  --queue N       --serve admission bound: reject run "
+        "requests beyond\n"
+        "                  N in flight (default 8; 0 rejects all)\n"
         "  --help          this text\n\n"
         "Environment: MPOS_CYCLES, MPOS_WARMUP, MPOS_SEED, "
         "MPOS_JOBS, MPOS_CHECK,\n"
@@ -591,6 +730,11 @@ benchMain(int argc, char **argv)
     std::string snapshotDir;
     if (const char *env = std::getenv("MPOS_SNAPSHOT_DIR"))
         snapshotDir = env;
+    std::string journalDir;
+    std::string servePath;
+    bool resume = false;
+    bool dryRun = false;
+    unsigned queueMax = 8;
     ObsOptions obs;
     obs.dir = "mpos_bench_obs";
 
@@ -650,6 +794,17 @@ benchMain(int argc, char **argv)
             obs.profile = true;
         } else if (arg == "--obs-dir") {
             obs.dir = value("--obs-dir");
+        } else if (arg == "--journal") {
+            journalDir = value("--journal");
+        } else if (arg == "--resume") {
+            resume = true;
+        } else if (arg == "--dry-run") {
+            dryRun = true;
+        } else if (arg == "--serve") {
+            servePath = value("--serve");
+        } else if (arg == "--queue") {
+            queueMax = unsigned(
+                std::strtoul(value("--queue"), nullptr, 10));
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -725,6 +880,27 @@ benchMain(int argc, char **argv)
         }
     }
 
+    // Journal/resume/serve sanity: the observability layer writes
+    // per-job side files and wall-clock-dependent report sections,
+    // which can never be byte-identical across a kill+resume.
+    if (resume && journalDir.empty()) {
+        std::fprintf(stderr,
+                     "mpos_bench: --resume requires --journal\n");
+        return 2;
+    }
+    if (!journalDir.empty() && obs.any()) {
+        std::fprintf(stderr,
+                     "mpos_bench: --journal/--resume cannot be "
+                     "combined with --trace/--metrics/--profile\n");
+        return 2;
+    }
+    if (dryRun && !servePath.empty()) {
+        std::fprintf(stderr,
+                     "mpos_bench: --dry-run and --serve are "
+                     "mutually exclusive\n");
+        return 2;
+    }
+
     core::RunnerOptions ropt;
     ropt.jobs = jobs;
     ropt.maxAttempts = retries ? retries : 1;
@@ -738,12 +914,116 @@ benchMain(int argc, char **argv)
             std::make_unique<core::WarmStartCache>(snapshotDir);
         ropt.warmCache = warmCache.get();
     }
+    std::unique_ptr<core::SweepJournal> journal;
+    if (!journalDir.empty() && !dryRun) {
+        std::filesystem::create_directories(journalDir);
+        journal = std::make_unique<core::SweepJournal>();
+        // A daemon always resumes its journal: restart recovery is
+        // the point of running one.
+        journal->open(journalDir, resume || !servePath.empty());
+        ropt.journal = journal.get();
+        if (warmCache) {
+            // Re-quarantine before any job can look up a warm image:
+            // a failed seed's image must stay dead across restarts.
+            for (uint64_t key : journal->state().poisonedKeys)
+                warmCache->poison(key);
+        }
+        if (journal->state().records) {
+            std::fprintf(
+                stderr,
+                "[journal] replayed %zu record(s): %zu planned "
+                "job(s), %zu settled, %zu completed analyses%s\n",
+                journal->state().records, journal->state().plan.size(),
+                journal->state().jobs.size(),
+                journal->state().analyses.size(),
+                journal->state().truncatedTail ? " (torn tail dropped)"
+                                               : "");
+        }
+    }
+
+    if (!servePath.empty()) {
+        core::ServiceOptions sopt;
+        sopt.socketPath = servePath;
+        sopt.maxQueue = queueMax;
+        sopt.runner = ropt;
+        core::SweepService service(sopt);
+        return service.serve();
+    }
+
     BenchContext ctx(ropt);
     ctx.setSimThreads(simThreads);
     if (!faultJob.empty())
         ctx.setFaultJob(faultJob);
     if (obs.any())
         ctx.setObservability(obs);
+    if (journal)
+        ctx.setJournal(journal.get());
+
+    // Analyses whose output is already journaled (ok only): their
+    // jobs are not re-queued and their output replays byte-identical.
+    auto journaledAnalysis =
+        [&](const char *name) -> const core::JournalAnalysis * {
+        if (!journal || !resume)
+            return nullptr;
+        auto it = journal->state().analyses.find(name);
+        if (it != journal->state().analyses.end() && it->second.ok)
+            return &it->second;
+        return nullptr;
+    };
+
+    if (dryRun) {
+        // Plan-only: queue nothing, print the validated job plan.
+        ctx.setPlanOnly(true);
+        uint32_t mask = 0;
+        for (const auto *e : sel)
+            mask |= e->standardMask;
+        for (int i = 0; i < 3; ++i) {
+            if (mask & (1u << i))
+                ctx.prepareStandard(allWorkloads[i]);
+        }
+        for (const auto *e : sel) {
+            if (e->prepare)
+                e->prepare(ctx);
+        }
+        std::string out = "{\"driver\": \"mpos_bench\", "
+                          "\"dry_run\": true, \"jobs\": [";
+        const auto &plan = ctx.planned();
+        for (size_t i = 0; i < plan.size(); ++i) {
+            const auto &[name, cfg] = plan[i];
+            char buf[256];
+            std::snprintf(
+                buf, sizeof buf,
+                "\"cpus\": %u, \"seed\": %llu, "
+                "\"warmup_cycles\": %llu, \"measure_cycles\": %llu, "
+                "\"config_hash\": \"%016llx\"}",
+                cfg.machine.numCpus,
+                (unsigned long long)cfg.options.seed,
+                (unsigned long long)cfg.warmupCycles,
+                (unsigned long long)cfg.measureCycles,
+                (unsigned long long)core::SweepJournal::jobConfigHash(
+                    cfg));
+            out += std::string(i ? ", " : "") + "{\"name\": " +
+                   util::jsonString(name) + ", \"workload\": \"" +
+                   workload::workloadName(cfg.kind) + "\", " + buf;
+        }
+        out += "], \"analyses\": [";
+        for (size_t i = 0; i < sel.size(); ++i) {
+            out += std::string(i ? ", " : "") + "\"" + sel[i]->name +
+                   "\"";
+        }
+        out += "]}";
+        std::string verr;
+        if (!util::jsonValidate(out, nullptr, &verr)) {
+            std::fprintf(stderr,
+                         "mpos_bench: internal error: dry-run plan "
+                         "is not valid JSON: %s\n",
+                         verr.c_str());
+            return 2;
+        }
+        std::printf("%s\n", out.c_str());
+        return 0;
+    }
+
     core::banner("mpos_bench: the paper's figures/tables from shared "
                  "parallel runs");
     std::printf("Config: measure %llu cycles/CPU after %llu warmup, "
@@ -757,16 +1037,20 @@ benchMain(int argc, char **argv)
     const auto t0 = std::chrono::steady_clock::now();
 
     // Queue everything up front so the pool stays full: the three
-    // shared standard runs first, then every sweep/ablation job.
+    // shared standard runs first, then every sweep/ablation job --
+    // skipping jobs only needed by analyses the journal already
+    // settled.
     uint32_t mask = 0;
-    for (const auto *e : sel)
-        mask |= e->standardMask;
+    for (const auto *e : sel) {
+        if (!journaledAnalysis(e->name))
+            mask |= e->standardMask;
+    }
     for (int i = 0; i < 3; ++i) {
         if (mask & (1u << i))
             ctx.prepareStandard(allWorkloads[i]);
     }
     for (const auto *e : sel) {
-        if (e->prepare)
+        if (e->prepare && !journaledAnalysis(e->name))
             e->prepare(ctx);
     }
 
@@ -776,9 +1060,27 @@ benchMain(int argc, char **argv)
     for (const auto *e : sel) {
         AnalysisRecord rec;
         rec.name = e->name;
+        if (const core::JournalAnalysis *ja =
+                journaledAnalysis(e->name)) {
+            // Resume fast path: the journaled output IS the analysis
+            // output (the experiments are deterministic), re-emitted
+            // byte-for-byte to stdout and the golden corpus.
+            std::fwrite(ja->output.data(), 1, ja->output.size(),
+                        stdout);
+            std::fflush(stdout);
+            if (!goldenDir.empty())
+                writeGolden(goldenDir, e->name, true, ja->output);
+            std::fprintf(stderr,
+                         "[journal] %s: replayed from journal\n",
+                         e->name);
+            records.push_back(std::move(rec));
+            continue;
+        }
         const auto a0 = std::chrono::steady_clock::now();
         std::unique_ptr<StdoutCapture> capture;
-        if (!goldenDir.empty())
+        // Journal mode always captures: the exact output is what a
+        // resumed run must be able to re-emit.
+        if (!goldenDir.empty() || journal)
             capture = std::make_unique<StdoutCapture>();
         try {
             e->run(ctx);
@@ -789,8 +1091,14 @@ benchMain(int argc, char **argv)
             rec.ok = false;
             rec.error = "unknown exception";
         }
-        if (capture)
-            writeGolden(goldenDir, e->name, rec.ok, capture->finish());
+        if (capture) {
+            const std::string output = capture->finish();
+            if (!goldenDir.empty())
+                writeGolden(goldenDir, e->name, rec.ok, output);
+            if (journal)
+                journal->appendAnalysisEnd(e->name, rec.ok, rec.error,
+                                           output);
+        }
         rec.wallSeconds = secondsSince(a0);
         const bool failed_now = !rec.ok;
         if (failed_now) {
@@ -847,8 +1155,73 @@ benchMain(int argc, char **argv)
     }
 
     const double totalWall = secondsSince(t0);
-    writeJson(jsonPath, smoke, ctx.runner().jobs(), simThreads, obs,
-              warmCache.get(), ctx.runner(), records, totalWall);
+    size_t journalFailedJobs = 0;
+    if (journal) {
+        // Deterministic report from the merged plan: replayed plan
+        // order first (the killed run's submissions), then anything
+        // this run planned beyond it. Fresh runner slots win over
+        // journaled rows (they re-ran deterministically); journaled
+        // rows serve the jobs this run skipped.
+        std::vector<std::pair<std::string, uint64_t>> order =
+            journal->state().plan;
+        for (const auto &[name, cfg] : ctx.planned()) {
+            bool seen = false;
+            for (const auto &[n, h] : order)
+                if (n == name)
+                    seen = true;
+            if (!seen)
+                order.emplace_back(
+                    name, core::SweepJournal::jobConfigHash(cfg));
+        }
+        std::vector<MergedJobRow> rows;
+        for (const auto &[name, hash] : order) {
+            MergedJobRow row;
+            row.name = name;
+            const size_t idx = ctx.runner().find(name);
+            if (idx != core::ExperimentRunner::npos) {
+                const auto &r = ctx.runner().result(idx);
+                row.workload = workload::workloadName(r.cfg.kind);
+                row.cpus = r.cfg.machine.numCpus;
+                row.measureCycles = r.cfg.measureCycles;
+                row.invariantChecks = r.invariantChecks;
+                row.monitorTransactions = r.monitorTransactions;
+                row.status = core::jobStatusName(r.status);
+                row.error = r.error;
+                row.attempts = r.attempts;
+                row.ok = r.ok();
+            } else {
+                auto it = journal->state().jobs.find(name);
+                if (it != journal->state().jobs.end() &&
+                    it->second.configHash == hash) {
+                    const core::JournalJobRow &j = it->second;
+                    row.workload = workload::workloadName(
+                        workload::WorkloadKind(j.kind));
+                    row.cpus = j.cpus;
+                    row.measureCycles = j.measureCycles;
+                    row.invariantChecks = j.invariantChecks;
+                    row.monitorTransactions = j.monitorTransactions;
+                    row.status = core::jobStatusName(
+                        core::JobStatus(j.status));
+                    row.error = j.error;
+                    row.attempts = j.attempts;
+                    row.ok = core::JobStatus(j.status) ==
+                             core::JobStatus::Ok;
+                } else {
+                    row.workload = "?";
+                }
+            }
+            if (!row.ok)
+                ++journalFailedJobs;
+            rows.push_back(std::move(row));
+        }
+        writeJsonJournal(jsonPath, smoke, ctx.runner().jobs(),
+                         simThreads, snapshotDir,
+                         warmCache != nullptr, rows, records);
+    } else {
+        writeJson(jsonPath, smoke, ctx.runner().jobs(), simThreads,
+                  obs, warmCache.get(), ctx.runner(), records,
+                  totalWall);
+    }
     if (warmCache) {
         const core::WarmCacheStats ws = warmCache->stats();
         std::fprintf(stderr,
@@ -866,7 +1239,8 @@ benchMain(int argc, char **argv)
     size_t failed = 0;
     for (const auto &r : records)
         failed += !r.ok;
-    size_t failedJobs = ctx.runner().failedCount();
+    size_t failedJobs =
+        journal ? journalFailedJobs : ctx.runner().failedCount();
     if (!faultJob.empty() &&
         ctx.runner().find(faultJob) == core::ExperimentRunner::npos) {
         // A fault job that never matched a submitted name would make

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "bench/common.hh"
+#include "core/journal.hh"
 #include "core/runner.hh"
 
 namespace mpos::bench
@@ -95,6 +96,25 @@ class BenchContext
 
     core::ExperimentRunner &runner() { return runner_; }
 
+    /**
+     * Journal every submission (a write-ahead Plan record per job;
+     * the runner adds JobStart/JobEnd via RunnerOptions::journal).
+     */
+    void setJournal(core::SweepJournal *j) { journal_ = j; }
+
+    /**
+     * Plan-only mode (--dry-run): submitJob records the planned job
+     * but never simulates. Analyses must not be run in this mode.
+     */
+    void setPlanOnly(bool on) { planOnly_ = on; }
+
+    /** Every job planned this run, in submission order. */
+    const std::vector<std::pair<std::string, core::ExperimentConfig>> &
+    planned() const
+    {
+        return planned_;
+    }
+
   private:
     void submitJob(const std::string &name,
                    core::ExperimentConfig cfg);
@@ -103,6 +123,10 @@ class BenchContext
     std::string faultJob_; ///< Job to sabotage; empty = none.
     ObsOptions obs_;       ///< Applied to every submitted job.
     uint32_t simThreads_ = 1; ///< Parallel-core threads per job.
+    core::SweepJournal *journal_ = nullptr;
+    bool planOnly_ = false;
+    std::vector<std::pair<std::string, core::ExperimentConfig>>
+        planned_;
 };
 
 /// @name Standard-workload requirement bits (allWorkloads order)

@@ -12,9 +12,10 @@
 namespace mpos::core
 {
 
-Experiment::Experiment(const ExperimentConfig &config)
-    : cfg(config)
+ExperimentConfig
+Experiment::resolvedConfig(const ExperimentConfig &config)
 {
+    ExperimentConfig cfg = config;
     // The kernel layout must describe the same machine.
     cfg.kernelCfg.layout.memBytes = cfg.machine.memBytes;
     cfg.kernelCfg.layout.pageBytes = cfg.machine.pageBytes;
@@ -23,7 +24,12 @@ Experiment::Experiment(const ExperimentConfig &config)
         cfg.kernelCfg.userPoolPages =
             workload::Workload::recommendedPoolPages(cfg.kind);
     }
+    return cfg;
+}
 
+Experiment::Experiment(const ExperimentConfig &config)
+    : cfg(resolvedConfig(config))
+{
     const uint32_t nlocks =
         kernel::numKernelLocks + cfg.kernelCfg.maxUserLocks;
     mach = std::make_unique<sim::Machine>(cfg.machine, nlocks);

@@ -70,6 +70,13 @@ struct ExperimentConfig
      * and the golden corpus assert this).
      */
     WarmStartCache *warmCache = nullptr;
+
+    /**
+     * Opaque caller tag (e.g. a service request id). Journaled with
+     * the job so a restarted daemon can reassociate recovered work
+     * with its request; never hashed, never event-affecting.
+     */
+    std::string requestTag;
 };
 
 /** A configured, runnable experiment. */
@@ -78,6 +85,14 @@ class Experiment
   public:
     explicit Experiment(const ExperimentConfig &cfg);
     ~Experiment();
+
+    /**
+     * The configuration as the constructor would normalize it: kernel
+     * layout geometry copied from the machine, the workload's
+     * recommended page pool applied. Pure; lets callers compute
+     * warmConfigHash() / journal identity without building a machine.
+     */
+    static ExperimentConfig resolvedConfig(const ExperimentConfig &cfg);
 
     /** Warm up, then measure. May be called exactly once. */
     void run();

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <thread>
 
+#include "core/journal.hh"
+#include "core/warmcache.hh"
 #include "util/error.hh"
 #include "util/logging.hh"
 
@@ -89,9 +91,14 @@ ExperimentRunner::submit(std::string name,
         std::fprintf(stderr, "[runner] %s: start\n",
                      slot->name.c_str());
         const uint32_t tries = opt.maxAttempts ? opt.maxAttempts : 1;
+        const uint64_t jhash =
+            opt.journal ? SweepJournal::jobConfigHash(slot->cfg) : 0;
         for (uint32_t attempt = 1; attempt <= tries; ++attempt) {
             ExperimentConfig cfg = slot->cfg;
-            cfg.timeoutSeconds = opt.jobTimeoutSec;
+            // A per-job budget set on the config (e.g. by a service
+            // request) wins over the runner-wide default.
+            if (cfg.timeoutSeconds <= 0)
+                cfg.timeoutSeconds = opt.jobTimeoutSec;
             cfg.warmCache = opt.warmCache;
             if (attempt > 1) {
                 if (opt.retryBackoffMs) {
@@ -113,8 +120,24 @@ ExperimentRunner::submit(std::string name,
                                  cfg.options.seed));
             }
             slot->attempts = attempt;
+            if (opt.journal) {
+                opt.journal->appendJobStart(slot->name, jhash,
+                                            cfg.options.seed, attempt,
+                                            cfg.requestTag);
+            }
             if (runAttempt(slot, cfg))
                 break;
+            if (opt.warmCache) {
+                // Quarantine the failed attempt's warm image: it may
+                // have been produced (or consumed) on the path to
+                // this failure, and a retry or a resumed sweep must
+                // warm up from scratch instead of trusting it.
+                const uint64_t wkey = warmConfigHash(
+                    Experiment::resolvedConfig(cfg));
+                opt.warmCache->poison(wkey);
+                if (opt.journal)
+                    opt.journal->appendPoison(wkey);
+            }
             std::fprintf(stderr,
                          "[runner] %s: attempt %u/%u %s: %s\n",
                          slot->name.c_str(), attempt, tries,
@@ -122,6 +145,20 @@ ExperimentRunner::submit(std::string name,
                          slot->error.c_str());
         }
         slot->wallSeconds = secondsSince(t0);
+        if (opt.journal) {
+            JournalJobRow row;
+            row.name = slot->name;
+            row.configHash = jhash;
+            row.status = uint8_t(slot->status);
+            row.attempts = slot->attempts;
+            row.error = slot->error;
+            row.monitorTransactions = slot->monitorTransactions;
+            row.invariantChecks = slot->invariantChecks;
+            row.kind = uint8_t(slot->cfg.kind);
+            row.cpus = slot->cfg.machine.numCpus;
+            row.measureCycles = slot->cfg.measureCycles;
+            opt.journal->appendJobEnd(row);
+        }
         if (!slot->ok()) {
             std::fprintf(stderr,
                          "[runner] %s: gave up after %u attempt(s) "

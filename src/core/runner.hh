@@ -34,6 +34,8 @@
 namespace mpos::core
 {
 
+class SweepJournal;
+
 /** Final disposition of one runner job. */
 enum class JobStatus : uint8_t
 {
@@ -87,6 +89,14 @@ struct RunnerOptions
      * retry never reuses the failed seed's warm image.
      */
     WarmStartCache *warmCache = nullptr;
+    /**
+     * Sweep journal; null disables. Workers write a JobStart per
+     * attempt and a JobEnd when the job settles, and a failed attempt
+     * poisons its warm key both in the cache and in the journal -- so
+     * a killed sweep can be resumed without re-running settled jobs
+     * and without ever reusing a failed seed's warm image.
+     */
+    SweepJournal *journal = nullptr;
 };
 
 /** Schedules ExperimentConfig jobs over a host thread pool. */

@@ -1,0 +1,513 @@
+#include "core/service.hh"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/journal.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace mpos::core
+{
+
+namespace
+{
+
+/** A request line larger than this is rejected before parsing. */
+constexpr size_t maxLineBytes = 1u << 20;
+
+/** stop() target for the SIGINT/SIGTERM handlers. */
+std::atomic<SweepService *> signalTarget{nullptr};
+
+void
+onStopSignal(int)
+{
+    if (SweepService *s = signalTarget.load())
+        s->stop();
+}
+
+/** Full-buffer send; returns false once the peer is gone. */
+bool
+sendAll(int fd, const std::string &text)
+{
+    size_t off = 0;
+    while (off < text.size()) {
+        const ssize_t n = ::send(fd, text.data() + off,
+                                 text.size() - off, MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        off += size_t(n);
+    }
+    return true;
+}
+
+bool
+sendLine(int fd, const std::string &json)
+{
+    return sendAll(fd, json + "\n");
+}
+
+std::string
+errorEvent(const std::string &what)
+{
+    return "{\"event\":\"error\",\"error\":" + util::jsonString(what) +
+           "}";
+}
+
+bool
+parseWorkload(const std::string &name, workload::WorkloadKind &kind)
+{
+    for (uint8_t k = 0; k < 3; ++k) {
+        if (name == workload::workloadName(workload::WorkloadKind(k))) {
+            kind = workload::WorkloadKind(k);
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Integer field with a default; false on a non-numeric value. */
+bool
+numField(const util::JsonValue &obj, const char *key, uint64_t &out)
+{
+    const util::JsonValue *v = obj.find(key);
+    if (!v)
+        return true;
+    if (!v->isNumber() || v->number < 0)
+        return false;
+    out = uint64_t(v->number);
+    return true;
+}
+
+/**
+ * Decode a run request into an ExperimentConfig. Returns empty on
+ * success, else the complaint for the error event. Every field is
+ * optional except "workload"; unknown fields are ignored.
+ */
+std::string
+decodeRunRequest(const util::JsonValue &obj, ExperimentConfig &cfg)
+{
+    const util::JsonValue *wl = obj.find("workload");
+    if (!wl || !wl->isString())
+        return "run request needs a \"workload\" string";
+    if (!parseWorkload(wl->text, cfg.kind))
+        return "unknown workload '" + wl->text + "'";
+    uint64_t cpus = cfg.machine.numCpus;
+    uint64_t measure = 300000;
+    uint64_t warmup = 150000;
+    uint64_t seed = cfg.options.seed;
+    uint64_t timeoutSec = 0;
+    if (!numField(obj, "cpus", cpus) ||
+        !numField(obj, "measure_cycles", measure) ||
+        !numField(obj, "warmup_cycles", warmup) ||
+        !numField(obj, "seed", seed) ||
+        !numField(obj, "timeout_sec", timeoutSec))
+        return "numeric request field has a non-numeric value";
+    if (cpus < 1 || cpus > 64)
+        return "cpus must be between 1 and 64";
+    cfg.machine.numCpus = uint32_t(cpus);
+    cfg.measureCycles = measure;
+    cfg.warmupCycles = warmup;
+    cfg.options.seed = seed;
+    cfg.timeoutSeconds = double(timeoutSec);
+    return "";
+}
+
+std::string
+resultEvent(const char *event, const ServiceResult &r)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  ",\"status\":\"%s\",\"attempts\":%u,"
+                  "\"monitor_events\":%llu,\"invariant_checks\":%llu,"
+                  "\"recovered\":%s",
+                  jobStatusName(r.status), r.attempts,
+                  (unsigned long long)r.monitorTransactions,
+                  (unsigned long long)r.invariantChecks,
+                  r.recovered ? "true" : "false");
+    return std::string("{\"event\":\"") + event +
+           "\",\"id\":" + util::jsonString(r.id) +
+           ",\"job\":" + util::jsonString(r.job) + buf +
+           ",\"error\":" + util::jsonString(r.error) + "}";
+}
+
+} // namespace
+
+SweepService::SweepService(const ServiceOptions &options)
+    : opt(options), runner(options.runner)
+{
+    recoverFromJournal();
+}
+
+SweepService::~SweepService()
+{
+    stop();
+    if (reaper.joinable())
+        reaper.join();
+    for (auto &t : conns)
+        if (t.joinable())
+            t.join();
+}
+
+unsigned
+SweepService::inflight() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return inflight_;
+}
+
+bool
+SweepService::admit()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (inflight_ >= opt.maxQueue)
+        return false;
+    ++inflight_;
+    return true;
+}
+
+void
+SweepService::release()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    --inflight_;
+}
+
+void
+SweepService::settle(const std::string &id, const std::string &job,
+                     size_t slot, bool recovered)
+{
+    const ExperimentResult &r = runner.result(slot); // waits
+    ServiceResult sr;
+    sr.id = id;
+    sr.job = job;
+    sr.status = r.status;
+    sr.attempts = r.attempts;
+    sr.error = r.error;
+    sr.monitorTransactions = r.monitorTransactions;
+    sr.invariantChecks = r.invariantChecks;
+    sr.recovered = recovered;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        results[id] = std::move(sr);
+        for (auto it = pendingIds.begin(); it != pendingIds.end(); ++it) {
+            if (*it == id) {
+                pendingIds.erase(it);
+                break;
+            }
+        }
+    }
+    release();
+}
+
+void
+SweepService::recoverFromJournal()
+{
+    SweepJournal *j = opt.runner.journal;
+    if (!j || !j->isOpen())
+        return;
+    const JournalState &st = j->state();
+
+    // Settled jobs with a request tag: serve their rows from the
+    // journal without re-running anything.
+    for (const auto &[name, row] : st.jobs) {
+        const size_t slash = name.find('/');
+        if (slash == std::string::npos || name.compare(0, 4, "req-"))
+            continue;
+        ServiceResult sr;
+        sr.id = name.substr(0, slash);
+        sr.job = name;
+        sr.status = JobStatus(row.status);
+        sr.attempts = row.attempts;
+        sr.error = row.error;
+        sr.monitorTransactions = row.monitorTransactions;
+        sr.invariantChecks = row.invariantChecks;
+        sr.recovered = true;
+        const uint64_t n = std::strtoull(sr.id.c_str() + 4, nullptr, 10);
+        if (n >= nextId)
+            nextId = n + 1;
+        results[sr.id] = std::move(sr);
+    }
+
+    // In-flight jobs (JobStart without JobEnd): the previous daemon
+    // died mid-run. Their request tag holds the original request
+    // line; decode it and resubmit under the same name.
+    std::vector<std::pair<std::string, size_t>> recovered;
+    for (const auto &[name, start] : st.started) {
+        if (!st.inFlight(name) || start.requestTag.empty())
+            continue;
+        const size_t slash = name.find('/');
+        if (slash == std::string::npos || name.compare(0, 4, "req-"))
+            continue;
+        util::JsonValue req;
+        std::string perr;
+        ExperimentConfig cfg;
+        if (!util::jsonParse(start.requestTag, req, &perr) ||
+            !decodeRunRequest(req, cfg).empty()) {
+            util::warn("service: dropping unrecoverable in-flight "
+                       "job %s", name.c_str());
+            continue;
+        }
+        const uint64_t n =
+            std::strtoull(name.c_str() + 4, nullptr, 10);
+        if (n >= nextId)
+            nextId = n + 1;
+        cfg.requestTag = start.requestTag;
+        const size_t slot = runner.submit(name, cfg);
+        util::warn("service: recovered in-flight job %s from journal",
+                   name.c_str());
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            ++inflight_;
+            pendingIds.push_back(name.substr(0, slash));
+        }
+        recovered.emplace_back(name, slot);
+    }
+    if (!recovered.empty()) {
+        reaper = std::thread([this, recovered] {
+            for (const auto &[name, slot] : recovered)
+                settle(name.substr(0, name.find('/')), name, slot,
+                       true);
+        });
+    }
+}
+
+void
+SweepService::handleLine(int fd, const std::string &line)
+{
+    std::string perr;
+    util::JsonValue req;
+    if (!util::jsonValidate(line, nullptr, &perr) ||
+        !util::jsonParse(line, req, &perr)) {
+        sendLine(fd, errorEvent("bad request: " + perr));
+        return;
+    }
+    if (!req.isObject()) {
+        sendLine(fd, errorEvent("request must be a JSON object"));
+        return;
+    }
+    const util::JsonValue *op = req.find("op");
+    if (!op || !op->isString()) {
+        sendLine(fd, errorEvent("request needs an \"op\" string"));
+        return;
+    }
+
+    if (op->text == "run") {
+        ExperimentConfig cfg;
+        const std::string complaint = decodeRunRequest(req, cfg);
+        if (!complaint.empty()) {
+            sendLine(fd, errorEvent(complaint));
+            return;
+        }
+        if (!admit()) {
+            // Backpressure, not buffering: the client hears a
+            // structured reject immediately and may retry later.
+            sendLine(fd, "{\"event\":\"rejected\","
+                         "\"reason\":\"queue-full\"}");
+            return;
+        }
+        std::string id, job;
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            id = "req-" + std::to_string(nextId++);
+            job = id + "/" + workload::workloadName(cfg.kind);
+            pendingIds.push_back(id);
+        }
+        cfg.requestTag = line;
+        size_t slot;
+        try {
+            slot = runner.submit(job, cfg);
+        } catch (const std::exception &e) {
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                for (auto it = pendingIds.begin();
+                     it != pendingIds.end(); ++it) {
+                    if (*it == id) {
+                        pendingIds.erase(it);
+                        break;
+                    }
+                }
+                --inflight_;
+            }
+            sendLine(fd, errorEvent(e.what()));
+            return;
+        }
+        sendLine(fd, "{\"event\":\"accepted\",\"id\":" +
+                         util::jsonString(id) +
+                         ",\"job\":" + util::jsonString(job) + "}");
+        settle(id, job, slot, false);
+        std::lock_guard<std::mutex> lock(mu);
+        sendLine(fd, resultEvent("done", results[id]));
+        return;
+    }
+
+    if (op->text == "status") {
+        std::lock_guard<std::mutex> lock(mu);
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      "{\"event\":\"status\",\"inflight\":%u,"
+                      "\"completed\":%zu,\"jobs\":%zu,"
+                      "\"max_queue\":%u}",
+                      inflight_, results.size(), runner.size(),
+                      opt.maxQueue);
+        sendLine(fd, buf);
+        return;
+    }
+
+    if (op->text == "result") {
+        const util::JsonValue *id = req.find("id");
+        if (!id || !id->isString()) {
+            sendLine(fd, errorEvent("result needs an \"id\" string"));
+            return;
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = results.find(id->text);
+        if (it != results.end()) {
+            sendLine(fd, resultEvent("result", it->second));
+            return;
+        }
+        for (const auto &p : pendingIds) {
+            if (p == id->text) {
+                sendLine(fd, "{\"event\":\"pending\",\"id\":" +
+                                 util::jsonString(id->text) + "}");
+                return;
+            }
+        }
+        sendLine(fd, errorEvent("unknown id '" + id->text + "'"));
+        return;
+    }
+
+    if (op->text == "shutdown") {
+        sendLine(fd, "{\"event\":\"bye\"}");
+        stop();
+        return;
+    }
+
+    sendLine(fd, errorEvent("unknown op '" + op->text + "'"));
+}
+
+void
+SweepService::handleConnection(int fd)
+{
+    std::string buf;
+    char chunk[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n <= 0)
+            break;
+        buf.append(chunk, size_t(n));
+        size_t nl;
+        while ((nl = buf.find('\n')) != std::string::npos) {
+            std::string line = buf.substr(0, nl);
+            buf.erase(0, nl + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (line.empty())
+                continue;
+            handleLine(fd, line);
+            if (stopping.load())
+                goto out;
+        }
+        if (buf.size() > maxLineBytes) {
+            // A line this long is hostile or broken either way;
+            // answer once and drop the connection.
+            sendLine(fd, errorEvent("request line exceeds 1 MiB"));
+            break;
+        }
+    }
+out:
+    std::lock_guard<std::mutex> lock(mu);
+    ::close(fd);
+    for (auto it = connFds.begin(); it != connFds.end(); ++it) {
+        if (*it == fd) {
+            connFds.erase(it);
+            break;
+        }
+    }
+}
+
+int
+SweepService::serve()
+{
+    const int listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd < 0) {
+        std::perror("mpos service: socket");
+        return 1;
+    }
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    if (opt.socketPath.size() >= sizeof addr.sun_path) {
+        std::fprintf(stderr, "mpos service: socket path too long\n");
+        ::close(listenFd);
+        return 1;
+    }
+    std::strncpy(addr.sun_path, opt.socketPath.c_str(),
+                 sizeof addr.sun_path - 1);
+    ::unlink(opt.socketPath.c_str());
+    if (::bind(listenFd, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listenFd, 16) != 0) {
+        std::perror("mpos service: bind/listen");
+        ::close(listenFd);
+        return 1;
+    }
+
+    signalTarget.store(this);
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = onStopSignal;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+
+    std::fprintf(stderr,
+                 "[service] listening on %s (max queue %u, %u "
+                 "worker(s))\n",
+                 opt.socketPath.c_str(), opt.maxQueue,
+                 runner.jobs());
+
+    while (!stopping.load()) {
+        struct pollfd pfd = {listenFd, POLLIN, 0};
+        const int pr = ::poll(&pfd, 1, 200);
+        if (pr <= 0)
+            continue;
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            connFds.push_back(fd);
+        }
+        conns.emplace_back(
+            [this, fd] { handleConnection(fd); });
+    }
+
+    ::close(listenFd);
+    ::unlink(opt.socketPath.c_str());
+    signalTarget.store(nullptr);
+    {
+        // Connections still open (an idle client holding its socket)
+        // would keep their handler blocked in recv forever; half-close
+        // them so every handler sees EOF and exits. The fds stay in
+        // connFds until their handler closes them under mu, so a
+        // shutdown here can never hit a recycled descriptor.
+        std::lock_guard<std::mutex> lock(mu);
+        for (const int cfd : connFds)
+            ::shutdown(cfd, SHUT_RDWR);
+    }
+    for (auto &t : conns)
+        if (t.joinable())
+            t.join();
+    conns.clear();
+    std::fprintf(stderr, "[service] stopped\n");
+    return 0;
+}
+
+} // namespace mpos::core

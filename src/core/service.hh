@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Persistent sweep service: a daemon that owns the warm-start cache,
+ * the experiment thread pool and the sweep journal, and answers
+ * newline-delimited JSON requests on a Unix-domain socket.
+ *
+ * `mpos_bench --serve <socket>` constructs one SweepService and
+ * blocks in serve(). Clients connect, send one JSON object per line,
+ * and read JSON event lines back:
+ *
+ *   {"op":"run","workload":"Pmake","cpus":4,"measure_cycles":300000,
+ *    "warmup_cycles":150000,"seed":7}
+ *     -> {"event":"accepted","id":"req-1","job":"req-1/Pmake"}
+ *        ... simulation runs on the shared pool ...
+ *        {"event":"done","id":"req-1","status":"ok",...}
+ *   {"op":"status"}   -> {"event":"status","inflight":N,...}
+ *   {"op":"result","id":"req-1"} -> the done row, "pending", or error
+ *   {"op":"shutdown"} -> {"event":"bye"} and the daemon exits
+ *
+ * Robustness properties (the reason this exists):
+ *  - Admission control: at most maxQueue run requests may be admitted
+ *    (queued or running) at once; an overfull daemon answers with a
+ *    structured {"event":"rejected","reason":"queue-full"} line
+ *    instead of buffering without bound or blocking the connection.
+ *  - Untrusted input: request lines are length-capped, validated and
+ *    parsed with util/json; anything malformed gets a structured
+ *    error event, never a crash.
+ *  - Crash recovery: every request's original JSON line rides in the
+ *    job's journal JobStart record (ExperimentConfig::requestTag), so
+ *    a daemon restarted on the same journal re-submits work that was
+ *    in flight when it died and serves already-settled results from
+ *    the journal.
+ */
+
+#ifndef MPOS_CORE_SERVICE_HH
+#define MPOS_CORE_SERVICE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/runner.hh"
+
+namespace mpos::core
+{
+
+class SweepJournal;
+
+/** Configuration of one SweepService. */
+struct ServiceOptions
+{
+    std::string socketPath;  ///< Unix-domain socket to listen on.
+    /**
+     * Maximum run requests admitted (queued + running) at once;
+     * further requests are rejected with a structured event. 0 is
+     * legal and rejects every run request (used by the backpressure
+     * tests).
+     */
+    unsigned maxQueue = 8;
+    /** Pool size, retries, timeout, warm cache, journal. */
+    RunnerOptions runner;
+};
+
+/** One completed request, queryable via the "result" op. */
+struct ServiceResult
+{
+    std::string id;    ///< "req-N".
+    std::string job;   ///< Runner job name ("req-N/<workload>").
+    JobStatus status = JobStatus::Pending;
+    uint32_t attempts = 0;
+    std::string error;
+    uint64_t monitorTransactions = 0;
+    uint64_t invariantChecks = 0;
+    bool recovered = false; ///< Served from the journal, not this run.
+};
+
+/** The daemon behind `mpos_bench --serve`. */
+class SweepService
+{
+  public:
+    explicit SweepService(const ServiceOptions &opt);
+    ~SweepService();
+
+    SweepService(const SweepService &) = delete;
+    SweepService &operator=(const SweepService &) = delete;
+
+    /**
+     * Bind the socket and serve until stop() (or a client shutdown
+     * op, or SIGINT/SIGTERM). Returns 0 on clean exit, non-zero if
+     * the socket could not be set up.
+     */
+    int serve();
+
+    /** Ask serve() to return; safe from any thread. */
+    void stop() { stopping.store(true); }
+
+    /** Requests admitted but not yet settled. */
+    unsigned inflight() const;
+
+  private:
+    void recoverFromJournal();
+    void handleConnection(int fd);
+    void handleLine(int fd, const std::string &line);
+    bool admit();
+    void release();
+    void settle(const std::string &id, const std::string &job,
+                size_t slot, bool recovered);
+
+    ServiceOptions opt;
+    ExperimentRunner runner;
+    std::atomic<bool> stopping{false};
+
+    mutable std::mutex mu;
+    unsigned inflight_ = 0;
+    uint64_t nextId = 1;
+    std::map<std::string, ServiceResult> results; ///< keyed by id.
+    std::vector<std::string> pendingIds;
+
+    std::vector<std::thread> conns;
+    /** Open connection fds (guarded by mu); serve()'s shutdown path
+     *  half-closes them so blocked handlers see EOF and exit. */
+    std::vector<int> connFds;
+    std::thread reaper; ///< Awaits journal-recovered jobs.
+};
+
+} // namespace mpos::core
+
+#endif // MPOS_CORE_SERVICE_HH

@@ -105,11 +105,36 @@ WarmStartCache::filePath(uint64_t key) const
     return dir + "/" + name;
 }
 
+void
+WarmStartCache::poison(uint64_t key)
+{
+    bool unlink = false;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        bad.insert(key);
+        mem.erase(key);
+        unlink = !dir.empty();
+    }
+    if (unlink)
+        std::remove(filePath(key).c_str());
+}
+
+bool
+WarmStartCache::poisoned(uint64_t key) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return bad.count(key) != 0;
+}
+
 WarmStartCache::Image
 WarmStartCache::lookup(uint64_t key)
 {
     {
         std::lock_guard<std::mutex> lock(mu);
+        if (bad.count(key)) {
+            ++st.misses;
+            return nullptr;
+        }
         auto it = mem.find(key);
         if (it != mem.end()) {
             ++st.hits;
@@ -151,6 +176,8 @@ WarmStartCache::store(uint64_t key, std::vector<uint8_t> bytes)
     bool writeDisk = false;
     {
         std::lock_guard<std::mutex> lock(mu);
+        if (bad.count(key))
+            return img; // quarantined: keep it out of the cache
         ++st.stores;
         auto [it, inserted] = mem.emplace(key, img);
         if (!inserted)

@@ -31,6 +31,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace mpos::core
@@ -82,6 +83,19 @@ class WarmStartCache
      */
     Image store(uint64_t key, std::vector<uint8_t> bytes);
 
+    /**
+     * Quarantine a key: a job that warmed from (or produced) this
+     * image failed, so drop the in-memory copy, delete the on-disk
+     * file, and refuse to serve or store it again for the lifetime of
+     * this cache. The journal persists poisoned keys, so a resumed
+     * sweep repopulates the set before any job runs and a failed
+     * seed's image is never reused across process restarts.
+     */
+    void poison(uint64_t key);
+
+    /** True if key has been poisoned. */
+    bool poisoned(uint64_t key) const;
+
     WarmCacheStats stats() const;
     const std::string &directory() const { return dir; }
 
@@ -91,6 +105,7 @@ class WarmStartCache
     mutable std::mutex mu;
     std::string dir;
     std::unordered_map<uint64_t, Image> mem;
+    std::unordered_set<uint64_t> bad;
     WarmCacheStats st;
 };
 

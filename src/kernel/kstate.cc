@@ -356,7 +356,9 @@ Kernel::restoreState(ByteReader &r, const BehaviorCodec &codec)
     const uint64_t nmap = r.u64();
     for (uint64_t i = 0; i < nmap; ++i) {
         const uint64_t key = r.u64();
-        const uint64_t cnt = r.u64();
+        // Guarded counts: a corrupt stream must not drive a huge
+        // reserve() before the element reads would trip the bound.
+        const uint64_t cnt = r.countU64(16);
         auto &mappers = textMappers[key];
         mappers.reserve(cnt);
         for (uint64_t j = 0; j < cnt; ++j) {
@@ -370,7 +372,7 @@ Kernel::restoreState(ByteReader &r, const BehaviorCodec &codec)
 
     // Physical memory.
     freePages.clear();
-    const uint64_t nfree = r.u64();
+    const uint64_t nfree = r.countU64(8);
     freePages.reserve(nfree);
     for (uint64_t i = 0; i < nfree; ++i)
         freePages.push_back(r.u64());
@@ -404,7 +406,7 @@ Kernel::restoreState(ByteReader &r, const BehaviorCodec &codec)
     // Timed events.
     auto &eq = QueueOpener<std::decay_t<decltype(events)>>::open(events);
     eq.clear();
-    const uint64_t nev = r.u64();
+    const uint64_t nev = r.countU64(17);
     eq.reserve(nev);
     for (uint64_t i = 0; i < nev; ++i) {
         Event e;

@@ -1,6 +1,7 @@
 #include "sim/check/fuzz.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 #include "sim/check/checker.hh"
@@ -863,6 +864,200 @@ runFuzzMatrix(uint64_t first_seed, uint32_t num_seeds,
         }
     }
     return result;
+}
+
+namespace
+{
+
+/**
+ * 1-4 seeded edits: bit flip, byte rewrite, truncation, or spliced
+ * garbage. Truncation may leave the image empty; decoders must cope.
+ */
+void
+mutateImage(util::Rng &rng, std::vector<uint8_t> &img)
+{
+    const uint32_t edits = 1 + uint32_t(rng.below(4));
+    for (uint32_t e = 0; e < edits && !img.empty(); ++e) {
+        const size_t at = size_t(rng.below(img.size()));
+        switch (rng.below(4)) {
+        case 0:
+            img[at] ^= uint8_t(1u << rng.below(8));
+            break;
+        case 1:
+            img[at] = uint8_t(rng.next());
+            break;
+        case 2:
+            img.resize(at);
+            break;
+        default: {
+            const size_t n = 1 + size_t(rng.below(15));
+            std::vector<uint8_t> junk(n);
+            for (uint8_t &b : junk)
+                b = uint8_t(rng.next());
+            img.insert(img.begin() + ptrdiff_t(at), junk.begin(),
+                       junk.end());
+            break;
+        }
+        }
+    }
+}
+
+/**
+ * Recompute the container's trailing FNV-1a so the mutation survives
+ * the outer checksum and reaches the section and state decoders.
+ */
+void
+fixupTrailingChecksum(std::vector<uint8_t> &img)
+{
+    if (img.size() < 8)
+        return;
+    const uint64_t sum =
+        snapshot::fnv1a(img.data(), img.size() - 8);
+    for (unsigned i = 0; i < 8; ++i)
+        img[img.size() - 8 + i] = uint8_t(sum >> (8 * i));
+}
+
+bool
+writeBytes(const std::string &path, const std::vector<uint8_t> &bytes)
+{
+    FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    const bool ok =
+        bytes.empty() ||
+        std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+    return (std::fclose(f) == 0) && ok;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+buildCorruptBaseImage(uint64_t seed, const FuzzOptions &opt)
+{
+    const MachineConfig cfg = opt.machineConfig();
+    std::vector<std::vector<ScriptItem>> scripts =
+        buildFuzzScripts(seed, opt);
+    FuzzRig rig(cfg, opt);
+    for (CpuId c = 0; c < rig.m.numCpus(); ++c) {
+        Cpu &cpu = rig.m.cpu(c);
+        cpu.ctx.mode = ExecMode::User;
+        cpu.ctx.op = OsOp::None;
+        cpu.ctx.pid = Pid(c % maxFuzzPid);
+        cpu.pushSeq(scripts[c]);
+    }
+    runPhase(rig.m, opt.runCycles / 2);
+    util::ByteWriter w;
+    rig.m.saveState(w);
+    std::vector<std::pair<snapshot::Section, std::vector<uint8_t>>>
+        sections;
+    sections.emplace_back(snapshot::Section::Machine, w.take());
+    return snapshot::pack(seed, std::move(sections));
+}
+
+CorruptCampaignResult
+runCorruptCampaign(uint64_t seed, uint32_t mutations,
+                   const FuzzOptions &base, const std::string &tmp_dir,
+                   const std::function<void(uint32_t, uint32_t)>
+                       &progress)
+{
+    CorruptCampaignResult out;
+    const FuzzOptions opt = base;
+    const MachineConfig cfg = opt.machineConfig();
+
+    const std::vector<uint8_t> snapBase =
+        buildCorruptBaseImage(seed, opt);
+
+    // Pristine binary trace: the same kind of run with the trace
+    // exporter streaming to a file, symbol table included.
+    const std::string traceBasePath = tmp_dir + "/corrupt-base.trc";
+    std::vector<uint8_t> traceBase;
+    {
+        MachineConfig tcfg = cfg;
+        tcfg.trace = true;
+        tcfg.traceFile = traceBasePath;
+        tcfg.traceRingEntries = 4096;
+        std::vector<std::vector<ScriptItem>> scripts =
+            buildFuzzScripts(seed ^ 1, opt);
+        FuzzRig rig(tcfg, opt);
+        for (CpuId c = 0; c < rig.m.numCpus(); ++c) {
+            Cpu &cpu = rig.m.cpu(c);
+            cpu.ctx.mode = ExecMode::User;
+            cpu.ctx.op = OsOp::None;
+            cpu.ctx.pid = Pid(c % maxFuzzPid);
+            cpu.pushSeq(scripts[c]);
+        }
+        if (trace::Tracer *tr = rig.m.tracer())
+            tr->setRoutineNames(
+                {"idle", "fork", "exec", "page_fault", "sched"});
+        runPhase(rig.m, opt.runCycles / 2);
+        if (trace::Tracer *tr = rig.m.tracer())
+            tr->finish();
+        if (!snapshot::readFile(traceBasePath, traceBase) ||
+            traceBase.empty())
+            util::raise(util::ErrCode::BadConfig,
+                        "corrupt campaign: cannot build the base "
+                        "trace under %s", tmp_dir.c_str());
+    }
+
+    const std::string mutPath = tmp_dir + "/corrupt-mut.trc";
+    const std::string outPath = tmp_dir + "/corrupt-mut.jsonl";
+    for (uint32_t i = 0; i < mutations; ++i) {
+        util::Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+        const bool snap = (i % 2) == 0;
+        std::vector<uint8_t> img = snap ? snapBase : traceBase;
+        mutateImage(rng, img);
+        if (snap && rng.below(2) == 0)
+            fixupTrailingChecksum(img);
+        ++out.runs;
+        if (snap) {
+            try {
+                const snapshot::Parsed parsed = snapshot::parse(img);
+                FuzzRig rig(cfg, opt);
+                util::ByteReader r(
+                    parsed.section(snapshot::Section::Machine));
+                rig.m.restoreState(r);
+                ++out.accepted;
+            } catch (const util::SimError &) {
+                ++out.rejected;
+            } catch (const std::exception &e) {
+                out.failures.push_back(
+                    "snapshot mutation #" + std::to_string(i) +
+                    " escaped the typed-error contract: " + e.what());
+            } catch (...) {
+                out.failures.push_back(
+                    "snapshot mutation #" + std::to_string(i) +
+                    " threw a non-standard exception");
+            }
+        } else {
+            if (!writeBytes(mutPath, img)) {
+                out.failures.push_back(
+                    "trace mutation #" + std::to_string(i) +
+                    ": cannot write scratch file " + mutPath);
+                continue;
+            }
+            std::string err;
+            try {
+                if (trace::convertToJsonl(mutPath, outPath, &err))
+                    ++out.accepted;
+                else
+                    ++out.rejected;
+            } catch (const std::exception &e) {
+                out.failures.push_back(
+                    "trace mutation #" + std::to_string(i) +
+                    " escaped the typed-error contract: " + e.what());
+            } catch (...) {
+                out.failures.push_back(
+                    "trace mutation #" + std::to_string(i) +
+                    " threw a non-standard exception");
+            }
+        }
+        if (progress)
+            progress(i + 1, mutations);
+    }
+    std::remove(traceBasePath.c_str());
+    std::remove(mutPath.c_str());
+    std::remove(outPath.c_str());
+    return out;
 }
 
 } // namespace mpos::sim

@@ -158,6 +158,53 @@ FuzzMatrixResult runSnapshotMatrix(
                              const FuzzOutcome &)> &progress = nullptr);
 
 /**
+ * Aggregate result of a corrupt-input campaign (see
+ * runCorruptCampaign). The contract under test: a mutated snapshot or
+ * trace image either decodes cleanly or raises a typed
+ * util::SimError -- it never crashes, never corrupts memory (the CI
+ * job runs this under ASan+UBSan), and never escapes with an untyped
+ * exception.
+ */
+struct CorruptCampaignResult
+{
+    uint32_t runs = 0;     ///< Mutated images decoded.
+    uint32_t rejected = 0; ///< Raised a typed util::SimError.
+    uint32_t accepted = 0; ///< Decoded cleanly despite the mutation.
+    /** Inputs that escaped the typed-error contract. */
+    std::vector<std::string> failures;
+
+    bool ok() const { return failures.empty(); }
+};
+
+/**
+ * The pristine MPOSSNAP image the corrupt campaign mutates: a seeded
+ * fuzz run cut midway, its Machine section packed exactly as the
+ * warm-start cache packs snapshots. Exposed so the committed
+ * corrupt-input corpus under tests/golden/corrupt/ can be
+ * regenerated deterministically (mpos_fuzz --emit-corrupt-corpus).
+ */
+std::vector<uint8_t> buildCorruptBaseImage(uint64_t seed,
+                                           const FuzzOptions &opt);
+
+/**
+ * Byte-mutation fuzz over the two untrusted binary decoders: the
+ * MPOSSNAP snapshot container (through snapshot::parse *and* a full
+ * Machine::restoreState of the Machine section) and the MPOSTRC1
+ * trace reader (through trace::convertToJsonl). One pristine image of
+ * each kind is built from a seeded fuzz run, then `mutations` seeded
+ * variants -- bit flips, byte rewrites, truncations, spliced garbage
+ * -- are decoded, alternating between the two kinds. For half of the
+ * snapshot mutations the trailing FNV-1a is recomputed so the
+ * mutation survives the outer checksum and reaches the section/state
+ * decoders. tmp_dir holds the scratch trace files.
+ */
+CorruptCampaignResult runCorruptCampaign(
+    uint64_t seed, uint32_t mutations, const FuzzOptions &base,
+    const std::string &tmp_dir,
+    const std::function<void(uint32_t done, uint32_t total)>
+        &progress = nullptr);
+
+/**
  * One fault-injection campaign run. The campaign's property is not
  * differential equivalence but *reproducibility of failure*: the same
  * seed must produce the same fault schedule, fire the same faults,

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "sim/fault/plan.hh"
 #include "util/error.hh"
 
 namespace mpos::sim::snapshot
@@ -85,10 +86,33 @@ parse(const uint8_t *data, size_t size)
 
     Parsed p;
     p.hash = r.u64();
+    // The section table is untrusted even after the checksum passes
+    // (an attacker can recompute it): every count and length is
+    // checked against the bytes actually present before any
+    // allocation, tags must be known, and a tag may appear only once.
     const uint32_t n = r.u32();
+    constexpr uint32_t maxSections = 16;
+    if (n > maxSections)
+        util::raise(util::ErrCode::SnapshotCorrupt,
+                    "snapshot: %u sections (limit %u)", n,
+                    maxSections);
     for (uint32_t i = 0; i < n; ++i) {
         const uint32_t tag = r.u32();
+        if (tag != uint32_t(Section::Machine) &&
+            tag != uint32_t(Section::Kernel) &&
+            tag != uint32_t(Section::Workload))
+            util::raise(util::ErrCode::SnapshotCorrupt,
+                        "snapshot: unknown section tag 0x%08x", tag);
+        for (const auto &[seen, bytes] : p.sections)
+            if (seen == tag)
+                util::raise(util::ErrCode::SnapshotCorrupt,
+                            "snapshot: duplicate section 0x%08x", tag);
         const uint32_t len = r.u32();
+        if (len > r.remaining())
+            util::raise(util::ErrCode::SnapshotCorrupt,
+                        "snapshot: section 0x%08x claims %u bytes, "
+                        "%zu remain",
+                        tag, len, r.remaining());
         std::vector<uint8_t> bytes(len);
         r.raw(bytes.data(), len);
         p.sections.emplace_back(tag, std::move(bytes));
@@ -108,6 +132,15 @@ writeFileAtomic(const std::string &path,
     std::FILE *f = std::fopen(tmp.c_str(), "wb");
     if (!f)
         return false;
+    if (crashPointArmed("snapshot.mid-write")) {
+        // Torn-write fault: commit half the image to the temp file and
+        // die before the rename. The recovery invariant under test:
+        // the final path never exists torn (rename is the commit
+        // point), so a restarted sweep falls back cold, never corrupt.
+        std::fwrite(bytes.data(), 1, bytes.size() / 2, f);
+        std::fflush(f);
+        crashNow("snapshot.mid-write");
+    }
     const size_t n =
         bytes.empty() ? 0
                       : std::fwrite(bytes.data(), 1, bytes.size(), f);

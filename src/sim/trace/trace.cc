@@ -35,6 +35,12 @@ constexpr uint8_t tagEnd = 0xff;
 
 constexpr size_t eventBytes = 44;
 
+/**
+ * Symbol ids below this are addressable; 0xffff is the in-band
+ * "no routine" sentinel and must never appear as a symbol record id.
+ */
+constexpr uint16_t maxRoutineSymbols = 0xffff;
+
 void
 put16(uint8_t *p, uint16_t v)
 {
@@ -287,10 +293,19 @@ jsonString(const std::string &s)
     return out;
 }
 
+/**
+ * MPOSTRC1 stream reader. The file is untrusted input: every length
+ * and id is validated against what the format can legally hold, and a
+ * malformed stream raises a typed SimError(TraceCorrupt) -- never a
+ * crash, never an unbounded allocation. Symbol ids are u16 on the
+ * wire, so the symbol table is inherently capped at 65536 entries and
+ * a hostile id cannot drive a large resize; the explicit check below
+ * rejects ids the writer can never emit (it numbers routines densely
+ * from zero) to keep the table proportional to real content.
+ */
 struct TraceReader
 {
     FILE *f = nullptr;
-    std::string error;
 
     ~TraceReader()
     {
@@ -298,60 +313,63 @@ struct TraceReader
             std::fclose(f);
     }
 
-    bool
+    [[noreturn]] static void
     fail(const char *what)
     {
-        error = what;
-        return false;
+        util::raise(util::ErrCode::TraceCorrupt, "trace: %s", what);
     }
 
-    bool
+    void
     readHeader(const std::string &path, uint32_t &flags, uint64_t &ring)
     {
         f = std::fopen(path.c_str(), "rb");
         if (!f)
-            return fail("cannot open trace file");
+            util::raise(util::ErrCode::BadConfig,
+                        "cannot open trace file '%s'", path.c_str());
         uint8_t hdr[24];
         if (std::fread(hdr, 1, sizeof hdr, f) != sizeof hdr)
-            return fail("truncated trace header");
+            fail("truncated trace header");
         if (std::memcmp(hdr, traceMagic, 8) != 0)
-            return fail("bad trace magic");
+            fail("bad trace magic");
         if (get32(hdr + 8) != traceVersion)
-            return fail("unsupported trace version");
+            fail("unsupported trace version");
         flags = get32(hdr + 12);
         ring = get64(hdr + 16);
-        return true;
     }
 
     /**
-     * Walk the record stream. Calls onEvent for each event (may be
-     * null to skip), fills symbols and end totals. Returns false on a
-     * malformed stream.
+     * Walk the record stream. Calls onEvent for each event, fills
+     * symbols and end totals (either may be null to skip). Raises
+     * TraceCorrupt on a malformed stream.
      */
     template <typename Fn>
-    bool
+    void
     scan(Fn &&onEvent, std::vector<std::string> *symbols,
          uint64_t *totalEvents)
     {
+        uint64_t seenEvents = 0;
         for (;;) {
             int tag = std::fgetc(f);
             if (tag == EOF)
-                return fail("trace ends without end marker");
+                fail("trace ends without end marker");
             if (tag == tagEvent) {
                 uint8_t buf[eventBytes];
                 if (std::fread(buf, 1, sizeof buf, f) != sizeof buf)
-                    return fail("truncated event record");
+                    fail("truncated event record");
+                ++seenEvents;
                 onEvent(unpackEvent(buf));
             } else if (tag == tagSymbol) {
                 uint8_t buf[4];
                 if (std::fread(buf, 1, sizeof buf, f) != sizeof buf)
-                    return fail("truncated symbol record");
+                    fail("truncated symbol record");
                 const uint16_t id = get16(buf);
                 const uint16_t len = get16(buf + 2);
+                if (id >= maxRoutineSymbols)
+                    fail("symbol id out of range");
                 std::string name(len, '\0');
                 if (len &&
                     std::fread(name.data(), 1, len, f) != len)
-                    return fail("truncated symbol name");
+                    fail("truncated symbol name");
                 if (symbols) {
                     if (symbols->size() <= id)
                         symbols->resize(size_t(id) + 1);
@@ -360,12 +378,17 @@ struct TraceReader
             } else if (tag == tagEnd) {
                 uint8_t buf[16];
                 if (std::fread(buf, 1, sizeof buf, f) != sizeof buf)
-                    return fail("truncated end marker");
+                    fail("truncated end marker");
+                const uint64_t written = get64(buf + 8);
+                if (written != seenEvents)
+                    fail("end marker event count mismatch");
                 if (totalEvents)
                     *totalEvents = get64(buf);
-                return true;
+                if (std::fgetc(f) != EOF)
+                    fail("trailing bytes after end marker");
+                return;
             } else {
-                return fail("unknown record tag");
+                fail("unknown record tag");
             }
         }
     }
@@ -441,38 +464,47 @@ convertToJsonl(const std::string &trace_path,
 {
     // Pass 1: collect the symbol table (it trails the events) and
     // validate the stream. Pass 2: emit one JSON object per event.
-    TraceReader reader;
-    uint32_t flags = 0;
-    uint64_t ring = 0;
-    std::vector<std::string> symbols;
-    uint64_t total = 0;
-    if (!reader.readHeader(trace_path, flags, ring) ||
-        !reader.scan([](const TraceEvent &) {}, &symbols, &total)) {
-        if (err)
-            *err = reader.error;
-        return false;
-    }
+    // The reader raises typed SimErrors on hostile input; this
+    // boundary keeps the historical bool+message interface for the
+    // CLI wrapper.
+    try {
+        TraceReader reader;
+        uint32_t flags = 0;
+        uint64_t ring = 0;
+        std::vector<std::string> symbols;
+        uint64_t total = 0;
+        reader.readHeader(trace_path, flags, ring);
+        reader.scan([](const TraceEvent &) {}, &symbols, &total);
 
-    TraceReader pass2;
-    FILE *out = std::fopen(jsonl_path.c_str(), "w");
-    if (!out) {
+        TraceReader pass2;
+        FILE *out = std::fopen(jsonl_path.c_str(), "w");
+        if (!out) {
+            if (err)
+                *err = "cannot open JSONL output file";
+            return false;
+        }
+        uint32_t f2 = 0;
+        uint64_t r2 = 0;
+        bool ok = false;
+        try {
+            pass2.readHeader(trace_path, f2, r2);
+            pass2.scan(
+                [&](const TraceEvent &ev) {
+                    emitEventJson(out, ev, symbols);
+                },
+                nullptr, nullptr);
+            ok = true;
+        } catch (...) {
+            std::fclose(out);
+            throw;
+        }
+        std::fclose(out);
+        return ok;
+    } catch (const util::SimError &e) {
         if (err)
-            *err = "cannot open JSONL output file";
+            *err = e.what();
         return false;
     }
-    uint32_t f2 = 0;
-    uint64_t r2 = 0;
-    const bool ok =
-        pass2.readHeader(trace_path, f2, r2) &&
-        pass2.scan(
-            [&](const TraceEvent &ev) {
-                emitEventJson(out, ev, symbols);
-            },
-            nullptr, nullptr);
-    std::fclose(out);
-    if (!ok && err)
-        *err = pass2.error;
-    return ok;
 }
 
 } // namespace mpos::sim::trace

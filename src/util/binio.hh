@@ -180,6 +180,31 @@ class ByteReader
         p += n;
     }
 
+    /**
+     * Read a u32 element count whose elements occupy at least
+     * min_bytes_per_elem each. A count that promises more elements
+     * than the remaining bytes could possibly hold is corruption;
+     * rejecting it here keeps a hostile count from driving a
+     * multi-gigabyte reserve() before the per-element reads would
+     * have tripped the bound anyway.
+     */
+    uint32_t
+    countU32(size_t min_bytes_per_elem)
+    {
+        const uint32_t n = u32();
+        checkCount(n, min_bytes_per_elem);
+        return n;
+    }
+
+    /** u64 variant of countU32 for 64-bit-counted arrays. */
+    uint64_t
+    countU64(size_t min_bytes_per_elem)
+    {
+        const uint64_t n = u64();
+        checkCount(n, min_bytes_per_elem);
+        return n;
+    }
+
     size_t remaining() const { return size_t(end_ - p); }
     size_t offset() const { return size_t(p - begin_); }
     bool atEnd() const { return p == end_; }
@@ -195,6 +220,18 @@ class ByteReader
     }
 
   private:
+    void
+    checkCount(uint64_t n, size_t min_bytes_per_elem)
+    {
+        const size_t per = min_bytes_per_elem ? min_bytes_per_elem : 1;
+        if (n > remaining() / per)
+            raise(ErrCode::SnapshotCorrupt,
+                  "binio: count %llu at offset %zu needs %llu+ bytes, "
+                  "have %zu",
+                  (unsigned long long)n, offset(),
+                  (unsigned long long)(n * per), remaining());
+    }
+
     void
     need(size_t n)
     {

@@ -356,7 +356,7 @@ Workload::restoreState(ByteReader &r)
     if (mp3d) {
         Mp3dShared &s = *mp3d;
         s.cellLocks.clear();
-        const uint32_t n = r.u32();
+        const uint32_t n = r.countU32(4);
         s.cellLocks.reserve(n);
         for (uint32_t i = 0; i < n; ++i)
             s.cellLocks.push_back(r.u32());
@@ -374,7 +374,7 @@ Workload::restoreState(ByteReader &r)
     if (oracle) {
         OracleShared &s = *oracle;
         s.latches.clear();
-        const uint32_t n = r.u32();
+        const uint32_t n = r.countU32(4);
         s.latches.reserve(n);
         for (uint32_t i = 0; i < n; ++i)
             s.latches.push_back(r.u32());

@@ -1,0 +1,228 @@
+/** @file Sweep-service tests.
+ *
+ *  The daemon's robustness contract, exercised over a real
+ *  Unix-domain socket: well-formed run requests are accepted and
+ *  settle into queryable results; a full admission queue answers with
+ *  a structured reject instead of buffering or blocking; malformed
+ *  and unknown input gets a structured error event, never a crash or
+ *  a dropped connection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "core/service.hh"
+
+using namespace mpos;
+using namespace mpos::core;
+
+namespace
+{
+
+/** Line-oriented client for one connection to the daemon. */
+class Client
+{
+  public:
+    explicit Client(const std::string &path)
+    {
+        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        // The daemon binds on its own thread; retry briefly.
+        for (int i = 0; i < 100; ++i) {
+            if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                          sizeof(addr)) == 0)
+                return;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        }
+        ::close(fd);
+        fd = -1;
+    }
+
+    ~Client()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+
+    bool connected() const { return fd >= 0; }
+
+    void
+    send(const std::string &line)
+    {
+        const std::string framed = line + "\n";
+        ASSERT_EQ(::send(fd, framed.data(), framed.size(), 0),
+                  ssize_t(framed.size()));
+    }
+
+    /** Next newline-terminated event (without the newline). */
+    std::string
+    recvLine()
+    {
+        while (buf.find('\n') == std::string::npos) {
+            char chunk[512];
+            const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+            if (n <= 0)
+                return "";
+            buf.append(chunk, size_t(n));
+        }
+        const size_t nl = buf.find('\n');
+        const std::string line = buf.substr(0, nl);
+        buf.erase(0, nl + 1);
+        return line;
+    }
+
+  private:
+    int fd = -1;
+    std::string buf;
+};
+
+/** A serve() loop on its own thread, shut down via the socket. */
+struct Daemon
+{
+    explicit Daemon(const ServiceOptions &opt) : svc(opt)
+    {
+        th = std::thread([this] { rc = svc.serve(); });
+    }
+
+    void
+    shutdown(const std::string &path)
+    {
+        Client c(path);
+        if (c.connected()) {
+            c.send("{\"op\":\"shutdown\"}");
+            c.recvLine();
+        }
+        th.join();
+    }
+
+    SweepService svc;
+    std::thread th;
+    int rc = -1;
+};
+
+std::string
+socketPath(const std::string &leaf)
+{
+    // sun_path is ~100 bytes; keep it short and collision-free.
+    const std::string path = "/tmp/mpos_svc_" + leaf + "_" +
+                             std::to_string(::getpid()) + ".sock";
+    std::filesystem::remove(path);
+    return path;
+}
+
+} // namespace
+
+TEST(SweepService, RunsARequestAndServesItsResult)
+{
+    const std::string path = socketPath("run");
+    ServiceOptions opt;
+    opt.socketPath = path;
+    opt.maxQueue = 4;
+    opt.runner.jobs = 2;
+    Daemon d(opt);
+
+    Client c(path);
+    ASSERT_TRUE(c.connected());
+    c.send("{\"op\":\"run\",\"workload\":\"Pmake\",\"cpus\":2,"
+           "\"measure_cycles\":30000,\"warmup_cycles\":15000,"
+           "\"seed\":7}");
+    const std::string accepted = c.recvLine();
+    EXPECT_NE(accepted.find("\"event\":\"accepted\""),
+              std::string::npos);
+    EXPECT_NE(accepted.find("\"id\":\"req-1\""), std::string::npos);
+    const std::string done = c.recvLine();
+    EXPECT_NE(done.find("\"event\":\"done\""), std::string::npos);
+    EXPECT_NE(done.find("\"status\":\"ok\""), std::string::npos);
+
+    // The settled result stays queryable, from a second connection.
+    Client c2(path);
+    ASSERT_TRUE(c2.connected());
+    c2.send("{\"op\":\"result\",\"id\":\"req-1\"}");
+    const std::string result = c2.recvLine();
+    EXPECT_NE(result.find("\"event\":\"result\""), std::string::npos);
+    EXPECT_NE(result.find("\"status\":\"ok\""), std::string::npos);
+    c2.send("{\"op\":\"status\"}");
+    const std::string status = c2.recvLine();
+    EXPECT_NE(status.find("\"inflight\":0"), std::string::npos);
+    EXPECT_NE(status.find("\"completed\":1"), std::string::npos);
+
+    d.shutdown(path);
+    EXPECT_EQ(d.rc, 0);
+    std::filesystem::remove(path);
+}
+
+TEST(SweepService, FullQueueAnswersWithAStructuredReject)
+{
+    const std::string path = socketPath("full");
+    ServiceOptions opt;
+    opt.socketPath = path;
+    opt.maxQueue = 0; // every run request must bounce
+    opt.runner.jobs = 1;
+    Daemon d(opt);
+
+    Client c(path);
+    ASSERT_TRUE(c.connected());
+    c.send("{\"op\":\"run\",\"workload\":\"Pmake\"}");
+    const std::string line = c.recvLine();
+    EXPECT_NE(line.find("\"event\":\"rejected\""), std::string::npos);
+    EXPECT_NE(line.find("\"reason\":\"queue-full\""),
+              std::string::npos);
+
+    d.shutdown(path);
+    EXPECT_EQ(d.rc, 0);
+    std::filesystem::remove(path);
+}
+
+TEST(SweepService, MalformedInputGetsAnErrorEventNotACrash)
+{
+    const std::string path = socketPath("bad");
+    ServiceOptions opt;
+    opt.socketPath = path;
+    opt.maxQueue = 2;
+    opt.runner.jobs = 1;
+    Daemon d(opt);
+
+    Client c(path);
+    ASSERT_TRUE(c.connected());
+
+    c.send("this is not json at all {{{");
+    EXPECT_NE(c.recvLine().find("\"event\":\"error\""),
+              std::string::npos);
+
+    c.send("{\"op\":\"frobnicate\"}");
+    EXPECT_NE(c.recvLine().find("\"event\":\"error\""),
+              std::string::npos);
+
+    c.send("{\"op\":\"run\",\"workload\":\"NoSuchWorkload\"}");
+    EXPECT_NE(c.recvLine().find("\"event\":\"error\""),
+              std::string::npos);
+
+    c.send("{\"op\":\"run\",\"workload\":\"Pmake\",\"cpus\":9999}");
+    EXPECT_NE(c.recvLine().find("\"event\":\"error\""),
+              std::string::npos);
+
+    c.send("{\"op\":\"result\",\"id\":\"req-999\"}");
+    EXPECT_NE(c.recvLine().find("\"event\":\"error\""),
+              std::string::npos);
+
+    // The connection survived all of it.
+    c.send("{\"op\":\"status\"}");
+    EXPECT_NE(c.recvLine().find("\"event\":\"status\""),
+              std::string::npos);
+
+    d.shutdown(path);
+    EXPECT_EQ(d.rc, 0);
+    std::filesystem::remove(path);
+}

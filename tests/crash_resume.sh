@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Kill-and-resume identity: a journaled sweep killed at an injected
+# crash point (MPOS_CRASH) and resumed with --resume must produce a
+# results JSON and golden analysis outputs byte-identical to an
+# uninterrupted run. Crash points cover a snapshot-cache write torn
+# mid-file, a journal frame torn mid-append, the windows just before
+# and after a JobEnd lands, and the window after an analysis ran but
+# (possibly) before its record is durable.
+#
+# Usage: crash_resume.sh <mpos_bench> [point-prefix]
+#   point-prefix (optional) restricts the crash points to those whose
+#   name starts with it ("journal", "snapshot", "analysis"); CI uses
+#   it to split the matrix across jobs. The dry-run and
+#   completed-journal checks always run.
+
+set -u
+
+# Every case cd's into its own scratch directory, so resolve a
+# relative bench path (as CI passes) up front.
+BENCH="$(cd "$(dirname "$1")" && pwd)/$(basename "$1")"
+ONLY="${2:-}"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/mpos_crash_resume.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+# Pinned settings: small deterministic runs, three analyses spanning
+# plain tables, a standard-run consumer and a resim sweep.
+export MPOS_CYCLES=60000 MPOS_WARMUP=30000 MPOS_SEED=7
+FLAGS="--smoke --jobs 2 --only table01_workloads \
+       --only fig02_os_operations --only fig04_imiss_classes"
+
+# Every case runs in its own directory with identical relative paths
+# (jd/snap/gold/out.json) so path-bearing report fields compare equal.
+mkdir "$WORK/ref"
+(cd "$WORK/ref" && "$BENCH" $FLAGS --journal jd --snapshot-dir snap \
+     --golden-dir gold --json out.json) >/dev/null 2>&1
+rc=$?
+if [ $rc -ne 0 ]; then
+    echo "reference run failed (exit $rc)"
+    exit 1
+fi
+
+fail=0
+POINTS="journal.pre-append:1 journal.post-append:1 \
+        journal.mid-append:3 snapshot.mid-write:1 \
+        analysis.post-record:2"
+if [ -n "$ONLY" ]; then
+    sel=""
+    for P in $POINTS; do
+        case "$P" in
+            "$ONLY"*) sel="$sel $P" ;;
+        esac
+    done
+    POINTS="$sel"
+fi
+for P in $POINTS; do
+    dir="$WORK/case_$(echo "$P" | tr ':.' '__')"
+    mkdir "$dir"
+    (cd "$dir" && MPOS_CRASH="$P" "$BENCH" $FLAGS --journal jd \
+         --snapshot-dir snap --golden-dir gold --json out.json) \
+        >/dev/null 2>&1
+    rc=$?
+    if [ $rc -ne 137 ]; then
+        echo "$P: crash run exited $rc, expected 137"
+        fail=1
+        continue
+    fi
+    (cd "$dir" && "$BENCH" $FLAGS --resume --journal jd \
+         --snapshot-dir snap --golden-dir gold --json out.json) \
+        >/dev/null 2>&1
+    rc=$?
+    if [ $rc -ne 0 ]; then
+        echo "$P: resume exited $rc"
+        fail=1
+        continue
+    fi
+    if ! cmp -s "$dir/out.json" "$WORK/ref/out.json"; then
+        echo "$P: results JSON differs from the uninterrupted run"
+        diff "$dir/out.json" "$WORK/ref/out.json" | head -10
+        fail=1
+        continue
+    fi
+    if ! diff -r "$dir/gold" "$WORK/ref/gold" >/dev/null 2>&1; then
+        echo "$P: golden analysis outputs differ"
+        diff -r "$dir/gold" "$WORK/ref/gold" | head -10
+        fail=1
+        continue
+    fi
+    echo "$P: crash + resume byte-identical"
+done
+
+# --dry-run: the validated JSON plan, and nothing simulated.
+plan="$WORK/plan.json"
+"$BENCH" $FLAGS --dry-run >"$plan" 2>/dev/null
+rc=$?
+if [ $rc -ne 0 ]; then
+    echo "--dry-run exited $rc"
+    fail=1
+elif ! grep -q '"dry_run": true' "$plan" ||
+     ! grep -q '"name": "std/Pmake"' "$plan" ||
+     ! grep -q '"config_hash"' "$plan"; then
+    echo "--dry-run plan is missing expected fields:"
+    head -3 "$plan"
+    fail=1
+else
+    echo "--dry-run: plan emitted"
+fi
+
+# Resuming a finished journal re-runs nothing and stays identical.
+(cd "$WORK/ref" && "$BENCH" $FLAGS --resume --journal jd \
+     --snapshot-dir snap --golden-dir gold --json out2.json) \
+    >/dev/null 2>&1
+rc=$?
+if [ $rc -ne 0 ]; then
+    echo "second resume exited $rc"
+    fail=1
+elif ! cmp -s "$WORK/ref/out.json" "$WORK/ref/out2.json"; then
+    echo "resuming a completed sweep changed the results JSON"
+    fail=1
+else
+    echo "completed-journal resume: byte-identical, nothing re-run"
+fi
+
+exit $fail

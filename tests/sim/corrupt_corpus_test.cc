@@ -1,0 +1,94 @@
+/** @file Committed corrupt-snapshot corpus tests.
+ *
+ *  tests/golden/corrupt/ holds four deliberately damaged MPOSSNAP
+ *  images (regenerate with `mpos_fuzz --emit-corrupt-corpus`):
+ *  truncated mid-image, trailing checksum flipped, a section length
+ *  claiming more bytes than the image holds (with the outer checksum
+ *  recomputed so the framing validator, not the checksum, must catch
+ *  it), and an unknown format version (likewise re-checksummed).
+ *  Every one must be rejected with a typed
+ *  SimError(SnapshotCorrupt) -- never a crash -- and the warm-start
+ *  cache must treat such a file as a plain miss and fall back to a
+ *  cold warmup.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/warmcache.hh"
+#include "sim/snapshot/container.hh"
+#include "util/error.hh"
+
+using namespace mpos;
+using namespace mpos::sim;
+
+namespace
+{
+
+std::vector<uint8_t>
+corpusImage(const char *name)
+{
+    const std::string path =
+        std::string(MPOS_GOLDEN_DIR) + "/corrupt/" + name;
+    std::vector<uint8_t> bytes;
+    if (!snapshot::readFile(path, bytes))
+        ADD_FAILURE() << "missing corpus file " << path;
+    return bytes;
+}
+
+void
+expectRejected(const char *name)
+{
+    const std::vector<uint8_t> img = corpusImage(name);
+    ASSERT_FALSE(img.empty());
+    try {
+        snapshot::parse(img);
+        FAIL() << name << " was accepted";
+    } catch (const util::SimError &e) {
+        EXPECT_EQ(e.code(), util::ErrCode::SnapshotCorrupt)
+            << name << ": " << e.what();
+    }
+}
+
+} // namespace
+
+TEST(CorruptCorpus, EveryCommittedImageIsRejectedWithATypedError)
+{
+    expectRejected("truncated.snap");
+    expectRejected("flipped_crc.snap");
+    expectRejected("oversize_len.snap");
+    expectRejected("bad_version.snap");
+}
+
+TEST(CorruptCorpus, WarmCacheTreatsACorruptDiskFileAsAMiss)
+{
+    const std::string dir =
+        testing::TempDir() + "/corrupt_warmcache";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    // Plant every corpus image under the exact name the cache would
+    // look up; a poisoned-by-corruption cache entry must read as a
+    // miss (cold warmup), never an error or a crash.
+    const char *names[] = {"truncated.snap", "flipped_crc.snap",
+                           "oversize_len.snap", "bad_version.snap"};
+    core::WarmStartCache cache(dir);
+    uint64_t key = 0x1000;
+    for (const char *name : names) {
+        const std::vector<uint8_t> img = corpusImage(name);
+        ASSERT_FALSE(img.empty());
+        char leaf[32];
+        std::snprintf(leaf, sizeof leaf, "/warm-%016llx",
+                      (unsigned long long)key);
+        const std::string path = dir + leaf;
+        ASSERT_TRUE(snapshot::writeFileAtomic(path, img));
+        EXPECT_EQ(cache.lookup(key), nullptr) << name;
+        ++key;
+    }
+    EXPECT_EQ(cache.stats().misses, 4u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    std::filesystem::remove_all(dir);
+}

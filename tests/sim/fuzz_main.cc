@@ -21,10 +21,19 @@
  * and must still produce the uninterrupted run's exact event stream
  * and final state.
  *
+ * With --corrupt N the driver switches to the corrupt-input campaign:
+ * N seeded byte-mutations of a pristine snapshot image and a pristine
+ * binary trace are decoded, and every one must either decode cleanly
+ * or raise a typed SimError -- never crash (CI runs this mode under
+ * ASan+UBSan). --emit-corrupt-corpus D regenerates the committed
+ * corrupt-snapshot corpus under tests/golden/corrupt/.
+ *
  * Usage: mpos_fuzz [--seeds N] [--first-seed S] [--cpus a,b,c]
  *                  [--protocol p,q] [--script-len N] [--cycles N]
  *                  [--sim-threads N] [--snapshot-at C] [--quiet]
  *                  [--faults] [--dump-dir D]
+ *                  [--corrupt N] [--tmp-dir D]
+ *                  [--emit-corrupt-corpus D]
  */
 
 #include <cstdio>
@@ -34,6 +43,7 @@
 #include <vector>
 
 #include "sim/check/fuzz.hh"
+#include "sim/snapshot/container.hh"
 #include "sim/types.hh"
 
 namespace
@@ -70,8 +80,104 @@ usage(const char *argv0)
         "                  differential matrix\n"
         "  --dump-dir D    (--faults) write each run's schedule and "
         "diagnostic\n"
-        "                  to D/fault_seed<S>_cpus<N>.txt\n",
+        "                  to D/fault_seed<S>_cpus<N>.txt\n"
+        "  --corrupt N     corrupt-input campaign: decode N seeded "
+        "byte\n"
+        "                  mutations of a snapshot image and a binary "
+        "trace;\n"
+        "                  each must decode or raise a typed SimError\n"
+        "  --tmp-dir D     (--corrupt) scratch directory for trace "
+        "files\n"
+        "                  (default .)\n"
+        "  --emit-corrupt-corpus D\n"
+        "                  regenerate the committed corrupt-snapshot "
+        "corpus\n"
+        "                  (truncated/flipped-crc/oversize-len/"
+        "bad-version)\n"
+        "                  into D and exit\n",
         argv0);
+}
+
+bool
+writeCorpusFile(const std::string &path,
+                const std::vector<uint8_t> &bytes)
+{
+    FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    const bool ok =
+        std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+    return (std::fclose(f) == 0) && ok;
+}
+
+/**
+ * Write the four committed corrupt snapshots. Layout knowledge used
+ * here (version u32 at offset 8, first section length u32 at offset
+ * 24 + 4, trailing 8-byte FNV-1a) mirrors snapshot::pack; the two
+ * variants that must get past the outer checksum to exercise the
+ * framing validators have it recomputed.
+ */
+int
+emitCorruptCorpus(const std::string &dir)
+{
+    using mpos::sim::snapshot::fnv1a;
+    namespace snapshot = mpos::sim::snapshot;
+
+    // Every corpus file corrupts the container *framing*, which never
+    // looks inside a section, so a small deterministic stand-in
+    // payload keeps the committed files tiny while exercising exactly
+    // the same validators a 600 KB machine image would.
+    std::vector<uint8_t> payload(256);
+    for (size_t i = 0; i < payload.size(); ++i)
+        payload[i] = uint8_t(i * 7 + 3);
+    std::vector<std::pair<snapshot::Section, std::vector<uint8_t>>>
+        sections;
+    sections.emplace_back(snapshot::Section::Machine, payload);
+    const std::vector<uint8_t> base =
+        snapshot::pack(0x4d50f05c0de42ULL, std::move(sections));
+    if (base.size() < 40) {
+        std::fprintf(stderr, "base image implausibly small\n");
+        return 1;
+    }
+    const auto fixup = [](std::vector<uint8_t> &img) {
+        const uint64_t sum = fnv1a(img.data(), img.size() - 8);
+        for (unsigned i = 0; i < 8; ++i)
+            img[img.size() - 8 + i] = uint8_t(sum >> (8 * i));
+    };
+
+    std::vector<uint8_t> truncated(base.begin(),
+                                   base.begin() + base.size() / 2);
+
+    std::vector<uint8_t> flippedCrc = base;
+    flippedCrc.back() ^= 0xff;
+
+    std::vector<uint8_t> oversizeLen = base;
+    for (unsigned i = 0; i < 4; ++i) // first section's length field
+        oversizeLen[28 + i] = uint8_t(0x7fffffffu >> (8 * i));
+    fixup(oversizeLen);
+
+    std::vector<uint8_t> badVersion = base;
+    for (unsigned i = 0; i < 4; ++i) // format version field
+        badVersion[8 + i] = uint8_t(0xdeadu >> (8 * i));
+    fixup(badVersion);
+
+    const std::pair<const char *, const std::vector<uint8_t> *>
+        files[] = {
+            {"truncated.snap", &truncated},
+            {"flipped_crc.snap", &flippedCrc},
+            {"oversize_len.snap", &oversizeLen},
+            {"bad_version.snap", &badVersion},
+        };
+    for (const auto &[name, bytes] : files) {
+        const std::string path = dir + "/" + name;
+        if (!writeCorpusFile(path, *bytes)) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return 1;
+        }
+        std::printf("wrote %s (%zu bytes)\n", path.c_str(),
+                    bytes->size());
+    }
+    return 0;
 }
 
 /** Run the --faults campaign; returns the process exit code. */
@@ -191,6 +297,9 @@ main(int argc, char **argv)
     bool quiet = false;
     bool faults = false;
     std::string dumpDir;
+    uint32_t corrupt = 0;
+    std::string tmpDir = ".";
+    std::string corpusDir;
 
     for (int i = 1; i < argc; ++i) {
         const auto arg = [&](const char *name) -> const char * {
@@ -222,6 +331,12 @@ main(int argc, char **argv)
             snapshotAt = std::strtoull(v, nullptr, 10);
         } else if (const char *v = arg("--dump-dir")) {
             dumpDir = v;
+        } else if (const char *v = arg("--corrupt")) {
+            corrupt = uint32_t(std::strtoul(v, nullptr, 10));
+        } else if (const char *v = arg("--tmp-dir")) {
+            tmpDir = v;
+        } else if (const char *v = arg("--emit-corrupt-corpus")) {
+            corpusDir = v;
         } else if (!std::strcmp(argv[i], "--quiet")) {
             quiet = true;
         } else if (!std::strcmp(argv[i], "--faults")) {
@@ -230,6 +345,33 @@ main(int argc, char **argv)
             usage(argv[0]);
             return 2;
         }
+    }
+
+    if (!corpusDir.empty())
+        return emitCorruptCorpus(corpusDir);
+
+    if (corrupt) {
+        // The corrupt campaign decodes mutated images; the machine
+        // that builds the pristine ones runs the first protocol and
+        // CPU count.
+        opt.protocol = protos.front();
+        opt.numCpus = cpus.front();
+        const auto progress = [&](uint32_t done, uint32_t total) {
+            if (!quiet && done % 64 == 0)
+                std::fprintf(stderr, "[fuzz] %u/%u mutations decoded\n",
+                             done, total);
+        };
+        const mpos::sim::CorruptCampaignResult res =
+            mpos::sim::runCorruptCampaign(firstSeed, corrupt, opt,
+                                          tmpDir, progress);
+        std::printf("mpos_fuzz --corrupt: %u mutated images, %u "
+                    "rejected with a typed error, %u decoded, %zu "
+                    "contract violation(s)\n",
+                    res.runs, res.rejected, res.accepted,
+                    res.failures.size());
+        for (const std::string &f : res.failures)
+            std::printf("  %s\n", f.c_str());
+        return res.ok() ? 0 : 1;
     }
 
     if (faults) {

@@ -5,10 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
+#include <future>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/threadpool.hh"
@@ -124,4 +127,64 @@ TEST(ThreadPool, DefaultThreadsHonorsMposJobs)
 
     unsetenv("MPOS_JOBS");
     EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+}
+
+TEST(ThreadPool, DestructionDrainsTasksStillQueuedBehindABlocker)
+{
+    // Stronger than DestructorDrainsQueue: a gate guarantees the
+    // later tasks are queued-but-unstarted when the destructor
+    // begins, and a helper thread only opens the gate after the
+    // destructor is already draining.
+    std::atomic<int> ran{0};
+    std::promise<void> gate;
+    std::shared_future<void> open = gate.get_future().share();
+    std::thread releaser;
+    {
+        ThreadPool pool(1);
+        pool.submit([open] { open.wait(); });
+        for (int i = 0; i < 8; ++i)
+            pool.submit([&ran] { ++ran; });
+        EXPECT_EQ(ran.load(), 0); // all 8 still queued behind the gate
+        releaser = std::thread([&gate] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            gate.set_value();
+        });
+        // ~ThreadPool runs here with the queue still full.
+    }
+    releaser.join();
+    EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, TasksThrowingDuringDestructionAreContained)
+{
+    // Tasks that throw while the pool is being torn down must deliver
+    // their exceptions through their futures -- not escape into the
+    // destructor (which would terminate) and not get dropped.
+    std::promise<void> gate;
+    std::shared_future<void> open = gate.get_future().share();
+    std::vector<std::future<void>> futs;
+    std::thread releaser;
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 6; ++i)
+            futs.push_back(pool.submit([open] {
+                open.wait();
+                throw std::runtime_error("destruction boom");
+            }));
+        releaser = std::thread([&gate] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            gate.set_value();
+        });
+        // ~ThreadPool drains the six throwing tasks.
+    }
+    releaser.join();
+    for (auto &f : futs) {
+        try {
+            f.get();
+            FAIL() << "a task destroyed with the pool lost its "
+                      "exception";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "destruction boom");
+        }
+    }
 }
