@@ -38,6 +38,8 @@ void prepare_ablation(BenchContext &ctx);
 void run_ablation(BenchContext &ctx);
 void prepare_scaling(BenchContext &ctx);
 void run_scaling(BenchContext &ctx);
+void prepare_lockproto(BenchContext &ctx);
+void run_lockproto(BenchContext &ctx);
 
 } // namespace mpos::bench
 

@@ -10,6 +10,8 @@
  *   MPOS_SEED     - workload seed (default 7)
  *   MPOS_JOBS     - host threads for parallel experiment jobs
  *   MPOS_PROTOCOL - coherence protocol: mesi (default), msi, mi
+ *   MPOS_LOCK_PROTO - lock primitive: tas (default), ticket, mcs,
+ *                     futex, rcu
  *   MPOS_ASSOC    - D-cache associativity (L1 and L2; default 1)
  *   MPOS_CPUS     - simulated CPU count (default 4)
  */
@@ -81,6 +83,14 @@ standardConfig(workload::WorkloadKind kind)
             std::fprintf(stderr,
                          "mpos_bench: unknown MPOS_PROTOCOL '%s' "
                          "(mesi, msi or mi)\n", p);
+            std::exit(2);
+        }
+    }
+    if (const char *p = std::getenv("MPOS_LOCK_PROTO")) {
+        if (!sim::parseLockPolicy(p, cfg.machine.lockPolicy)) {
+            std::fprintf(stderr,
+                         "mpos_bench: unknown MPOS_LOCK_PROTO '%s' "
+                         "(tas, ticket, mcs, futex or rcu)\n", p);
             std::exit(2);
         }
     }

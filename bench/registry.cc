@@ -184,6 +184,9 @@ benchRegistry()
         {"scaling_protocols",
          "Scaling: MSI vs MESI at 8-64 CPUs", NeedsNone,
          prepare_scaling, run_scaling},
+        {"scaling_lockproto",
+         "Lock primitives: tas/ticket/mcs/futex/rcu at 4-64 CPUs",
+         NeedsNone, prepare_lockproto, run_lockproto},
     };
     return entries;
 }
@@ -632,6 +635,9 @@ usage()
         "  --protocol P    coherence protocol for every job: mesi "
         "(default), msi, mi\n"
         "                  (sets MPOS_PROTOCOL)\n"
+        "  --lock-proto P  lock primitive for every job: tas "
+        "(default), ticket,\n"
+        "                  mcs, futex, rcu (sets MPOS_LOCK_PROTO)\n"
         "  --assoc N       D-cache associativity for every job (L1 "
         "and L2; sets\n"
         "                  MPOS_ASSOC; default 1 = direct-mapped)\n"
@@ -702,7 +708,7 @@ usage()
         "  --help          this text\n\n"
         "Environment: MPOS_CYCLES, MPOS_WARMUP, MPOS_SEED, "
         "MPOS_JOBS, MPOS_CHECK,\n"
-        "MPOS_PROTOCOL, MPOS_ASSOC, MPOS_CPUS, "
+        "MPOS_PROTOCOL, MPOS_LOCK_PROTO, MPOS_ASSOC, MPOS_CPUS, "
         "MPOS_WATCHDOG (forward-progress budget in cycles),\n"
         "MPOS_FAULTS (fault seed), "
         "MPOS_SNAPSHOT_DIR (same as --snapshot-dir).\n");
@@ -756,6 +762,8 @@ benchMain(int argc, char **argv)
             // Like --check: an env var, so it reaches every machine
             // constructed by any job (validated in standardConfig).
             setenv("MPOS_PROTOCOL", value("--protocol"), 1);
+        } else if (arg == "--lock-proto") {
+            setenv("MPOS_LOCK_PROTO", value("--lock-proto"), 1);
         } else if (arg == "--assoc") {
             setenv("MPOS_ASSOC", value("--assoc"), 1);
         } else if (arg == "--cpus") {

@@ -1,5 +1,7 @@
 #include "core/lock_stats.hh"
 
+#include <bit>
+
 namespace mpos::core
 {
 
@@ -21,13 +23,32 @@ LockStats::lockEvent(Cycle cycle, sim::CpuId cpu, uint32_t lock_id,
         p.lastAcquire = cycle;
         p.lastAcquirer = int32_t(cpu);
         p.disturbed = false;
+        if (p.inFailEpisode[cpu & 63]) {
+            // This CPU waited since its first failed poll: one sample
+            // of the wait-time distribution.
+            const Cycle w = cycle - p.episodeStart[cpu & 63];
+            ++p.waitCount;
+            p.waitCyclesSum += w;
+            if (w > p.waitMax)
+                p.waitMax = w;
+            const unsigned b = w ? unsigned(std::bit_width(w)) - 1 : 0;
+            ++p.waitHist[b < 32 ? b : 31];
+        }
         p.inFailEpisode[cpu & 63] = false;
+        if (p.handoffPending) {
+            // Gap between a contended release and this acquire: the
+            // hand-off latency of the primitive in force.
+            ++p.handoffCount;
+            p.handoffCyclesSum += cycle - p.lastContendedRelease;
+            p.handoffPending = false;
+        }
         break;
 
       case LockEvent::AcquireFail:
         // Count one episode per spinning CPU, not every poll.
         if (!p.inFailEpisode[cpu & 63]) {
             p.inFailEpisode[cpu & 63] = true;
+            p.episodeStart[cpu & 63] = cycle;
             ++p.failEpisodes;
         }
         if (p.lastAcquirer != int32_t(cpu))
@@ -39,8 +60,13 @@ LockStats::lockEvent(Cycle cycle, sim::CpuId cpu, uint32_t lock_id,
         if (waiters > 0) {
             ++p.releasesWithWaiters;
             p.waitersSum += waiters;
+            p.lastContendedRelease = cycle;
+            p.handoffPending = true;
         }
         break;
+
+      default:
+        break; // the kernel reports only the three logical events
     }
 }
 

@@ -78,6 +78,37 @@ struct LockProfile
 
     uint64_t failEpisodes = 0; ///< Spin episodes (not single polls).
     bool inFailEpisode[64] = {};
+
+    /// @name Wait-time distribution and hand-off latency
+    /// Per-primitive lock figures: how long an attempt that found the
+    /// lock taken waited before winning it, and how long a contended
+    /// lock sat released before the next holder picked it up.
+    /// @{
+    Cycle episodeStart[64] = {};  ///< First failed poll of each CPU.
+    uint64_t waitCount = 0;       ///< Contended acquires.
+    Cycle waitCyclesSum = 0;      ///< Total cycles spent waiting.
+    Cycle waitMax = 0;
+    uint64_t waitHist[32] = {};   ///< log2-bucketed wait times.
+    uint64_t handoffCount = 0;    ///< Acquires after a contended release.
+    Cycle handoffCyclesSum = 0;   ///< Release-to-next-acquire gaps.
+    Cycle lastContendedRelease = 0;
+    bool handoffPending = false;
+
+    double
+    meanWait() const
+    {
+        return waitCount ? double(waitCyclesSum) / double(waitCount)
+                         : 0.0;
+    }
+
+    double
+    meanHandoff() const
+    {
+        return handoffCount
+                   ? double(handoffCyclesSum) / double(handoffCount)
+                   : 0.0;
+    }
+    /// @}
 };
 
 /** Listener aggregating kernel lock events. */

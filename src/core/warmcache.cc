@@ -27,6 +27,7 @@ warmConfigHash(const ExperimentConfig &cfg)
     const sim::MachineConfig &m = cfg.machine;
     w.u32(m.numCpus);
     w.u8(uint8_t(m.protocol));
+    w.u8(uint8_t(m.lockPolicy));
     w.u32(m.lineBytes);
     w.u32(m.icacheBytes);
     w.u32(m.icacheAssoc);

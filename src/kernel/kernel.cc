@@ -81,11 +81,12 @@ Kernel::Kernel(sim::Machine &machine, const KernelConfig &config)
 std::string
 Kernel::describeSyncState() const
 {
-    char buf[160];
+    char buf[224];
     std::string out = "  locks:\n";
     for (uint32_t id = 0; id < locks.size(); ++id) {
         const LockState &l = locks[id];
-        if (l.heldByCpu < 0 && !l.spinMask && !l.napWaiters)
+        if (l.heldByCpu < 0 && !l.spinMask && !l.napWaiters &&
+            l.grantedTo < 0 && l.waitQueue.empty() && !l.rcuReaders)
             continue;
         // Kernel locks are held by CPUs, user locks by processes.
         std::snprintf(buf, sizeof buf,
@@ -95,6 +96,16 @@ Kernel::describeSyncState() const
                       int(l.heldByCpu),
                       (unsigned long long)l.spinMask, l.napWaiters);
         out += buf;
+        // Policy-layer state (all zero under the default primitive).
+        if (l.nextTicket || l.nowServing || l.grantedTo >= 0 ||
+            !l.waitQueue.empty() || l.rcuReaders) {
+            std::snprintf(buf, sizeof buf,
+                          "      ticket=%u/%u granted_to=%d queue=%u "
+                          "rcu_readers=%u\n",
+                          l.nowServing, l.nextTicket, l.grantedTo,
+                          uint32_t(l.waitQueue.size()), l.rcuReaders);
+            out += buf;
+        }
     }
     for (uint32_t c = 0; c < m.numCpus(); ++c) {
         const Pid pid = curProc[c];
@@ -323,10 +334,16 @@ Kernel::marker(CpuId cpu, const ScriptItem &item)
             pf->routineSwitch(m.now(), cpu, invalidRoutine);
         return;
       case MarkerOp::LockAcquire:
-        onLockAcquire(cpu, uint32_t(item.addr));
+        onLockAcquire(cpu, uint32_t(item.addr), item.arg2);
         return;
       case MarkerOp::LockRelease:
         onLockRelease(cpu, uint32_t(item.addr));
+        return;
+      case MarkerOp::LockAcquireShared:
+        onLockAcquireShared(cpu, uint32_t(item.addr));
+        return;
+      case MarkerOp::LockReleaseShared:
+        onLockReleaseShared(cpu, uint32_t(item.addr));
         return;
       case MarkerOp::UserLockAcquire:
         onUserLockAcquire(cpu, uint32_t(item.addr),
@@ -357,6 +374,8 @@ Kernel::marker(CpuId cpu, const ScriptItem &item)
             onBlockWait(cpu);
         else if (item.addr == customBlockTty)
             onBlockTty(cpu, uint32_t(item.arg2));
+        else if (item.addr == customFutexWait)
+            onFutexWait(cpu, uint32_t(item.arg2));
         else
             util::panic("unknown custom marker %llu",
                         static_cast<unsigned long long>(item.addr));
@@ -478,51 +497,114 @@ Kernel::onOsExit(CpuId cpu)
 }
 
 void
-Kernel::onLockAcquire(CpuId cpu, uint32_t lock_id)
+Kernel::wonKernelLock(CpuId cpu, uint32_t lock_id, uint32_t waiters,
+                      LockEvent transport_ev)
+{
+    LockState &l = locks[lock_id];
+    const Cycle now = m.now();
+    l.heldByCpu = int32_t(cpu);
+    l.spinMask &= ~(uint64_t(1) << cpu);
+    // Holding a spinlock raises the interrupt level (spl): defer
+    // external interrupts until release, as IRIX does.
+    ++m.cpu(cpu).intrDisable;
+    const Cycle cost = m.sync().access(cpu, lock_id, transport_ev);
+    m.charge(cpu, cost, true);
+    // Injected hold-time perturbation: stretch the critical
+    // section of the targeted locks.
+    if (fp) {
+        if (const Cycle extra = fp->holdExtra(lock_id))
+            m.charge(cpu, extra, true);
+    }
+    // Statistics always see the logical event, whatever the primitive.
+    if (lockListener)
+        lockListener->lockEvent(now, cpu, lock_id,
+                                LockEvent::AcquireSuccess, waiters);
+    if (mx)
+        mx->lockEvent(now, cpu, lock_id, LockEvent::AcquireSuccess);
+}
+
+void
+Kernel::onLockAcquire(CpuId cpu, uint32_t lock_id, uint64_t state)
 {
     LockState &l = locks[lock_id];
     const Cycle now = m.now();
     const uint32_t waiters =
         uint32_t(std::popcount(l.spinMask)) + l.napWaiters;
-
-    if (l.heldByCpu < 0) {
-        l.heldByCpu = int32_t(cpu);
-        l.spinMask &= ~(uint64_t(1) << cpu);
-        // Holding a spinlock raises the interrupt level (spl): defer
-        // external interrupts until release, as IRIX does.
-        ++m.cpu(cpu).intrDisable;
-        const Cycle cost =
-            m.sync().access(cpu, lock_id, LockEvent::AcquireSuccess);
-        m.charge(cpu, cost, true);
-        // Injected hold-time perturbation: stretch the critical
-        // section of the targeted locks.
-        if (fp) {
-            if (const Cycle extra = fp->holdExtra(lock_id))
-                m.charge(cpu, extra, true);
-        }
-        if (lockListener)
-            lockListener->lockEvent(now, cpu, lock_id,
-                                    LockEvent::AcquireSuccess, waiters);
-        if (mx)
-            mx->lockEvent(now, cpu, lock_id, LockEvent::AcquireSuccess);
-        return;
-    }
     if (l.heldByCpu == int32_t(cpu))
         util::panic("cpu %u re-acquiring kernel lock %u", cpu, lock_id);
-
-    l.spinMask |= uint64_t(1) << cpu;
-    const Cycle cost =
-        m.sync().access(cpu, lock_id, LockEvent::AcquireFail);
-    m.charge(cpu, cost, true);
-    if (lockListener)
-        lockListener->lockEvent(now, cpu, lock_id,
-                                LockEvent::AcquireFail, waiters);
-    if (mx)
-        mx->lockEvent(now, cpu, lock_id, LockEvent::AcquireFail);
-    // Spin: burn the gap and retry.
     sim::Cpu &c = m.cpu(cpu);
-    c.pushFront(ScriptItem::mark(MarkerOp::LockAcquire, lock_id));
-    c.pushFront(ScriptItem::think(cfg.spinGap));
+
+    // The retry marker a spinning CPU executes after spinGap cycles.
+    const auto spinRetry = [&](LockEvent ev, uint64_t next_state) {
+        l.spinMask |= uint64_t(1) << cpu;
+        const Cycle cost = m.sync().access(cpu, lock_id, ev);
+        m.charge(cpu, cost, true);
+        if (lockListener)
+            lockListener->lockEvent(now, cpu, lock_id,
+                                    LockEvent::AcquireFail, waiters);
+        if (mx)
+            mx->lockEvent(now, cpu, lock_id, LockEvent::AcquireFail);
+        c.pushFront(ScriptItem::mark(MarkerOp::LockAcquire, lock_id,
+                                     next_state));
+        c.pushFront(ScriptItem::think(cfg.spinGap));
+    };
+
+    switch (m.config().lockPolicy) {
+      case sim::LockPolicy::Ticket: {
+        // state carries ticket+1 once one was taken (0 = no ticket).
+        uint32_t ticket;
+        LockEvent ev;
+        if (state == 0) {
+            ticket = l.nextTicket++;
+            ev = LockEvent::TicketTake; // the fetch-and-add
+        } else {
+            ticket = uint32_t(state - 1);
+            ev = LockEvent::TicketPoll; // re-read of now-serving
+        }
+        if (ticket == l.nowServing && l.heldByCpu < 0) {
+            wonKernelLock(cpu, lock_id, waiters, ev);
+            return;
+        }
+        spinRetry(ev, uint64_t(ticket) + 1);
+        return;
+      }
+      case sim::LockPolicy::Mcs: {
+        if (state == 0) {
+            if (l.heldByCpu < 0 && l.grantedTo < 0 &&
+                l.waitQueue.empty()) {
+                // Tail swap found the queue empty: uncontended.
+                wonKernelLock(cpu, lock_id, waiters,
+                              LockEvent::McsSwap);
+                return;
+            }
+            // Swap found a predecessor: link in and spin on our node.
+            l.waitQueue.push_back(cpu);
+            spinRetry(LockEvent::McsEnqueue, 1);
+            return;
+        }
+        if (l.grantedTo == int32_t(cpu)) {
+            // The predecessor's hand-off write flipped our node flag;
+            // this poll refetches the invalidated node and wins.
+            l.grantedTo = -1;
+            wonKernelLock(cpu, lock_id, waiters,
+                          LockEvent::McsLocalPoll);
+            return;
+        }
+        spinRetry(LockEvent::McsLocalPoll, 1);
+        return;
+      }
+      case sim::LockPolicy::TestAndSet:
+      case sim::LockPolicy::Futex: // kernel locks cannot sleep: TAS
+      case sim::LockPolicy::Rcu:   // writers take the plain spinlock
+      default:
+        if (l.heldByCpu < 0) {
+            wonKernelLock(cpu, lock_id, waiters,
+                          LockEvent::AcquireSuccess);
+            return;
+        }
+        spinRetry(LockEvent::AcquireFail, 0);
+        return;
+    }
 }
 
 void
@@ -538,13 +620,110 @@ Kernel::onLockRelease(CpuId cpu, uint32_t lock_id)
     --m.cpu(cpu).intrDisable;
     const uint32_t waiters =
         uint32_t(std::popcount(l.spinMask)) + l.napWaiters;
-    const Cycle cost = m.sync().access(cpu, lock_id, LockEvent::Release);
+
+    Cycle cost = 0;
+    switch (m.config().lockPolicy) {
+      case sim::LockPolicy::Ticket:
+        ++l.nowServing; // the write every poller's next read observes
+        cost = m.sync().access(cpu, lock_id, LockEvent::TicketRelease);
+        break;
+      case sim::LockPolicy::Mcs:
+        if (l.waitQueue.empty()) {
+            // Tail compare-and-swap back to empty.
+            cost = m.sync().access(cpu, lock_id,
+                                   LockEvent::McsReleaseFree);
+        } else {
+            // Write exactly the successor's node flag; only its spin
+            // copy is invalidated, everyone further back spins on.
+            const uint32_t succ = l.waitQueue.front();
+            l.waitQueue.erase(l.waitQueue.begin());
+            l.grantedTo = int32_t(succ);
+            cost = m.sync().access(cpu, lock_id, LockEvent::McsHandoff,
+                                   int(succ));
+        }
+        break;
+      case sim::LockPolicy::Rcu:
+        cost = m.sync().access(cpu, lock_id, LockEvent::Release);
+        if (rcuManaged(lock_id)) {
+            // The writer published a new version: wait out a grace
+            // period so pre-existing readers drain (one quiescence
+            // round-trip per other CPU).
+            cost += m.sync().access(cpu, lock_id, LockEvent::RcuSync);
+        }
+        break;
+      default:
+        cost = m.sync().access(cpu, lock_id, LockEvent::Release);
+        break;
+    }
     m.charge(cpu, cost, true);
     if (lockListener)
         lockListener->lockEvent(m.now(), cpu, lock_id,
                                 LockEvent::Release, waiters);
     if (mx)
         mx->lockEvent(m.now(), cpu, lock_id, LockEvent::Release);
+}
+
+void
+Kernel::onLockAcquireShared(CpuId cpu, uint32_t lock_id)
+{
+    if (m.config().lockPolicy == sim::LockPolicy::Rcu &&
+        rcuManaged(lock_id)) {
+        // RCU read side: no shared line is written, no bus operation
+        // is made, nothing can spin. Readers are only counted.
+        LockState &l = locks[lock_id];
+        ++l.rcuReaders;
+        m.sync().access(cpu, lock_id, LockEvent::RcuReadEnter);
+        if (lockListener)
+            lockListener->lockEvent(m.now(), cpu, lock_id,
+                                    LockEvent::AcquireSuccess, 0);
+        if (mx)
+            mx->lockEvent(m.now(), cpu, lock_id,
+                          LockEvent::AcquireSuccess);
+        return;
+    }
+    onLockAcquire(cpu, lock_id, 0);
+}
+
+void
+Kernel::onLockReleaseShared(CpuId cpu, uint32_t lock_id)
+{
+    if (m.config().lockPolicy == sim::LockPolicy::Rcu &&
+        rcuManaged(lock_id)) {
+        LockState &l = locks[lock_id];
+        if (l.rcuReaders == 0)
+            util::panic("cpu %u leaving rcu read section of lock %u "
+                        "with no readers", cpu, lock_id);
+        --l.rcuReaders;
+        m.sync().access(cpu, lock_id, LockEvent::RcuReadExit);
+        if (lockListener)
+            lockListener->lockEvent(m.now(), cpu, lock_id,
+                                    LockEvent::Release, 0);
+        if (mx)
+            mx->lockEvent(m.now(), cpu, lock_id, LockEvent::Release);
+        return;
+    }
+    onLockRelease(cpu, lock_id);
+}
+
+void
+Kernel::onFutexWait(CpuId cpu, uint32_t lock_id)
+{
+    LockState &l = locks[lock_id];
+    const Pid pid = curProc[cpu];
+    // The kernel re-checks the lock word before sleeping: a release
+    // between the user-level CAS and this point must not be lost.
+    if (l.heldByCpu < 0 &&
+        (l.grantedTo < 0 || l.grantedTo == int32_t(pid)))
+        return; // fall through to the epilogue; the retry marker wins
+    Process &p = *procs[uint32_t(pid)];
+    ++l.napWaiters; // blocked waiters ride the nap count (Table 12)
+    l.waitQueue.push_back(uint32_t(pid));
+    p.state = ProcState::Blocked;
+    sim::Cpu &c = m.cpu(cpu);
+    p.savedScript = c.drainScript();
+    Script s;
+    emitReschedSeq(s);
+    c.pushFrontSeq(s);
 }
 
 void
@@ -555,14 +734,25 @@ Kernel::onUserLockAcquire(CpuId cpu, uint32_t lock_id, uint32_t spins)
     const Cycle now = m.now();
     const uint32_t waiters =
         uint32_t(std::popcount(l.spinMask)) + l.napWaiters;
+    const bool futex =
+        m.config().lockPolicy == sim::LockPolicy::Futex;
 
-    if (l.heldByCpu < 0) {
+    // A futex release may have granted the lock directly to a woken
+    // waiter; nobody else may barge in ahead of it.
+    const bool free = l.heldByCpu < 0 &&
+        (!futex || l.grantedTo < 0 || l.grantedTo == int32_t(pid));
+    if (free) {
         l.heldByCpu = int32_t(pid); // user locks are held by processes
         l.spinMask &= ~(uint64_t(1) << cpu);
-        if (l.napWaiters > 0 && spins == 0)
+        if (futex && l.grantedTo == int32_t(pid)) {
+            l.grantedTo = -1;
+            --l.napWaiters; // the woken waiter stops waiting here
+        } else if (!futex && l.napWaiters > 0 && spins == 0) {
             --l.napWaiters;
-        const Cycle cost =
-            m.sync().access(cpu, lock_id, LockEvent::AcquireSuccess);
+        }
+        const Cycle cost = m.sync().access(
+            cpu, lock_id,
+            futex ? LockEvent::FutexAcquire : LockEvent::AcquireSuccess);
         m.charge(cpu, cost, true);
         if (fp) {
             if (const Cycle extra = fp->holdExtra(lock_id))
@@ -576,14 +766,30 @@ Kernel::onUserLockAcquire(CpuId cpu, uint32_t lock_id, uint32_t spins)
         return;
     }
 
-    const Cycle cost =
-        m.sync().access(cpu, lock_id, LockEvent::AcquireFail);
+    const Cycle cost = m.sync().access(
+        cpu, lock_id,
+        futex ? LockEvent::FutexWait : LockEvent::AcquireFail);
     m.charge(cpu, cost, true);
     if (lockListener)
         lockListener->lockEvent(now, cpu, lock_id,
                                 LockEvent::AcquireFail, waiters);
     if (mx)
         mx->lockEvent(now, cpu, lock_id, LockEvent::AcquireFail);
+
+    if (futex) {
+        // One losing CAS, then a FUTEX_WAIT-style syscall: the waiter
+        // blocks in the kernel, so a held futex generates no
+        // steady-state bus traffic at all. The retry marker goes back
+        // first: the continuation saved by the wait re-attempts the
+        // acquire when the wake reschedules this process.
+        sim::Cpu &cf = m.cpu(cpu);
+        cf.pushFront(ScriptItem::mark(MarkerOp::UserLockAcquire,
+                                      lock_id, 0));
+        Process &pf = *procs[uint32_t(pid)];
+        Script sf = pathFutexWait(pf, lock_id);
+        cf.pushFrontSeq(sf);
+        return;
+    }
 
     sim::Cpu &c = m.cpu(cpu);
     if (spins + 1 < cfg.userLockSpins) {
@@ -615,7 +821,19 @@ Kernel::onUserLockRelease(CpuId cpu, uint32_t lock_id)
     l.heldByCpu = -1;
     const uint32_t waiters =
         uint32_t(std::popcount(l.spinMask)) + l.napWaiters;
-    const Cycle cost = m.sync().access(cpu, lock_id, LockEvent::Release);
+
+    LockEvent ev = LockEvent::Release;
+    if (m.config().lockPolicy == sim::LockPolicy::Futex &&
+        !l.waitQueue.empty()) {
+        // Wake-one: grant the lock to the FIFO head and make it
+        // runnable; napWaiters drops when the grantee takes the lock.
+        const Pid w = Pid(l.waitQueue.front());
+        l.waitQueue.erase(l.waitQueue.begin());
+        l.grantedTo = int32_t(w);
+        makeReady(w);
+        ev = LockEvent::FutexWake;
+    }
+    const Cycle cost = m.sync().access(cpu, lock_id, ev);
     m.charge(cpu, cost, true);
     if (lockListener)
         lockListener->lockEvent(m.now(), cpu, lock_id,

@@ -220,6 +220,10 @@ class Kernel : public sim::Executor
     void emitTouch(Script &s, Addr addr, uint32_t bytes, bool write);
     void emitLock(Script &s, uint32_t lock_id);
     void emitUnlock(Script &s, uint32_t lock_id);
+    /** Read-mostly acquire/release: the RCU read path on managed locks
+     *  under LockPolicy::Rcu, a plain exclusive lock otherwise. */
+    void emitLockShared(Script &s, uint32_t lock_id);
+    void emitUnlockShared(Script &s, uint32_t lock_id);
     void emitPrologue(Script &s, Process &p);
     void emitEpilogue(Script &s, Process &p);
     void emitBcopy(Script &s, Addr src, Addr dst, uint32_t bytes,
@@ -245,6 +249,9 @@ class Kernel : public sim::Executor
     void bodyBrk(Script &s, CpuId cpu, Process &p, uint32_t pages);
     void bodySginap(Script &s, Process &p);
     void bodyOther(Script &s, CpuId cpu, Process &p);
+    /** Kernel entry of a futex wait: syscall overhead ending in the
+     *  customFutexWait marker that blocks (or returns if raced). */
+    Script pathFutexWait(Process &p, uint32_t lock_id);
     Script pathClockInterrupt(CpuId cpu);
     Script pathDiskInterrupt(CpuId cpu, Pid sleeper);
     Script pathTtyInterrupt(CpuId cpu, uint32_t session);
@@ -278,10 +285,25 @@ class Kernel : public sim::Executor
     /// @{
     void onOsEnter(CpuId cpu, sim::OsOp op);
     void onOsExit(CpuId cpu);
-    void onLockAcquire(CpuId cpu, uint32_t lock_id);
+    /**
+     * Kernel spinlock acquire under the machine's lock policy. `state`
+     * is the policy's resume argument carried in the marker's arg2:
+     * 0 on the first attempt always; Ticket re-polls carry ticket+1,
+     * MCS re-polls carry 1 (enqueued). TestAndSet ignores it.
+     */
+    void onLockAcquire(CpuId cpu, uint32_t lock_id, uint64_t state);
     void onLockRelease(CpuId cpu, uint32_t lock_id);
+    void onLockAcquireShared(CpuId cpu, uint32_t lock_id);
+    void onLockReleaseShared(CpuId cpu, uint32_t lock_id);
     void onUserLockAcquire(CpuId cpu, uint32_t lock_id, uint32_t spins);
     void onUserLockRelease(CpuId cpu, uint32_t lock_id);
+    /** Common success bookkeeping of a kernel-lock acquire; charges
+     *  the policy's transport event, reports logical AcquireSuccess. */
+    void wonKernelLock(CpuId cpu, uint32_t lock_id, uint32_t waiters,
+                       sim::LockEvent transport_ev);
+    /** Futex-style user lock: block the caller until release wakes it
+     *  (re-checks the lock word first, closing the lost-wakeup race). */
+    void onFutexWait(CpuId cpu, uint32_t lock_id);
     void onSyscall(CpuId cpu, Sys n, uint64_t payload);
     void onSleepDisk(CpuId cpu, Cycle wake_at);
     void onBlockWait(CpuId cpu);
@@ -389,6 +411,7 @@ class Kernel : public sim::Executor
 
     static constexpr uint64_t customBlockWait = 1;
     static constexpr uint64_t customBlockTty = 2;
+    static constexpr uint64_t customFutexWait = 3;
 };
 
 } // namespace mpos::kernel

@@ -153,6 +153,13 @@ Kernel::saveState(ByteWriter &w, const BehaviorCodec &codec) const
         w.i64(l.heldByCpu);
         w.u64(l.spinMask);
         w.u32(l.napWaiters);
+        w.u32(l.nextTicket);
+        w.u32(l.nowServing);
+        w.i64(l.grantedTo);
+        w.u32(uint32_t(l.waitQueue.size()));
+        for (uint32_t q : l.waitQueue)
+            w.u32(q);
+        w.u32(l.rcuReaders);
     }
     w.u32(nUserLocks);
 
@@ -324,6 +331,17 @@ Kernel::restoreState(ByteReader &r, const BehaviorCodec &codec)
         l.heldByCpu = int32_t(r.i64());
         l.spinMask = r.u64();
         l.napWaiters = r.u32();
+        l.nextTicket = r.u32();
+        l.nowServing = r.u32();
+        l.grantedTo = int32_t(r.i64());
+        l.waitQueue.clear();
+        const uint32_t nq = r.u32();
+        if (nq > locks.size() + procs.size())
+            util::raise(util::ErrCode::SnapshotCorrupt,
+                        "lock wait queue implausibly long (%u)", nq);
+        for (uint32_t i = 0; i < nq; ++i)
+            l.waitQueue.push_back(r.u32());
+        l.rcuReaders = r.u32();
     }
     nUserLocks = r.u32();
 

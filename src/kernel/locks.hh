@@ -46,15 +46,47 @@ inline uint32_t streamsLock(uint32_t s) { return StreamsBase + s % 4; }
 /** Pick the Ino_x lock for an inode. */
 inline uint32_t inoLock(uint32_t ino) { return InoBase + ino % 8; }
 
-/** Human-readable lock name ("Memlock", "Shr_3", ...). */
-std::string lockName(uint32_t lock_id, uint32_t num_user_locks = 0);
+/**
+ * Human-readable lock name ("Memlock", "Shr_3", "UserLock_2", ...).
+ *
+ * Callers must pass the kernel's real user-lock count: diagnostic
+ * paths that guessed 0 used to misname user-library locks as plain
+ * "Lock_N", which is why the parameter has no default.
+ */
+std::string lockName(uint32_t lock_id, uint32_t num_user_locks);
 
-/** Runtime state of one lock. */
+/** Ids whose read-mostly accesses get the RCU read path when the
+ *  machine's lock policy is LockPolicy::Rcu: the free-inode list and
+ *  the Ino_x per-inode locks, the paper's hottest read-mostly tables. */
+inline bool
+rcuManaged(uint32_t lock_id)
+{
+    return lock_id == Ifree ||
+           (lock_id >= InoBase && lock_id < numKernelLocks);
+}
+
+/**
+ * Runtime state of one lock. The first three fields are the paper's
+ * test-and-set machine; the rest exist for the modern lock policies
+ * (DESIGN.md section 14) and stay at their defaults under the default
+ * primitive.
+ */
 struct LockState
 {
     int32_t heldByCpu = -1;   ///< CPU currently holding (kernel view).
     uint64_t spinMask = 0;    ///< CPUs actively spinning on it.
     uint32_t napWaiters = 0;  ///< Processes that sginapped on it.
+
+    uint32_t nextTicket = 0;  ///< Ticket: next ticket to hand out.
+    uint32_t nowServing = 0;  ///< Ticket: ticket currently served.
+    /** MCS/futex direct hand-off: the CPU (kernel locks) or pid (user
+     *  locks) the releaser granted the lock to, not yet observed by
+     *  the grantee; -1 when no hand-off is pending. */
+    int32_t grantedTo = -1;
+    /** FIFO of waiters: CPU ids for MCS kernel locks, pids for futex
+     *  user locks. */
+    std::vector<uint32_t> waitQueue;
+    uint32_t rcuReaders = 0;  ///< Active read-side sections (RCU).
 };
 
 /**

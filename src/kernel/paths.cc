@@ -71,6 +71,20 @@ Kernel::emitUnlock(Script &s, uint32_t lock_id)
 }
 
 void
+Kernel::emitLockShared(Script &s, uint32_t lock_id)
+{
+    emitTextByName(s, "spinlock_acquire");
+    s.push_back(ScriptItem::mark(MarkerOp::LockAcquireShared, lock_id));
+}
+
+void
+Kernel::emitUnlockShared(Script &s, uint32_t lock_id)
+{
+    emitTextByName(s, "spinlock_release");
+    s.push_back(ScriptItem::mark(MarkerOp::LockReleaseShared, lock_id));
+}
+
+void
 Kernel::emitPrologue(Script &s, Process &p)
 {
     // Low-level exception entry: save registers into the Eframe and
@@ -425,9 +439,9 @@ Kernel::pathVmFault(CpuId cpu, Process &p, Addr vaddr, bool is_store,
             pp = allocPage(s, cpu);
             const uint32_t ino = 1000 + p.imageId;
             emitTextByName(s, "iget", 0.0, 0.5);
-            emitLock(s, inoLock(ino));
+            emitLockShared(s, inoLock(ino));
             emitTouch(s, map.inodeAddr(ino), 64, false);
-            emitUnlock(s, inoLock(ino));
+            emitUnlockShared(s, inoLock(ino));
             emitTextByName(s, "bmap", 0.0, 0.8);
             emitTextByName(s, "disk_strategy");
             const double off = rng.real() * 0.9;
@@ -561,6 +575,27 @@ Kernel::pathSyscall(CpuId cpu, Process &p, Sys n, uint64_t payload)
     return s;
 }
 
+Kernel::Script
+Kernel::pathFutexWait(Process &p, uint32_t lock_id)
+{
+    // FUTEX_WAIT: full syscall entry, the in-kernel re-check/sleep
+    // marker, then a normal return path (executed on wake, or
+    // immediately when the re-check finds the lock already free).
+    Script s;
+    s.push_back(ScriptItem::mark(MarkerOp::OsEnter,
+                                 uint64_t(OsOp::OtherSyscall)));
+    emitPrologue(s, p);
+    emitTextByName(s, "syscall_entry");
+    emitTouch(s, map.uRestAddr(p.slot) + 16, 96, false);
+    emitTouch(s, map.procTableAddr(p.slot), 32, false);
+    emitTextByName(s, "sginap_sys"); // sleep/wakeup plumbing
+    s.push_back(ScriptItem::mark(MarkerOp::Custom, customFutexWait,
+                                 lock_id));
+    emitEpilogue(s, p);
+    s.push_back(ScriptItem::mark(MarkerOp::OsExit));
+    return s;
+}
+
 void
 Kernel::bodyTtyRead(Script &s, Process &p, uint32_t session,
                     uint32_t bytes)
@@ -613,15 +648,15 @@ Kernel::bodyRead(Script &s, CpuId cpu, Process &p, uint64_t payload)
                   map.kernelStackAddr(p.slot) + 2048,
                   32 + uint32_t(rng.below(96)),
                   BlockClass::IrregularChunk);
-        emitLock(s, Ifree);
+        emitLockShared(s, Ifree);
         emitTouch(s, map.inodeAddr(ino), 64, false);
-        emitUnlock(s, Ifree);
+        emitUnlockShared(s, Ifree);
     }
 
     emitTextByName(s, "read_sys");
-    emitLock(s, inoLock(ino));
+    emitLockShared(s, inoLock(ino));
     emitTouch(s, map.inodeAddr(ino), 64, false);
-    emitUnlock(s, inoLock(ino));
+    emitUnlockShared(s, inoLock(ino));
 
     const Addr dstVaddr =
         p.ioBufVaddr +
@@ -705,9 +740,9 @@ Kernel::bodyWrite(Script &s, CpuId cpu, Process &p, uint64_t payload)
     const uint32_t ino = file;
 
     emitTextByName(s, "write_sys");
-    emitLock(s, inoLock(ino));
+    emitLockShared(s, inoLock(ino));
     emitTouch(s, map.inodeAddr(ino), 64, false);
-    emitUnlock(s, inoLock(ino));
+    emitUnlockShared(s, inoLock(ino));
 
     const Addr srcVaddr =
         p.ioBufVaddr +
@@ -892,9 +927,9 @@ Kernel::bodyExec(Script &s, CpuId cpu, Process &p, uint32_t image_id)
               map.kernelStackAddr(p.slot) + 1024,
               64 + uint32_t(rng.below(160)), BlockClass::IrregularChunk);
     const uint32_t ino = 1000 + image_id;
-    emitLock(s, Ifree);
+    emitLockShared(s, Ifree);
     emitTouch(s, map.inodeAddr(ino), 64, false);
-    emitUnlock(s, Ifree);
+    emitUnlockShared(s, Ifree);
 
     // Release the old address space.
     emitLock(s, shrLock(p.slot));

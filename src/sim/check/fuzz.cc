@@ -139,10 +139,36 @@ class EventRecorder : public MonitorObserver
 class ScriptedExecutor : public Executor
 {
   public:
+    /**
+     * Per-lock translation state for the non-TAS primitives: which
+     * CPUs are mid-attempt (took a ticket / enqueued a queue node /
+     * parked on the futex word) and, for MCS, the enqueue order the
+     * releaser hands off along. This is the fuzz harness's stand-in
+     * for the kernel's LockState; the snapshot differential carries
+     * it across the cut the same way kstate.cc serializes the real
+     * thing.
+     */
+    struct LockSim
+    {
+        std::vector<uint8_t> pending; ///< Per-CPU mid-attempt flag.
+        std::vector<CpuId> queue;     ///< MCS waiters, enqueue order.
+        uint32_t pendingCount = 0;
+    };
+
     explicit ScriptedExecutor(Machine &machine,
                               FaultPlan *faults = nullptr)
-        : m(machine), fp(faults)
+        : m(machine), fp(faults),
+          lsim(machine.sync().numLocks(),
+               LockSim{std::vector<uint8_t>(machine.numCpus(), 0),
+                       {}, 0})
     {
+    }
+
+    const std::vector<LockSim> &lockSimState() const { return lsim; }
+    void
+    setLockSimState(std::vector<LockSim> state)
+    {
+        lsim = std::move(state);
     }
 
     void
@@ -167,11 +193,7 @@ class ScriptedExecutor : public Executor
             c.ctx.op = OsOp::None;
             break;
           case MarkerOp::LockAcquire: {
-            const LockEvent ev = item.arg2 ? LockEvent::AcquireFail
-                                           : LockEvent::AcquireSuccess;
-            const Cycle cost =
-                m.sync().access(cpu, uint32_t(item.addr), ev);
-            m.charge(cpu, cost, true);
+            chargeAcquire(cpu, uint32_t(item.addr), item.arg2 != 0);
             if (fp && !item.arg2) {
                 // Fault injection: stretch the hold of perturbed
                 // locks (the extra cycles model a slow critical
@@ -183,9 +205,7 @@ class ScriptedExecutor : public Executor
             break;
           }
           case MarkerOp::LockRelease: {
-            const Cycle cost = m.sync().access(cpu, uint32_t(item.addr),
-                                               LockEvent::Release);
-            m.charge(cpu, cost, true);
+            chargeRelease(cpu, uint32_t(item.addr));
             break;
           }
           case MarkerOp::Resched:
@@ -219,8 +239,141 @@ class ScriptedExecutor : public Executor
     Cycle nextEventAt(CpuId) const override { return ~Cycle(0); }
 
   private:
+    /** Lower lock-id half plays the RCU-managed read-mostly tables. */
+    bool
+    rcuManagedFuzz(uint32_t id) const
+    {
+        return id < m.sync().numLocks() / 2;
+    }
+
+    void
+    charge(CpuId cpu, uint32_t id, LockEvent ev, int peer = -1)
+    {
+        m.charge(cpu, m.sync().access(cpu, id, ev, peer), true);
+    }
+
+    /**
+     * Translate a generic scripted acquire (fail = a losing poll)
+     * into the active primitive's transport events. The translation
+     * is a function of (policy, this CPU's pending flag, fail), so
+     * every core replays the identical sequence.
+     */
+    void
+    chargeAcquire(CpuId cpu, uint32_t id, bool fail)
+    {
+        LockSim &ls = lsim[id];
+        switch (m.config().lockPolicy) {
+          case LockPolicy::Ticket:
+            if (!ls.pending[cpu]) {
+                charge(cpu, id, LockEvent::TicketTake);
+                if (fail) {
+                    ls.pending[cpu] = 1;
+                    ++ls.pendingCount;
+                }
+            } else {
+                charge(cpu, id, LockEvent::TicketPoll);
+                if (!fail) {
+                    ls.pending[cpu] = 0;
+                    --ls.pendingCount;
+                }
+            }
+            break;
+          case LockPolicy::Mcs:
+            if (!ls.pending[cpu]) {
+                if (fail) {
+                    charge(cpu, id, LockEvent::McsEnqueue);
+                    ls.pending[cpu] = 1;
+                    ++ls.pendingCount;
+                    ls.queue.push_back(cpu);
+                } else {
+                    charge(cpu, id, LockEvent::McsSwap);
+                }
+            } else {
+                charge(cpu, id, LockEvent::McsLocalPoll);
+                if (!fail) {
+                    ls.pending[cpu] = 0;
+                    --ls.pendingCount;
+                    for (auto it = ls.queue.begin();
+                         it != ls.queue.end(); ++it) {
+                        if (*it == cpu) {
+                            ls.queue.erase(it);
+                            break;
+                        }
+                    }
+                }
+            }
+            break;
+          case LockPolicy::Futex:
+            if (fail) {
+                charge(cpu, id, LockEvent::FutexWait);
+                if (!ls.pending[cpu]) {
+                    ls.pending[cpu] = 1;
+                    ++ls.pendingCount;
+                }
+            } else {
+                charge(cpu, id, LockEvent::FutexAcquire);
+                if (ls.pending[cpu]) {
+                    ls.pending[cpu] = 0;
+                    --ls.pendingCount;
+                }
+            }
+            break;
+          case LockPolicy::Rcu:
+            if (rcuManagedFuzz(id)) {
+                // Read path: readers never spin, so a scripted
+                // losing poll melts away; entry is free of bus ops
+                // but still flows through the transport counters.
+                if (!fail)
+                    charge(cpu, id, LockEvent::RcuReadEnter);
+            } else {
+                charge(cpu, id,
+                       fail ? LockEvent::AcquireFail
+                            : LockEvent::AcquireSuccess);
+            }
+            break;
+          default:
+            charge(cpu, id,
+                   fail ? LockEvent::AcquireFail
+                        : LockEvent::AcquireSuccess);
+        }
+    }
+
+    void
+    chargeRelease(CpuId cpu, uint32_t id)
+    {
+        LockSim &ls = lsim[id];
+        switch (m.config().lockPolicy) {
+          case LockPolicy::Ticket:
+            charge(cpu, id, LockEvent::TicketRelease);
+            break;
+          case LockPolicy::Mcs:
+            if (!ls.queue.empty())
+                charge(cpu, id, LockEvent::McsHandoff,
+                       int(ls.queue.front()));
+            else
+                charge(cpu, id, LockEvent::McsReleaseFree);
+            break;
+          case LockPolicy::Futex:
+            charge(cpu, id,
+                   ls.pendingCount ? LockEvent::FutexWake
+                                   : LockEvent::Release);
+            break;
+          case LockPolicy::Rcu:
+            if (rcuManagedFuzz(id)) {
+                charge(cpu, id, LockEvent::RcuReadExit);
+            } else {
+                charge(cpu, id, LockEvent::Release);
+                charge(cpu, id, LockEvent::RcuSync);
+            }
+            break;
+          default:
+            charge(cpu, id, LockEvent::Release);
+        }
+    }
+
     Machine &m;
     FaultPlan *fp; ///< Null outside fault-injection campaigns.
+    std::vector<LockSim> lsim; ///< Per-lock translation state.
 };
 
 /** Final machine state flattened for bit-exact comparison. */
@@ -298,6 +451,7 @@ FuzzOptions::machineConfig() const
     MachineConfig cfg;
     cfg.numCpus = numCpus;
     cfg.protocol = protocol;
+    cfg.lockPolicy = lockPolicy;
     cfg.icacheBytes = 4096;
     cfg.l1dBytes = 2048;
     cfg.l2dBytes = 4096;
@@ -555,6 +709,11 @@ runSnapshotDifferential(uint64_t seed, const FuzzOptions &opt,
     StateSnapshot endState;
     {
         std::vector<uint8_t> image;
+        // The executor's lock-translation state is the harness's
+        // stand-in for the kernel's LockState (which kstate.cc
+        // serializes for real runs); carry it across the cut so the
+        // restored half translates mid-attempt polls identically.
+        std::vector<ScriptedExecutor::LockSim> cutLockSim;
         {
             FuzzRig rig(cfg, opt);
             for (CpuId c = 0; c < rig.m.numCpus(); ++c) {
@@ -573,6 +732,7 @@ runSnapshotDifferential(uint64_t seed, const FuzzOptions &opt,
             sections.emplace_back(snapshot::Section::Machine, w.take());
             image = snapshot::pack(seed, std::move(sections));
             ev = std::move(rig.rec.events);
+            cutLockSim = rig.exec.lockSimState();
         }
         {
             // The restored machine gets fresh wiring (executor,
@@ -583,6 +743,7 @@ runSnapshotDifferential(uint64_t seed, const FuzzOptions &opt,
             util::ByteReader r(
                 parsed.section(snapshot::Section::Machine));
             rig.m.restoreState(r);
+            rig.exec.setLockSimState(std::move(cutLockSim));
             runPhase(rig.m, opt.runCycles - cut);
             rig.finish(out.violations, out.checksPerformed);
             ev.insert(ev.end(), rig.rec.events.begin(),

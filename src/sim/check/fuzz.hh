@@ -43,6 +43,16 @@ struct FuzzOptions
     Protocol protocol = Protocol::Mesi;
 
     /**
+     * Lock primitive both machines run under. The generic scripted
+     * lock markers (a few failed polls, then success) are translated
+     * by the executor into the primitive's transport event sequence
+     * -- ticket take/poll, MCS swap/enqueue/local-poll/hand-off,
+     * futex CAS/wait/wake, RCU read-side -- so the differential
+     * property covers every primitive's accounting on both cores.
+     */
+    LockPolicy lockPolicy = LockPolicy::TestAndSet;
+
+    /**
      * Host sim-threads for a third, parallel-core run (1 = off).
      * When > 1 the differential becomes three-way -- fast vs
      * reference vs parallel epoch/barrier core -- and every run

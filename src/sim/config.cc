@@ -66,6 +66,10 @@ validateConfig(const MachineConfig &cfg)
                     "unknown coherence protocol %u",
                     unsigned(cfg.protocol));
 
+    if (uint8_t(cfg.lockPolicy) >= numLockPolicies)
+        util::raise(ErrCode::BadConfig, "unknown lock policy %u",
+                    unsigned(cfg.lockPolicy));
+
     if (!std::has_single_bit(cfg.lineBytes))
         util::raise(ErrCode::BadConfig,
                     "line size %u not a power of two", cfg.lineBytes);

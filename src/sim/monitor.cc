@@ -52,6 +52,45 @@ protocolName(Protocol p)
     return "?";
 }
 
+const char *
+lockPolicyName(LockPolicy p)
+{
+    switch (p) {
+      case LockPolicy::TestAndSet: return "tas";
+      case LockPolicy::Ticket: return "ticket";
+      case LockPolicy::Mcs: return "mcs";
+      case LockPolicy::Futex: return "futex";
+      case LockPolicy::Rcu: return "rcu";
+    }
+    return "?";
+}
+
+bool
+parseLockPolicy(const char *name, LockPolicy &out)
+{
+    if (!std::strcmp(name, "tas")) {
+        out = LockPolicy::TestAndSet;
+        return true;
+    }
+    if (!std::strcmp(name, "ticket")) {
+        out = LockPolicy::Ticket;
+        return true;
+    }
+    if (!std::strcmp(name, "mcs")) {
+        out = LockPolicy::Mcs;
+        return true;
+    }
+    if (!std::strcmp(name, "futex")) {
+        out = LockPolicy::Futex;
+        return true;
+    }
+    if (!std::strcmp(name, "rcu")) {
+        out = LockPolicy::Rcu;
+        return true;
+    }
+    return false;
+}
+
 bool
 parseProtocol(const char *name, Protocol &out)
 {

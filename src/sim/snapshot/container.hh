@@ -34,7 +34,7 @@ namespace mpos::sim::snapshot
 /** Bumped whenever the serialized state layout changes.
  *  v2: sharer/spin/cached-at bitmasks widened to 64 bits for N-CPU
  *  machines. */
-constexpr uint32_t formatVersion = 2;
+constexpr uint32_t formatVersion = 3;
 
 /** Section tags (stable 32-bit constants, not an index). */
 enum class Section : uint32_t

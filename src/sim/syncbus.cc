@@ -13,7 +13,7 @@ namespace mpos::sim
 SyncTransport::SyncTransport(const MachineConfig &config,
                              uint32_t num_locks)
     : cfg(config), perLock(num_locks), cachedAt(num_locks, 0),
-      stall(cfg.numCpus, 0)
+      qnodeAt(num_locks, 0), stall(cfg.numCpus, 0)
 {
     // The 64-CPU cap of the cachedAt bitmasks is enforced centrally
     // by validateConfig before any transport is built.
@@ -30,18 +30,65 @@ SyncTransport::uncachedOpsFor(LockEvent ev) const
         return 1; // every poll of a held lock crosses the sync bus
       case LockEvent::Release:
         return 1;
+
+      case LockEvent::TicketTake:
+        // Fetch-and-add emulated with the same read/modify/verify
+        // sequence an acquire needs on the RMW-less sync bus.
+        return cfg.syncOpsPerAcquire;
+      case LockEvent::TicketPoll:
+        return 1; // read of now-serving
+      case LockEvent::TicketRelease:
+        return 1; // write of now-serving
+
+      case LockEvent::McsSwap:
+        return cfg.syncOpsPerAcquire; // emulated tail swap
+      case LockEvent::McsEnqueue:
+        // Emulated tail swap plus the write linking into the
+        // predecessor's node.
+        return cfg.syncOpsPerAcquire + 1;
+      case LockEvent::McsLocalPoll:
+        // Sync RAM is never cached: on the Current Machine the "local"
+        // spin degenerates to a bus crossing per poll, which is
+        // exactly why MCS only pays off with cached locks.
+        return 1;
+      case LockEvent::McsHandoff:
+        return 1; // write the successor's node flag
+      case LockEvent::McsReleaseFree:
+        return cfg.syncOpsPerAcquire; // emulated tail compare-and-swap
+
+      case LockEvent::FutexAcquire:
+        return cfg.syncOpsPerAcquire; // emulated CAS
+      case LockEvent::FutexWait:
+        return 1; // the losing poll before the waiter blocks
+      case LockEvent::FutexWake:
+        return 2; // unlock write + waiter-count check
+
+      case LockEvent::RcuReadEnter:
+      case LockEvent::RcuReadExit:
+        return 0; // readers publish nothing
+      case LockEvent::RcuSync:
+        // Grace period: the writer waits for every other CPU to pass a
+        // quiescent state, one sync-bus transaction apiece.
+        return cfg.numCpus - 1;
     }
     return 0;
 }
 
 uint32_t
-SyncTransport::cachedOpsFor(CpuId cpu, uint32_t lock_id, LockEvent ev)
+SyncTransport::cachedOpsFor(CpuId cpu, uint32_t lock_id, LockEvent ev,
+                            int peer)
 {
     const uint64_t me = uint64_t(1) << cpu;
     uint64_t &mask = cachedAt[lock_id];
     switch (ev) {
       case LockEvent::AcquireSuccess:
       case LockEvent::Release:
+      case LockEvent::TicketTake:
+      case LockEvent::TicketRelease:
+      case LockEvent::McsSwap:
+      case LockEvent::McsReleaseFree:
+      case LockEvent::FutexAcquire:
+      case LockEvent::FutexWake:
         // LL/SC write: needs the line exclusive. Free when this CPU
         // already holds the only copy.
         if (mask == me)
@@ -49,23 +96,59 @@ SyncTransport::cachedOpsFor(CpuId cpu, uint32_t lock_id, LockEvent ev)
         mask = me;
         return 1;
       case LockEvent::AcquireFail:
+      case LockEvent::TicketPoll:
+      case LockEvent::FutexWait:
         // Spin read: first poll fetches the line, later polls hit.
         if (mask & me)
             return 0;
         mask |= me;
         return 1;
+      case LockEvent::McsEnqueue:
+        // Exclusive tail swap plus a write into the predecessor's
+        // queue node (a second line, always remote on first contact).
+        if (mask == me)
+            return 1;
+        mask = me;
+        return 2;
+      case LockEvent::McsLocalPoll: {
+        // The waiter spins on its *own* queue node: one fetch, then
+        // every poll hits locally until a hand-off invalidates it.
+        uint64_t &qmask = qnodeAt[lock_id];
+        if (qmask & me)
+            return 0;
+        qmask |= me;
+        return 1;
+      }
+      case LockEvent::McsHandoff:
+        // The releaser writes the successor's node flag, taking that
+        // line exclusive and invalidating the successor's spin copy.
+        if (peer >= 0)
+            qnodeAt[lock_id] &= ~(uint64_t(1) << unsigned(peer));
+        return 1;
+      case LockEvent::RcuReadEnter:
+      case LockEvent::RcuReadExit:
+        return 0; // the read path touches no shared line
+      case LockEvent::RcuSync:
+        // One invalidation round-trip per other CPU; the lock line
+        // ends up exclusive at the writer.
+        mask = me;
+        return cfg.numCpus - 1;
     }
     return 0;
 }
 
 Cycle
-SyncTransport::access(CpuId cpu, uint32_t lock_id, LockEvent ev)
+SyncTransport::access(CpuId cpu, uint32_t lock_id, LockEvent ev,
+                      int peer)
 {
     if (lock_id >= perLock.size())
-        util::panic("lock id %u out of range", lock_id);
+        util::raise(util::ErrCode::BadConfig,
+                    "syncbus: lock id %u out of range (machine has %zu "
+                    "locks)",
+                    lock_id, perLock.size());
 
     const uint32_t uops = uncachedOpsFor(ev);
-    const uint32_t cops = cachedOpsFor(cpu, lock_id, ev);
+    const uint32_t cops = cachedOpsFor(cpu, lock_id, ev, peer);
     perLock[lock_id].uncachedOps += uops;
     perLock[lock_id].cachedOps += cops;
     uncachedOpsTotal += uops;
@@ -75,9 +158,10 @@ SyncTransport::access(CpuId cpu, uint32_t lock_id, LockEvent ev)
         ? Cycle(cops) * cfg.busMissStall
         : Cycle(uops) * cfg.syncBusOpCycles;
     stall[cpu] += cost;
-    // A successful hand-off is forward progress; a failed poll is the
-    // very spinning the watchdog exists to catch.
-    if (wd && ev != LockEvent::AcquireFail)
+    // A successful hand-off is forward progress; a failed poll (under
+    // any primitive) is the very spinning the watchdog exists to
+    // catch.
+    if (wd && !lockEventIsPoll(ev))
         wd->noteProgress();
     if (checker)
         checker->onSyncEvent(cpu, lock_id, numLocks(),
@@ -89,7 +173,10 @@ const SyncOpCounts &
 SyncTransport::counts(uint32_t lock_id) const
 {
     if (lock_id >= perLock.size())
-        util::panic("lock id %u out of range", lock_id);
+        util::raise(util::ErrCode::BadConfig,
+                    "syncbus: lock id %u out of range (machine has %zu "
+                    "locks)",
+                    lock_id, perLock.size());
     return perLock[lock_id];
 }
 
@@ -116,6 +203,74 @@ Cycle
 SyncTransport::cachedStallTotal() const
 {
     return cachedOpsTotal * cfg.busMissStall;
+}
+
+void
+SyncTransport::saveState(util::ByteWriter &w) const
+{
+    w.u32(uint32_t(perLock.size()));
+    for (const SyncOpCounts &c : perLock) {
+        w.u64(c.uncachedOps);
+        w.u64(c.cachedOps);
+    }
+    for (uint64_t m : cachedAt)
+        w.u64(m);
+    for (uint64_t m : qnodeAt)
+        w.u64(m);
+    w.u32(uint32_t(stall.size()));
+    for (Cycle s : stall)
+        w.u64(s);
+    w.u64(uncachedOpsTotal);
+    w.u64(cachedOpsTotal);
+}
+
+void
+SyncTransport::restoreState(util::ByteReader &r)
+{
+    const uint32_t nl = r.u32();
+    if (nl != perLock.size())
+        util::raise(util::ErrCode::SnapshotCorrupt,
+                    "syncbus: snapshot has %u locks, machine has %zu",
+                    nl, perLock.size());
+    for (SyncOpCounts &c : perLock) {
+        c.uncachedOps = r.u64();
+        c.cachedOps = r.u64();
+    }
+    // Only bits [0, numCpus) may be set in a sharer mask; phantom
+    // sharers from a corrupt image would otherwise surface much later
+    // as a baffling coherence-checker trip.
+    const uint64_t legal = cfg.numCpus >= 64
+        ? ~uint64_t(0)
+        : (uint64_t(1) << cfg.numCpus) - 1;
+    for (size_t i = 0; i < cachedAt.size(); ++i) {
+        const uint64_t m = r.u64();
+        if (m & ~legal)
+            util::raise(util::ErrCode::SnapshotCorrupt,
+                        "syncbus: lock %zu cachedAt mask %llx has "
+                        "sharers beyond cpu %u",
+                        i, static_cast<unsigned long long>(m),
+                        cfg.numCpus - 1);
+        cachedAt[i] = m;
+    }
+    for (size_t i = 0; i < qnodeAt.size(); ++i) {
+        const uint64_t m = r.u64();
+        if (m & ~legal)
+            util::raise(util::ErrCode::SnapshotCorrupt,
+                        "syncbus: lock %zu qnodeAt mask %llx has "
+                        "sharers beyond cpu %u",
+                        i, static_cast<unsigned long long>(m),
+                        cfg.numCpus - 1);
+        qnodeAt[i] = m;
+    }
+    const uint32_t nc = r.u32();
+    if (nc != stall.size())
+        util::raise(util::ErrCode::SnapshotCorrupt,
+                    "syncbus: snapshot has %u cpus, machine has %zu",
+                    nc, stall.size());
+    for (Cycle &s : stall)
+        s = r.u64();
+    uncachedOpsTotal = r.u64();
+    cachedOpsTotal = r.u64();
 }
 
 } // namespace mpos::sim

@@ -30,13 +30,62 @@ namespace mpos::sim
 class Checker;
 class Watchdog;
 
-/** What happened at a lock, as reported by the kernel lock layer. */
+/**
+ * What happened at a lock, as reported by the kernel lock layer.
+ *
+ * The first three events are the paper's test-and-set machine and the
+ * only ones the statistics layer ever sees; the rest are the
+ * per-primitive transport events of the modern lock policies
+ * (DESIGN.md section 14). The kernel translates each policy's
+ * acquire/release state machine into these so SyncTransport can charge
+ * the primitive's distinct bus-operation pattern under both the
+ * uncached sync bus and the cached-RMW transport.
+ */
 enum class LockEvent : uint8_t
 {
     AcquireSuccess, ///< Test-and-set won the lock.
     AcquireFail,    ///< Poll found the lock held (one spin iteration).
     Release,
+
+    // Ticket lock: one fetch-and-add takes a ticket, then the waiter
+    // polls the now-serving word (a plain read, so pollers share the
+    // line instead of fighting over it exclusively).
+    TicketTake,    ///< Fetch-and-add on the ticket counter.
+    TicketPoll,    ///< Read of now-serving found another ticket active.
+    TicketRelease, ///< Increment of now-serving (wakes next ticket).
+
+    // MCS queue lock: waiters spin on a flag in their *own* queue node,
+    // so steady-state polling is cache-local; the releaser hands off by
+    // writing exactly one successor's node.
+    McsSwap,        ///< Tail swap found the lock free (uncontended).
+    McsEnqueue,     ///< Tail swap found a predecessor; linked behind it.
+    McsLocalPoll,   ///< Spin read of the waiter's own queue node.
+    McsHandoff,     ///< Releaser wrote the successor's node flag.
+    McsReleaseFree, ///< Tail compare-and-swap back to empty (no waiter).
+
+    // Futex-style blocking lock: an uncontended CAS fast path, and
+    // contended waiters block in the kernel instead of spinning, so a
+    // held lock generates *no* steady-state bus traffic.
+    FutexAcquire, ///< Uncontended CAS won the lock.
+    FutexWait,    ///< CAS lost; waiter blocks (last access pre-sleep).
+    FutexWake,    ///< Release with waiters: unlock write + wake.
+
+    // RCU-like read path for read-mostly tables: readers publish
+    // nothing and cost zero bus operations; writers still take the
+    // exclusive lock and then wait out a grace period on release.
+    RcuReadEnter, ///< Reader entered a read-side section (free).
+    RcuReadExit,  ///< Reader left a read-side section (free).
+    RcuSync,      ///< Writer grace period: one op per other CPU.
 };
+
+/** Events that are a spin poll: no forward progress, so the watchdog
+ *  must keep counting them against its no-progress budget. */
+constexpr bool
+lockEventIsPoll(LockEvent ev)
+{
+    return ev == LockEvent::AcquireFail || ev == LockEvent::TicketPoll
+        || ev == LockEvent::McsLocalPoll || ev == LockEvent::FutexWait;
+}
 
 /** Per-lock operation counters under both protocols. */
 struct SyncOpCounts
@@ -54,10 +103,23 @@ class SyncTransport
     /**
      * Account one lock event; returns the CPU stall cycles under the
      * active protocol (cfg.cachedLockRmw selects it).
+     *
+     * `peer` names the other CPU involved in a hand-off
+     * (LockEvent::McsHandoff: the successor whose queue node the
+     * releaser writes, invalidating the successor's locally cached
+     * copy); pass -1 when the event has no peer.
+     *
+     * Raises SimError(BadConfig) on an out-of-range lock id — ids
+     * arrive from snapshots and --serve requests, so a malformed one
+     * must travel the typed error channel, not abort the process.
      */
-    Cycle access(CpuId cpu, uint32_t lock_id, LockEvent ev);
+    Cycle access(CpuId cpu, uint32_t lock_id, LockEvent ev,
+                 int peer = -1);
 
-    /** Per-lock op counts under both protocols. */
+    /**
+     * Per-lock op counts under both protocols. Raises
+     * SimError(BadConfig) on an out-of-range lock id.
+     */
     const SyncOpCounts &counts(uint32_t lock_id) const;
 
     /** Sum of op counts over lock ids [0, id_limit). */
@@ -87,51 +149,21 @@ class SyncTransport
         return cachedAt[lock_id];
     }
 
-    /// @name Snapshot save/restore
-    /// @{
-    void
-    saveState(util::ByteWriter &w) const
+    /** Bitmask of CPUs with a valid cached copy of their own MCS queue
+     *  node for lock_id (for tests; empty unless the MCS policy ran). */
+    uint64_t qnodeAtMask(uint32_t lock_id) const
     {
-        w.u32(uint32_t(perLock.size()));
-        for (const SyncOpCounts &c : perLock) {
-            w.u64(c.uncachedOps);
-            w.u64(c.cachedOps);
-        }
-        for (uint64_t m : cachedAt)
-            w.u64(m);
-        w.u32(uint32_t(stall.size()));
-        for (Cycle s : stall)
-            w.u64(s);
-        w.u64(uncachedOpsTotal);
-        w.u64(cachedOpsTotal);
+        return qnodeAt[lock_id];
     }
 
-    void
-    restoreState(util::ByteReader &r)
-    {
-        const uint32_t nl = r.u32();
-        if (nl != perLock.size())
-            util::raise(util::ErrCode::SnapshotCorrupt,
-                        "syncbus: snapshot has %u locks, machine has "
-                        "%zu",
-                        nl, perLock.size());
-        for (SyncOpCounts &c : perLock) {
-            c.uncachedOps = r.u64();
-            c.cachedOps = r.u64();
-        }
-        for (uint64_t &m : cachedAt)
-            m = r.u64();
-        const uint32_t nc = r.u32();
-        if (nc != stall.size())
-            util::raise(util::ErrCode::SnapshotCorrupt,
-                        "syncbus: snapshot has %u cpus, machine has "
-                        "%zu",
-                        nc, stall.size());
-        for (Cycle &s : stall)
-            s = r.u64();
-        uncachedOpsTotal = r.u64();
-        cachedOpsTotal = r.u64();
-    }
+    /// @name Snapshot save/restore
+    /// Restore validates every sharer mask against numCpus: a corrupt
+    /// image with phantom sharers (bits >= numCpus) raises
+    /// SnapshotCorrupt here instead of tripping the coherence checker
+    /// later with a misleading diagnostic.
+    /// @{
+    void saveState(util::ByteWriter &w) const;
+    void restoreState(util::ByteReader &r);
     /// @}
 
   private:
@@ -139,12 +171,18 @@ class SyncTransport
     uint32_t uncachedOpsFor(LockEvent ev) const;
 
     /** Bus ops under cached LL/SC, tracking the line's location. */
-    uint32_t cachedOpsFor(CpuId cpu, uint32_t lock_id, LockEvent ev);
+    uint32_t cachedOpsFor(CpuId cpu, uint32_t lock_id, LockEvent ev,
+                          int peer);
 
     MachineConfig cfg;
     std::vector<SyncOpCounts> perLock;
     /** Bitmask of CPUs whose cache currently holds each lock's line. */
     std::vector<uint64_t> cachedAt;
+    /** Per-lock bitmask of CPUs whose *own* MCS queue-node line is
+     *  validly cached (the local-spin advantage: polls of a cached
+     *  node are free until the predecessor's hand-off write
+     *  invalidates it). */
+    std::vector<uint64_t> qnodeAt;
     std::vector<Cycle> stall;
     uint64_t uncachedOpsTotal = 0;
     uint64_t cachedOpsTotal = 0;

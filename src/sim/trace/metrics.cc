@@ -38,6 +38,8 @@ Metrics::lockEvent(Cycle now, CpuId cpu, uint32_t lock_id, LockEvent ev)
         break;
       case LockEvent::Release:
         break;
+      default:
+        break; // only the three logical events are ever reported
     }
 }
 

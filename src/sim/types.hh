@@ -181,6 +181,32 @@ const char *protocolName(Protocol p);
 /** Parse a protocol name; returns false if unknown. */
 bool parseProtocol(const char *name, Protocol &out);
 
+/**
+ * Kernel lock primitive (DESIGN.md section 14). TestAndSet is the
+ * machine the paper measured: kernel spinlocks poll a test-and-set
+ * word and the user library spins 20 times before sginap. The
+ * alternatives replace the acquire/release state machines wholesale;
+ * the SyncTransport charges each primitive's distinct bus-operation
+ * pattern under both the uncached sync bus and cached-RMW transports.
+ */
+enum class LockPolicy : uint8_t
+{
+    TestAndSet, ///< Paper's spinlock + spin-then-sginap user library.
+    Ticket,     ///< FIFO ticket lock: fetch-and-add, poll now-serving.
+    Mcs,        ///< MCS queue lock: local spin, direct hand-off.
+    Futex,      ///< User locks block in-kernel; wake-one on release.
+    Rcu,        ///< Read-mostly tables get a zero-cost read path.
+};
+
+/** Number of distinct LockPolicy values (for validation/sweeps). */
+constexpr uint32_t numLockPolicies = 5;
+
+/** Name of a LockPolicy for reports/flags ("tas", "ticket", ...). */
+const char *lockPolicyName(LockPolicy p);
+
+/** Parse a lock policy name; returns false if unknown. */
+bool parseLockPolicy(const char *name, LockPolicy &out);
+
 /** Bus transaction kinds. */
 enum class BusOp : uint8_t
 {
@@ -201,6 +227,14 @@ struct MachineConfig
     uint32_t numCpus = 4;
     /** Data-cache coherence protocol (Mesi = the measured machine). */
     Protocol protocol = Protocol::Mesi;
+    /**
+     * Kernel lock primitive. TestAndSet reproduces the measured
+     * machine exactly (goldens are pinned under it); the alternatives
+     * swap in the modern acquire/release state machines and their
+     * per-primitive sync-transport accounting. Also forced globally
+     * by MPOS_LOCK_PROTO=<name>.
+     */
+    LockPolicy lockPolicy = LockPolicy::TestAndSet;
     uint32_t lineBytes = 16;
     uint32_t icacheBytes = 64 * 1024;
     uint32_t icacheAssoc = 1;
@@ -397,6 +431,12 @@ enum class MarkerOp : uint8_t
     IdlePoll,       ///< idle loop checks the run queue
     InvalICache,    ///< arg = first line, arg2 = line count
     Custom,         ///< workload-defined
+    /// Read-mostly kernel lock access (Ifree/Ino_x lookup paths).
+    /// Routed to the plain exclusive acquire under every policy except
+    /// Rcu, where managed locks take the zero-cost read path. Appended
+    /// after Custom so existing marker encodings are untouched.
+    LockAcquireShared, ///< arg = lock id
+    LockReleaseShared, ///< arg = lock id
 };
 
 /** One element of a CPU execution script. */

@@ -1,15 +1,16 @@
 /** @file Committed corrupt-snapshot corpus tests.
  *
- *  tests/golden/corrupt/ holds four deliberately damaged MPOSSNAP
+ *  tests/golden/corrupt/ holds five deliberately damaged MPOSSNAP
  *  images (regenerate with `mpos_fuzz --emit-corrupt-corpus`):
  *  truncated mid-image, trailing checksum flipped, a section length
  *  claiming more bytes than the image holds (with the outer checksum
  *  recomputed so the framing validator, not the checksum, must catch
- *  it), and an unknown format version (likewise re-checksummed).
- *  Every one must be rejected with a typed
- *  SimError(SnapshotCorrupt) -- never a crash -- and the warm-start
- *  cache must treat such a file as a plain miss and fall back to a
- *  cold warmup.
+ *  it), an unknown format version (likewise re-checksummed), and a
+ *  well-formed container holding a garbage Machine section, which
+ *  sails through the framing and must be stopped by the state
+ *  decoders instead. Every one must be rejected with a typed
+ *  SimError -- never a crash -- and the warm-start cache must treat
+ *  such a file as a plain miss and fall back to a cold warmup.
  */
 
 #include <gtest/gtest.h>
@@ -19,7 +20,9 @@
 #include <vector>
 
 #include "core/warmcache.hh"
+#include "sim/machine.hh"
 #include "sim/snapshot/container.hh"
+#include "util/binio.hh"
 #include "util/error.hh"
 
 using namespace mpos;
@@ -63,6 +66,23 @@ TEST(CorruptCorpus, EveryCommittedImageIsRejectedWithATypedError)
     expectRejected("bad_version.snap");
 }
 
+TEST(CorruptCorpus, GarbageMachineSectionIsRejectedByStateDecoders)
+{
+    // The container framing of this image is intact -- parse must
+    // accept it -- but its Machine section is a 256-byte pattern, so
+    // the deep state decoders have to reject it through the typed
+    // error channel.
+    const std::vector<uint8_t> img =
+        corpusImage("garbage_section.snap");
+    ASSERT_FALSE(img.empty());
+    const snapshot::Parsed parsed = snapshot::parse(img);
+    MachineConfig cfg;
+    cfg.numCpus = 2;
+    Machine m(cfg, 8);
+    util::ByteReader r(parsed.section(snapshot::Section::Machine));
+    EXPECT_THROW(m.restoreState(r), util::SimError);
+}
+
 TEST(CorruptCorpus, WarmCacheTreatsACorruptDiskFileAsAMiss)
 {
     const std::string dir =
@@ -73,8 +93,11 @@ TEST(CorruptCorpus, WarmCacheTreatsACorruptDiskFileAsAMiss)
     // Plant every corpus image under the exact name the cache would
     // look up; a poisoned-by-corruption cache entry must read as a
     // miss (cold warmup), never an error or a crash.
+    // garbage_section.snap parses but carries a foreign config hash,
+    // so the cache must also read it as a miss.
     const char *names[] = {"truncated.snap", "flipped_crc.snap",
-                           "oversize_len.snap", "bad_version.snap"};
+                           "oversize_len.snap", "bad_version.snap",
+                           "garbage_section.snap"};
     core::WarmStartCache cache(dir);
     uint64_t key = 0x1000;
     for (const char *name : names) {
@@ -88,7 +111,7 @@ TEST(CorruptCorpus, WarmCacheTreatsACorruptDiskFileAsAMiss)
         EXPECT_EQ(cache.lookup(key), nullptr) << name;
         ++key;
     }
-    EXPECT_EQ(cache.stats().misses, 4u);
+    EXPECT_EQ(cache.stats().misses, 5u);
     EXPECT_EQ(cache.stats().hits, 0u);
     std::filesystem::remove_all(dir);
 }

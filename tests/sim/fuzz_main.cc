@@ -29,7 +29,8 @@
  * corrupt-snapshot corpus under tests/golden/corrupt/.
  *
  * Usage: mpos_fuzz [--seeds N] [--first-seed S] [--cpus a,b,c]
- *                  [--protocol p,q] [--script-len N] [--cycles N]
+ *                  [--protocol p,q] [--lock-proto p,q]
+ *                  [--script-len N] [--cycles N]
  *                  [--sim-threads N] [--snapshot-at C] [--quiet]
  *                  [--faults] [--dump-dir D]
  *                  [--corrupt N] [--tmp-dir D]
@@ -60,6 +61,10 @@ usage(const char *argv0)
         "  --cpus a,b,c    CPU counts to sweep (default 1,2,4)\n"
         "  --protocol p,q  coherence protocols to sweep: any of\n"
         "                  mesi,msi,mi (default mesi)\n"
+        "  --lock-proto p,q\n"
+        "                  lock primitives to sweep: any of tas,"
+        "ticket,mcs,\n"
+        "                  futex,rcu (default tas)\n"
         "  --script-len N  script items per CPU (default 4000)\n"
         "  --cycles N      cycles per machine run (default 60000)\n"
         "  --sim-threads N three-way differential: also run the "
@@ -93,7 +98,8 @@ usage(const char *argv0)
         "                  regenerate the committed corrupt-snapshot "
         "corpus\n"
         "                  (truncated/flipped-crc/oversize-len/"
-        "bad-version)\n"
+        "bad-version/\n"
+        "                  garbage-section)\n"
         "                  into D and exit\n",
         argv0);
 }
@@ -111,11 +117,14 @@ writeCorpusFile(const std::string &path,
 }
 
 /**
- * Write the four committed corrupt snapshots. Layout knowledge used
+ * Write the five committed corrupt snapshots. Layout knowledge used
  * here (version u32 at offset 8, first section length u32 at offset
  * 24 + 4, trailing 8-byte FNV-1a) mirrors snapshot::pack; the two
  * variants that must get past the outer checksum to exercise the
- * framing validators have it recomputed.
+ * framing validators have it recomputed. The fifth image is the
+ * un-mutated base itself: valid framing around a garbage Machine
+ * section, which must be rejected by the *state* decoders
+ * (Machine::restoreState), not the container.
  */
 int
 emitCorruptCorpus(const std::string &dir)
@@ -167,6 +176,7 @@ emitCorruptCorpus(const std::string &dir)
             {"flipped_crc.snap", &flippedCrc},
             {"oversize_len.snap", &oversizeLen},
             {"bad_version.snap", &badVersion},
+            {"garbage_section.snap", &base},
         };
     for (const auto &[name, bytes] : files) {
         const std::string path = dir + "/" + name;
@@ -277,6 +287,30 @@ parseProtocolList(const char *s)
     return protos;
 }
 
+std::vector<mpos::sim::LockPolicy>
+parseLockPolicyList(const char *s)
+{
+    std::vector<mpos::sim::LockPolicy> policies;
+    for (const char *p = s; *p;) {
+        const char *end = p;
+        while (*end && *end != ',')
+            ++end;
+        const std::string name(p, end);
+        mpos::sim::LockPolicy policy;
+        if (!mpos::sim::parseLockPolicy(name.c_str(), policy)) {
+            std::fprintf(stderr, "bad lock-primitive list '%s'\n", s);
+            std::exit(2);
+        }
+        policies.push_back(policy);
+        p = *end ? end + 1 : end;
+    }
+    if (policies.empty()) {
+        std::fprintf(stderr, "bad lock-primitive list '%s'\n", s);
+        std::exit(2);
+    }
+    return policies;
+}
+
 } // namespace
 
 int
@@ -287,6 +321,8 @@ main(int argc, char **argv)
     std::vector<uint32_t> cpus = {1, 2, 4};
     std::vector<mpos::sim::Protocol> protos = {
         mpos::sim::Protocol::Mesi};
+    std::vector<mpos::sim::LockPolicy> lockPolicies = {
+        mpos::sim::LockPolicy::TestAndSet};
     mpos::sim::FuzzOptions opt;
     // MPOS_SIM_THREADS reaches every constructed Machine anyway (the
     // env override beats the config field), so honor it here too and
@@ -319,6 +355,8 @@ main(int argc, char **argv)
             cpus = parseCpuList(v);
         } else if (const char *v = arg("--protocol")) {
             protos = parseProtocolList(v);
+        } else if (const char *v = arg("--lock-proto")) {
+            lockPolicies = parseLockPolicyList(v);
         } else if (const char *v = arg("--script-len")) {
             opt.scriptLen = uint32_t(std::strtoul(v, nullptr, 10));
         } else if (const char *v = arg("--cycles")) {
@@ -352,9 +390,10 @@ main(int argc, char **argv)
 
     if (corrupt) {
         // The corrupt campaign decodes mutated images; the machine
-        // that builds the pristine ones runs the first protocol and
-        // CPU count.
+        // that builds the pristine ones runs the first protocol,
+        // lock primitive and CPU count.
         opt.protocol = protos.front();
+        opt.lockPolicy = lockPolicies.front();
         opt.numCpus = cpus.front();
         const auto progress = [&](uint32_t done, uint32_t total) {
             if (!quiet && done % 64 == 0)
@@ -376,48 +415,60 @@ main(int argc, char **argv)
 
     if (faults) {
         // The fault campaign checks failure reproducibility, not the
-        // protocol differential; it runs under the first protocol.
+        // protocol differential; it runs under the first protocol
+        // and lock primitive.
         opt.protocol = protos.front();
+        opt.lockPolicy = lockPolicies.front();
         return faultCampaignMain(firstSeed, numSeeds, cpus, opt,
                                  quiet, dumpDir);
     }
 
     uint32_t done = 0;
-    const uint32_t total =
-        numSeeds * uint32_t(cpus.size()) * uint32_t(protos.size());
+    const uint32_t total = numSeeds * uint32_t(cpus.size()) *
+                           uint32_t(protos.size()) *
+                           uint32_t(lockPolicies.size());
 
     mpos::sim::FuzzMatrixResult res;
-    std::vector<const char *> failProto; // parallel to res.failures
+    std::vector<const char *> failProto;  // parallel to res.failures
+    std::vector<const char *> failPolicy; // parallel to res.failures
     for (const mpos::sim::Protocol proto : protos) {
         opt.protocol = proto;
         const char *pname = mpos::sim::protocolName(proto);
-        const auto progress = [&](uint64_t seed, uint32_t ncpus,
-                                  const mpos::sim::FuzzOutcome &out) {
-            ++done;
-            if (!out.ok) {
-                std::fprintf(
-                    stderr,
-                    "[fuzz] FAIL seed=%llu cpus=%u protocol=%s: %s\n",
-                    (unsigned long long)seed, ncpus, pname,
-                    out.detail.c_str());
-            } else if (!quiet && done % 16 == 0) {
-                std::fprintf(stderr, "[fuzz] %u/%u runs ok\n", done,
-                             total);
+        for (const mpos::sim::LockPolicy policy : lockPolicies) {
+            opt.lockPolicy = policy;
+            const char *lname = mpos::sim::lockPolicyName(policy);
+            const auto progress =
+                [&](uint64_t seed, uint32_t ncpus,
+                    const mpos::sim::FuzzOutcome &out) {
+                    ++done;
+                    if (!out.ok) {
+                        std::fprintf(
+                            stderr,
+                            "[fuzz] FAIL seed=%llu cpus=%u "
+                            "protocol=%s lock-proto=%s: %s\n",
+                            (unsigned long long)seed, ncpus, pname,
+                            lname, out.detail.c_str());
+                    } else if (!quiet && done % 16 == 0) {
+                        std::fprintf(stderr, "[fuzz] %u/%u runs ok\n",
+                                     done, total);
+                    }
+                };
+            const mpos::sim::FuzzMatrixResult sub =
+                snapshotAt
+                    ? mpos::sim::runSnapshotMatrix(firstSeed, numSeeds,
+                                                   cpus, opt,
+                                                   snapshotAt,
+                                                   progress)
+                    : mpos::sim::runFuzzMatrix(firstSeed, numSeeds,
+                                               cpus, opt, progress);
+            res.runs += sub.runs;
+            res.eventsCompared += sub.eventsCompared;
+            res.checksPerformed += sub.checksPerformed;
+            for (const mpos::sim::FuzzFailure &f : sub.failures) {
+                res.failures.push_back(f);
+                failProto.push_back(pname);
+                failPolicy.push_back(lname);
             }
-        };
-        const mpos::sim::FuzzMatrixResult sub =
-            snapshotAt
-                ? mpos::sim::runSnapshotMatrix(firstSeed, numSeeds,
-                                               cpus, opt, snapshotAt,
-                                               progress)
-                : mpos::sim::runFuzzMatrix(firstSeed, numSeeds, cpus,
-                                           opt, progress);
-        res.runs += sub.runs;
-        res.eventsCompared += sub.eventsCompared;
-        res.checksPerformed += sub.checksPerformed;
-        for (const mpos::sim::FuzzFailure &f : sub.failures) {
-            res.failures.push_back(f);
-            failProto.push_back(pname);
         }
     }
 
@@ -429,25 +480,29 @@ main(int argc, char **argv)
                 res.failures.size());
     for (size_t i = 0; i < res.failures.size(); ++i) {
         const mpos::sim::FuzzFailure &f = res.failures[i];
-        std::string extra = std::string(" --protocol ") + failProto[i];
+        std::string extra = std::string(" --protocol ") + failProto[i] +
+                            " --lock-proto " + failPolicy[i];
         if (opt.simThreads > 1)
             extra += " --sim-threads " + std::to_string(opt.simThreads);
         if (snapshotAt) {
-            std::printf("  seed %llu cpus %u protocol %s:\n    repro: "
+            std::printf("  seed %llu cpus %u protocol %s lock-proto "
+                        "%s:\n    repro: "
                         "mpos_fuzz --seeds 1 --first-seed %llu "
                         "--cpus %u --snapshot-at %llu%s\n    %s\n",
                         (unsigned long long)f.seed, f.numCpus,
-                        failProto[i], (unsigned long long)f.seed,
-                        f.numCpus, (unsigned long long)snapshotAt,
-                        extra.c_str(), f.detail.c_str());
+                        failProto[i], failPolicy[i],
+                        (unsigned long long)f.seed, f.numCpus,
+                        (unsigned long long)snapshotAt, extra.c_str(),
+                        f.detail.c_str());
             continue;
         }
-        std::printf("  seed %llu cpus %u protocol %s: minimal failing "
+        std::printf("  seed %llu cpus %u protocol %s lock-proto %s: "
+                    "minimal failing "
                     "prefix %u items\n    repro: mpos_fuzz --seeds 1 "
                     "--first-seed %llu --cpus %u --script-len %u%s\n"
                     "    %s\n",
                     (unsigned long long)f.seed, f.numCpus,
-                    failProto[i], f.minimalPrefix,
+                    failProto[i], failPolicy[i], f.minimalPrefix,
                     (unsigned long long)f.seed, f.numCpus,
                     f.minimalPrefix, extra.c_str(), f.detail.c_str());
     }

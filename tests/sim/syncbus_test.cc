@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "sim/syncbus.hh"
+#include "util/binio.hh"
+#include "util/error.hh"
 
 using namespace mpos::sim;
 
@@ -108,6 +110,171 @@ TEST(SyncBus, HighLocalityMeansFewCachedOps)
     EXPECT_EQ(st.counts(0).cachedOps, 1u);
     EXPECT_EQ(st.counts(0).uncachedOps,
               100u * (cfg.syncOpsPerAcquire + 1));
+}
+
+TEST(SyncBus, OutOfRangeLockIdRaisesTypedError)
+{
+    MachineConfig cfg;
+    SyncTransport st(cfg, 4);
+    // Lock ids arrive from snapshots and --serve requests, so a bad
+    // one must travel the typed error channel, not panic.
+    try {
+        st.access(0, 4, LockEvent::AcquireSuccess);
+        FAIL() << "out-of-range access was accepted";
+    } catch (const mpos::util::SimError &e) {
+        EXPECT_EQ(e.code(), mpos::util::ErrCode::BadConfig);
+    }
+    try {
+        st.counts(99);
+        FAIL() << "out-of-range counts() was accepted";
+    } catch (const mpos::util::SimError &e) {
+        EXPECT_EQ(e.code(), mpos::util::ErrCode::BadConfig);
+    }
+}
+
+TEST(SyncBus, TicketCostsUnderBothModels)
+{
+    MachineConfig cfg; // active: sync bus
+    SyncTransport st(cfg, 2);
+    // Fetch-and-add take costs a full emulated RMW; polls and the
+    // now-serving bump are single transactions.
+    EXPECT_EQ(st.access(0, 0, LockEvent::TicketTake),
+              Cycle(cfg.syncOpsPerAcquire) * cfg.syncBusOpCycles);
+    EXPECT_EQ(st.access(1, 0, LockEvent::TicketPoll),
+              cfg.syncBusOpCycles);
+    EXPECT_EQ(st.access(0, 0, LockEvent::TicketRelease),
+              cfg.syncBusOpCycles);
+}
+
+TEST(SyncBus, CachedTicketReacquireUndisturbedIsFree)
+{
+    MachineConfig cfg;
+    cfg.cachedLockRmw = true;
+    SyncTransport st(cfg, 2);
+    EXPECT_EQ(st.access(0, 0, LockEvent::TicketTake),
+              cfg.busMissStall); // first touch fetches the line
+    EXPECT_EQ(st.access(0, 0, LockEvent::TicketRelease), 0u);
+    // Undisturbed re-take: still the sole owner, pure cache hit.
+    EXPECT_EQ(st.access(0, 0, LockEvent::TicketTake), 0u);
+}
+
+TEST(SyncBus, CachedMcsLocalSpinHitsUntilHandoff)
+{
+    MachineConfig cfg;
+    cfg.cachedLockRmw = true;
+    SyncTransport st(cfg, 2);
+    EXPECT_EQ(st.access(0, 0, LockEvent::McsSwap), cfg.busMissStall);
+    // Enqueue: tail swap + the link write into the holder's node.
+    EXPECT_EQ(st.access(1, 0, LockEvent::McsEnqueue),
+              2 * cfg.busMissStall);
+    // The waiter fetches its own queue node once, then spins locally
+    // for free -- the MCS advantage the global-spin primitives lack.
+    EXPECT_EQ(st.access(1, 0, LockEvent::McsLocalPoll),
+              cfg.busMissStall);
+    EXPECT_EQ(st.access(1, 0, LockEvent::McsLocalPoll), 0u);
+    EXPECT_EQ(st.qnodeAtMask(0), uint64_t(1) << 1);
+    // Hand-off writes the successor's node, invalidating its copy...
+    EXPECT_EQ(st.access(0, 0, LockEvent::McsHandoff, 1),
+              cfg.busMissStall);
+    EXPECT_EQ(st.qnodeAtMask(0), 0u);
+    // ...so the next poll refetches (and sees the grant).
+    EXPECT_EQ(st.access(1, 0, LockEvent::McsLocalPoll),
+              cfg.busMissStall);
+}
+
+TEST(SyncBus, UncachedMcsLocalPollStillCrossesTheBus)
+{
+    MachineConfig cfg; // active: sync bus (never cached)
+    SyncTransport st(cfg, 2);
+    st.access(1, 0, LockEvent::McsEnqueue);
+    // Without cached locks the "local" spin degenerates to a bus
+    // crossing per poll: MCS only pays off with cached lock RMW.
+    EXPECT_EQ(st.access(1, 0, LockEvent::McsLocalPoll),
+              cfg.syncBusOpCycles);
+    EXPECT_EQ(st.access(1, 0, LockEvent::McsLocalPoll),
+              cfg.syncBusOpCycles);
+}
+
+TEST(SyncBus, RcuReadPathIsFreeAndSyncChargesPerCpu)
+{
+    MachineConfig cfg; // numCpus = 4
+    SyncTransport st(cfg, 2);
+    EXPECT_EQ(st.access(1, 0, LockEvent::RcuReadEnter), 0u);
+    EXPECT_EQ(st.access(1, 0, LockEvent::RcuReadExit), 0u);
+    EXPECT_EQ(st.counts(0).uncachedOps, 0u);
+    EXPECT_EQ(st.counts(0).cachedOps, 0u);
+    // A grace period waits on every other CPU: numCpus - 1 ops under
+    // both models.
+    EXPECT_EQ(st.access(0, 0, LockEvent::RcuSync),
+              Cycle(cfg.numCpus - 1) * cfg.syncBusOpCycles);
+    EXPECT_EQ(st.counts(0).uncachedOps, cfg.numCpus - 1);
+    EXPECT_EQ(st.counts(0).cachedOps, cfg.numCpus - 1);
+}
+
+TEST(SyncBus, RestoreRejectsPhantomSharerMask)
+{
+    MachineConfig cfg;
+    cfg.numCpus = 2;
+    SyncTransport st(cfg, 2);
+    st.access(1, 0, LockEvent::AcquireSuccess);
+    mpos::util::ByteWriter w;
+    st.saveState(w);
+    std::vector<uint8_t> img = w.take();
+    // cachedAt masks follow the 4-byte count and 16 bytes of op
+    // counters per lock; set a sharer bit beyond the 2-CPU machine.
+    const size_t maskAt = 4 + 2 * 16;
+    ASSERT_LT(maskAt, img.size());
+    img[maskAt] |= 0x10; // bit 4
+    SyncTransport fresh(cfg, 2);
+    mpos::util::ByteReader r(img);
+    try {
+        fresh.restoreState(r);
+        FAIL() << "phantom sharer mask was accepted";
+    } catch (const mpos::util::SimError &e) {
+        EXPECT_EQ(e.code(), mpos::util::ErrCode::SnapshotCorrupt);
+    }
+}
+
+TEST(SyncBus, RestoreRejectsPhantomQnodeMask)
+{
+    MachineConfig cfg;
+    cfg.numCpus = 2;
+    SyncTransport st(cfg, 2);
+    mpos::util::ByteWriter w;
+    st.saveState(w);
+    std::vector<uint8_t> img = w.take();
+    // qnodeAt masks follow the cachedAt masks (8 bytes per lock).
+    const size_t maskAt = 4 + 2 * 16 + 2 * 8;
+    ASSERT_LT(maskAt, img.size());
+    img[maskAt] |= 0x80; // bit 7 on a 2-CPU machine
+    SyncTransport fresh(cfg, 2);
+    mpos::util::ByteReader r(img);
+    try {
+        fresh.restoreState(r);
+        FAIL() << "phantom qnode mask was accepted";
+    } catch (const mpos::util::SimError &e) {
+        EXPECT_EQ(e.code(), mpos::util::ErrCode::SnapshotCorrupt);
+    }
+}
+
+TEST(SyncBus, RoundTripRestoresMasksAndCounters)
+{
+    MachineConfig cfg;
+    cfg.cachedLockRmw = true;
+    SyncTransport st(cfg, 2);
+    st.access(0, 0, LockEvent::McsSwap);
+    st.access(1, 0, LockEvent::McsEnqueue);
+    st.access(1, 0, LockEvent::McsLocalPoll);
+    mpos::util::ByteWriter w;
+    st.saveState(w);
+    SyncTransport fresh(cfg, 2);
+    mpos::util::ByteReader r(w.bytes());
+    fresh.restoreState(r);
+    EXPECT_EQ(fresh.cachedAtMask(0), st.cachedAtMask(0));
+    EXPECT_EQ(fresh.qnodeAtMask(0), st.qnodeAtMask(0));
+    EXPECT_EQ(fresh.counts(0).uncachedOps, st.counts(0).uncachedOps);
+    EXPECT_EQ(fresh.counts(0).cachedOps, st.counts(0).cachedOps);
+    EXPECT_EQ(fresh.stallCycles(1), st.stallCycles(1));
 }
 
 TEST(SyncBus, SixtyFourCpuCachedMaskUsesHighBits)
